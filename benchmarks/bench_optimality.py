@@ -1,0 +1,84 @@
+"""Experiment C4: the "near optimal" claim of Section 5.
+
+Finding the minimal-cost victim set is NP-hard; the detector resolves
+each cycle greedily.  Measure the greedy-vs-optimal cost ratio over many
+random deadlocked states (exhaustive optimum on small instances) and on
+the structured scenarios where the gap is known to open.
+"""
+
+import random
+
+from repro.analysis.optimality import (
+    deadlock_cycles,
+    optimality_gap,
+)
+from repro.analysis.report import render_table
+from repro.analysis.scenarios import build_reader_ladder, build_ring
+from repro.core.victim import CostTable
+from tests.properties.test_invariants import apply_ops
+
+
+def random_deadlocked_states(count, seed=11):
+    rng = random.Random(seed)
+    states = []
+    attempts = 0
+    while len(states) < count and attempts < 3000:
+        attempts += 1
+        ops = [
+            (
+                rng.randint(0, 4),
+                rng.randint(0, 5),
+                rng.randint(0, 3),
+                rng.randint(0, 4),
+            )
+            for _ in range(rng.randint(8, 32))
+        ]
+        table = apply_ops(ops)
+        cycles = deadlock_cycles(table)
+        if cycles and len(set().union(*cycles)) <= 12:
+            states.append(table)
+    return states
+
+
+def test_c4_near_optimality(benchmark, record_result):
+    states = random_deadlocked_states(40)
+    assert len(states) >= 20
+    ratios = []
+    for table in states:
+        _, _, ratio = optimality_gap(table, CostTable())
+        ratios.append(ratio)
+
+    optimal_count = sum(1 for r in ratios if r == 1.0)
+    mean_ratio = sum(ratios) / len(ratios)
+    worst = max(ratios)
+
+    # Structured worst-ish cases.
+    ladder_rows = []
+    for readers in (3, 5, 7):
+        table, _ = build_reader_ladder(readers)
+        greedy, optimal, ratio = optimality_gap(table, CostTable())
+        ladder_rows.append([f"ladder({readers})", greedy, optimal,
+                            round(ratio, 3)])
+    ring, _ = build_ring(6)
+    greedy, optimal, ratio = optimality_gap(ring, CostTable({3: 0.5}))
+    ladder_rows.append(["ring(6)", greedy, optimal, round(ratio, 3)])
+
+    benchmark(lambda: optimality_gap(build_ring(6)[0], CostTable()))
+
+    assert mean_ratio <= 1.5
+    assert optimal_count / len(ratios) >= 0.5
+
+    record_result(
+        "C4_near_optimality",
+        render_table(
+            ["instance", "greedy cost", "optimal cost", "ratio"],
+            ladder_rows,
+            title="C4 — greedy TDR selection vs exhaustive optimum",
+        )
+        + "\nrandom deadlocked states (n={}): optimal on {:.0%}, mean "
+        "ratio {:.3f}, worst {:.3f}\npaper claim: minimal-cost victim "
+        "selection is NP-hard; the algorithm's solution is 'near "
+        "optimal'.".format(
+            len(ratios), optimal_count / len(ratios), mean_ratio, worst
+        ),
+    )

@@ -1,0 +1,108 @@
+"""Experiments T1 and T2: the compatibility and conversion matrices.
+
+Verifies both tables cell-for-cell against the paper (modulo the
+documented ``Comp(S, S)`` OCR correction) and benchmarks the lookup
+paths plus the derived total-mode fold the scheduler leans on.
+"""
+
+import random
+
+from repro.analysis.report import render_table
+from repro.core.modes import (
+    ALL_MODES,
+    LockMode,
+    compatible,
+    convert,
+    total_mode,
+)
+
+NL, IS, IX, SIX, S, X = (
+    LockMode.NL,
+    LockMode.IS,
+    LockMode.IX,
+    LockMode.SIX,
+    LockMode.S,
+    LockMode.X,
+)
+
+PAPER_TABLE_1 = {
+    NL: (True, True, True, True, True, True),
+    IS: (True, True, True, True, True, False),
+    IX: (True, True, True, False, False, False),
+    SIX: (True, True, False, False, False, False),
+    S: (True, True, False, False, True, False),
+    X: (True, False, False, False, False, False),
+}
+
+PAPER_TABLE_2 = {
+    NL: (NL, IS, IX, SIX, S, X),
+    IS: (IS, IS, IX, SIX, S, X),
+    IX: (IX, IX, IX, SIX, SIX, X),
+    SIX: (SIX, SIX, SIX, SIX, SIX, X),
+    S: (S, S, SIX, SIX, S, X),
+    X: (X, X, X, X, X, X),
+}
+
+COLUMNS = (NL, IS, IX, SIX, S, X)
+
+
+def test_table1_compatibility(benchmark, record_result):
+    for row, values in PAPER_TABLE_1.items():
+        for column, expected in zip(COLUMNS, values):
+            assert compatible(row, column) is expected
+
+    pairs = [(a, b) for a in ALL_MODES for b in ALL_MODES]
+
+    def lookup_all():
+        return sum(1 for a, b in pairs if compatible(a, b))
+
+    count = benchmark(lookup_all)
+    rows = [
+        [row.name] + ["t" if compatible(row, c) else "f" for c in COLUMNS]
+        for row in COLUMNS
+    ]
+    record_result(
+        "T1_compatibility",
+        render_table(
+            ["Comp"] + [c.name for c in COLUMNS],
+            rows,
+            title="Table 1 — compatibility matrix (t=compatible)",
+        )
+        + "\n(compatible pairs: {}/36; Comp(S,S) corrected per Example 5.1)".format(
+            count
+        ),
+    )
+
+
+def test_table2_conversion(benchmark, record_result):
+    for row, values in PAPER_TABLE_2.items():
+        for column, expected in zip(COLUMNS, values):
+            assert convert(row, column) is expected
+
+    pairs = [(a, b) for a in ALL_MODES for b in ALL_MODES]
+
+    def lookup_all():
+        return [convert(a, b) for a, b in pairs]
+
+    benchmark(lookup_all)
+    rows = [
+        [row.name] + [convert(row, c).name for c in COLUMNS]
+        for row in COLUMNS
+    ]
+    record_result(
+        "T2_conversion",
+        render_table(
+            ["Conv"] + [c.name for c in COLUMNS],
+            rows,
+            title="Table 2 — conversion matrix",
+        ),
+    )
+
+
+def test_total_mode_fold(benchmark):
+    rng = random.Random(0)
+    entries = [
+        (rng.choice(ALL_MODES), rng.choice(ALL_MODES)) for _ in range(64)
+    ]
+    result = benchmark(lambda: total_mode(entries))
+    assert result in ALL_MODES

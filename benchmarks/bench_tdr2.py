@@ -1,0 +1,89 @@
+"""Experiment X3: the headline feature — deadlocks resolved without
+aborting any transaction (TDR-2).
+
+Sweeps the conversion-heavy knob (upgrade fraction) and reports the
+fraction of detection passes that resolved at least one deadlock with
+zero aborts, plus micro-verification on the canonical abort-free state
+(Example 4.1).
+"""
+
+from repro.analysis.report import render_table
+from repro.baselines import ParkPeriodicStrategy
+from repro.core.detection import detect_once
+from repro.core.notation import load_table
+from repro.core.victim import CostTable
+from repro.lockmgr.lock_table import LockTable
+from repro.sim.runner import run_once
+from repro.sim.workload import WorkloadSpec
+
+EXAMPLE_41 = """
+R1(SIX): Holder((T1, IX, SIX) (T2, IS, S) (T3, IX, NL) (T4, IS, NL)) Queue((T5, IX) (T6, S) (T7, IX))
+R2(IS): Holder((T7, IS, NL)) Queue((T8, X) (T9, IX) (T3, S) (T4, X))
+"""
+
+
+def test_x3_abort_free_resolution_rate(benchmark, record_result):
+    rows = []
+    for upgrade_fraction in (0.0, 0.2, 0.4, 0.6):
+        spec = WorkloadSpec(
+            resources=30,
+            hotspot_resources=6,
+            min_size=2,
+            max_size=6,
+            write_fraction=0.3,
+            upgrade_fraction=upgrade_fraction,
+        )
+        totals = {"resolved": 0, "abort_free": 0, "aborts": 0, "repos": 0}
+        for seed in (1, 2, 3):
+            metrics = run_once(
+                spec,
+                ParkPeriodicStrategy(),
+                duration=150.0,
+                terminals=6,
+                seed=seed,
+                period=5.0,
+            ).metrics
+            totals["resolved"] += metrics.deadlocks_resolved
+            totals["abort_free"] += metrics.abort_free_resolutions
+            totals["aborts"] += metrics.deadlock_aborts
+            totals["repos"] += metrics.repositions
+        rows.append(
+            [
+                upgrade_fraction,
+                totals["resolved"],
+                totals["repos"],
+                totals["aborts"],
+                totals["abort_free"],
+            ]
+        )
+
+    benchmark(
+        lambda: detect_once(load_table(LockTable(), EXAMPLE_41), CostTable())
+    )
+    assert sum(row[2] for row in rows) > 0  # TDR-2 fired across the sweep
+    record_result(
+        "X3_abort_free",
+        render_table(
+            ["upgrade fraction", "deadlocks", "TDR-2 repositionings",
+             "deadlock aborts", "abort-free passes"],
+            rows,
+            title="X3 — resolutions without aborts (3 seeds per row)",
+        )
+        + "\npaper claim: 'some deadlocks can be resolved without aborting "
+        "any transaction'.",
+    )
+
+
+def test_x3_example_41_is_abort_free(record_result, benchmark):
+    def run():
+        table = load_table(LockTable(), EXAMPLE_41)
+        return detect_once(table, CostTable())
+
+    result = benchmark(run)
+    assert result.abort_free
+    record_result(
+        "X3_example_41",
+        "Example 4.1 under unit costs: deadlock involving 4 overlapping "
+        "cycles resolved by repositioning T8 behind T9/T3 — zero aborts "
+        "(chosen: {}).".format(result.resolutions[0].chosen),
+    )

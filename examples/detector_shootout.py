@@ -1,0 +1,84 @@
+"""Detector shoot-out: every deadlock-handling scheme on one workload.
+
+Runs the paper's periodic and continuous H/W-TWBG detectors against the
+related-work baselines (Agrawal+Chin, Jiang, Elmagarmid, full-WFG,
+timeout, wound-wait, wait-die) on identical seeded workloads and prints
+a comparison table — the measured version of the paper's Section-1
+critique.
+
+Run:  python examples/detector_shootout.py [seed]
+"""
+
+import sys
+
+from repro.analysis.report import render_summaries
+from repro.baselines import (
+    AgrawalStrategy,
+    ElmagarmidStrategy,
+    JiangStrategy,
+    ParkContinuousStrategy,
+    ParkPeriodicStrategy,
+    TimeoutStrategy,
+    WaitDieStrategy,
+    WFGStrategy,
+    WoundWaitStrategy,
+)
+from repro.sim.runner import aggregate, compare_strategies
+from repro.sim.workload import WorkloadSpec
+
+
+def main(seed: int = 1) -> None:
+    spec = WorkloadSpec(
+        resources=36,
+        hotspot_resources=6,
+        min_size=2,
+        max_size=6,
+        write_fraction=0.35,
+        upgrade_fraction=0.25,
+    )
+    factories = [
+        ParkPeriodicStrategy,
+        ParkContinuousStrategy,
+        AgrawalStrategy,
+        JiangStrategy,
+        ElmagarmidStrategy,
+        lambda: WFGStrategy(continuous=True),
+        lambda: TimeoutStrategy(15.0),
+        WoundWaitStrategy,
+        WaitDieStrategy,
+    ]
+    print("simulating 9 strategies x 2 seeds (closed system, 6 terminals, "
+          "duration 150)...\n")
+    results = compare_strategies(
+        spec,
+        factories,
+        duration=150.0,
+        terminals=6,
+        seeds=(seed, seed + 1),
+        period=5.0,
+    )
+    print(
+        render_summaries(
+            aggregate(results),
+            columns=[
+                "commits",
+                "aborts",
+                "restarts",
+                "wasted_fraction",
+                "deadlocks_resolved",
+                "abort_free",
+                "mean_deadlock_latency",
+            ],
+            title="Deadlock-handling strategies, averaged over 2 seeds",
+        )
+    )
+    print(
+        "\nReading guide: 'abort_free' counts detector passes that "
+        "resolved deadlocks with zero aborts (TDR-2 — only the paper's "
+        "schemes can); 'mean_deadlock_latency' is ground-truth deadlock "
+        "persistence measured by a wait-for-graph oracle."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 1)

@@ -1,0 +1,62 @@
+"""Analysis helpers: scenario builders, complexity measurement, graph
+statistics and report rendering."""
+
+from .complexity import (
+    ScalingPoint,
+    check_cprime_bounds,
+    fit_linearity,
+    measure,
+    measure_chains,
+    measure_ring_counts,
+    measure_rings,
+)
+from .mds import (
+    definition_deadlocked,
+    is_deadlock_set,
+    minimal_deadlock_sets,
+)
+from .optimality import (
+    deadlock_cycles,
+    greedy_abort_cost,
+    min_cost_abort_set,
+    optimality_gap,
+)
+from .graphs import GraphStats, hwtwbg_vs_wfg, stats, trrp_lengths
+from .report import render_summaries, render_table
+from .scenarios import (
+    build_chain,
+    build_mesh,
+    build_reader_ladder,
+    build_ring,
+    build_rings,
+    build_upgrade_pair,
+)
+
+__all__ = [
+    "GraphStats",
+    "ScalingPoint",
+    "build_chain",
+    "build_mesh",
+    "build_reader_ladder",
+    "build_ring",
+    "build_rings",
+    "build_upgrade_pair",
+    "check_cprime_bounds",
+    "deadlock_cycles",
+    "definition_deadlocked",
+    "greedy_abort_cost",
+    "fit_linearity",
+    "hwtwbg_vs_wfg",
+    "is_deadlock_set",
+    "measure",
+    "measure_chains",
+    "measure_ring_counts",
+    "measure_rings",
+    "min_cost_abort_set",
+    "minimal_deadlock_sets",
+    "optimality_gap",
+    "render_summaries",
+    "render_table",
+    "stats",
+    "trrp_lengths",
+]

@@ -1,0 +1,76 @@
+"""Graph statistics over H/W-TWBG instances (analysis helpers).
+
+Used by benchmarks and notebooks to characterize workloads: edge/label
+counts, TRRP structure, elementary-circuit counts (via the Johnson
+baseline) and cross-checks between H/W-TWBG and the classic wait-for
+graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from ..baselines.wfg import adjacency as wfg_adjacency, find_cycle
+from ..core.hw_twbg import HWTWBG, H_LABEL, W_LABEL, build_graph
+from ..core.requests import ResourceState
+
+
+@dataclass
+class GraphStats:
+    """Shape summary of one H/W-TWBG."""
+
+    vertices: int
+    edges: int
+    h_edges: int
+    w_edges: int
+    circuits: int
+    blocked: int
+
+    @property
+    def density(self) -> float:
+        if self.vertices < 2:
+            return 0.0
+        return self.edges / (self.vertices * (self.vertices - 1))
+
+
+def stats(states: Iterable[ResourceState]) -> GraphStats:
+    """Compute shape statistics of the H/W-TWBG of ``states``."""
+    states = list(states)
+    graph = build_graph(states)
+    h_count = sum(1 for e in graph.edges if e.label == H_LABEL)
+    w_count = sum(1 for e in graph.edges if e.label == W_LABEL)
+    blocked = set()
+    for state in states:
+        blocked.update(h.tid for h in state.holders if h.is_blocked)
+        blocked.update(q.tid for q in state.queue)
+    return GraphStats(
+        vertices=len(graph.vertices),
+        edges=len(graph.edges),
+        h_edges=h_count,
+        w_edges=w_count,
+        circuits=len(graph.elementary_cycles()),
+        blocked=len(blocked),
+    )
+
+
+def hwtwbg_vs_wfg(states: Iterable[ResourceState]) -> Dict[str, bool]:
+    """Theorem-1 cross-check: the H/W-TWBG has a cycle exactly when the
+    full wait-for graph does."""
+    states = list(states)
+    graph = build_graph(states)
+    wfg_cyclic = find_cycle(wfg_adjacency(states)) is not None
+    return {
+        "hwtwbg_cycle": graph.has_cycle(),
+        "wfg_cycle": wfg_cyclic,
+        "agree": graph.has_cycle() == wfg_cyclic,
+    }
+
+
+def trrp_lengths(graph: HWTWBG) -> List[int]:
+    """Lengths of the TRRPs of every elementary cycle (property 3: each
+    cycle decomposes into >= 2 TRRPs)."""
+    lengths: List[int] = []
+    for cycle in graph.elementary_cycles():
+        lengths.append(len(graph.trrps(cycle)))
+    return lengths

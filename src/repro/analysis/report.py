@@ -1,0 +1,63 @@
+"""Plain-text table rendering for experiment outputs.
+
+Every benchmark prints its rows through these helpers so EXPERIMENTS.md
+and the bench output share one format: fixed-width columns, left-aligned
+labels, right-aligned numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+
+def format_value(value: object) -> str:
+    if isinstance(value, float):
+        return "{:.4g}".format(value)
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a fixed-width text table."""
+    cells = [[format_value(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(parts: Sequence[str]) -> str:
+        return "  ".join(
+            part.ljust(widths[i]) if i == 0 else part.rjust(widths[i])
+            for i, part in enumerate(parts)
+        )
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(headers))
+    out.append(line(["-" * width for width in widths]))
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+def render_summaries(
+    summaries: Mapping[str, Dict[str, float]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render per-strategy metric summaries (see ``Metrics.summary``)."""
+    names = list(summaries)
+    if not names:
+        return "(no data)"
+    if columns is None:
+        columns = list(summaries[names[0]].keys())
+    headers = ["strategy"] + list(columns)
+    rows = [
+        [name] + [summaries[name].get(column, "") for column in columns]
+        for name in names
+    ]
+    return render_table(headers, rows, title=title)

@@ -1,0 +1,151 @@
+"""Synthetic lock-table scenario builders for complexity experiments.
+
+The C1–C3 experiments need lock tables of controlled shape — chains
+without cycles, rings of k transactions, lattices with many overlapping
+cycles — at parametric sizes.  These builders construct them directly
+through the scheduler (never by poking table internals), so every
+scenario is a state the real system can reach.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..core.modes import LockMode
+from ..lockmgr import scheduler
+from ..lockmgr.lock_table import LockTable
+
+
+def build_chain(length: int) -> Tuple[LockTable, List[int]]:
+    """``length`` transactions in a straight waiting line, no cycle:
+    T1 holds R1; T2 waits for R1 while holding R2; T3 waits for R2 ...
+
+    Returns the table and the transaction ids.
+    """
+    table = LockTable()
+    tids = list(range(1, length + 1))
+    for position, tid in enumerate(tids):
+        scheduler.request(table, tid, "R{}".format(position + 1), LockMode.X)
+    for position, tid in enumerate(tids[1:], start=1):
+        scheduler.request(table, tid, "R{}".format(position), LockMode.X)
+    return table, tids
+
+
+def build_ring(size: int) -> Tuple[LockTable, List[int]]:
+    """A single deadlock cycle of ``size`` transactions: Ti holds Ri and
+    waits for R(i-1); T1 closes the ring by waiting for R(size)."""
+    if size < 2:
+        raise ValueError("a deadlock ring needs at least 2 transactions")
+    table = LockTable()
+    tids = list(range(1, size + 1))
+    for position, tid in enumerate(tids):
+        scheduler.request(table, tid, "R{}".format(position + 1), LockMode.X)
+    for position, tid in enumerate(tids[1:], start=1):
+        scheduler.request(table, tid, "R{}".format(position), LockMode.X)
+    scheduler.request(table, tids[0], "R{}".format(size), LockMode.X)
+    return table, tids
+
+
+def build_rings(count: int, size: int) -> Tuple[LockTable, List[int]]:
+    """``count`` disjoint deadlock rings of ``size`` transactions each
+    (c' scales with the number of cycles; every ring costs one victim)."""
+    table = LockTable()
+    tids: List[int] = []
+    next_tid = 1
+    for ring in range(count):
+        ring_tids = list(range(next_tid, next_tid + size))
+        next_tid += size
+        prefix = "G{}:".format(ring)
+        for position, tid in enumerate(ring_tids):
+            scheduler.request(
+                table, tid, "{}R{}".format(prefix, position + 1), LockMode.X
+            )
+        for position, tid in enumerate(ring_tids[1:], start=1):
+            scheduler.request(
+                table, tid, "{}R{}".format(prefix, position), LockMode.X
+            )
+        scheduler.request(
+            table, ring_tids[0], "{}R{}".format(prefix, size), LockMode.X
+        )
+        tids.extend(ring_tids)
+    return table, tids
+
+
+def build_reader_ladder(readers: int) -> Tuple[LockTable, List[int]]:
+    """One writer blocked behind ``readers`` concurrent S holders, each
+    of which is blocked elsewhere — the shape on which Agrawal's
+    single-representative edge loses information (experiment X1).
+
+    T1..Tn hold S on the shared resource "HOT" and each Ti additionally
+    waits for a private resource held by the writer W, so a cycle exists
+    through *every* reader; a detector that records only one reader edge
+    sees only one of them.
+    """
+    table = LockTable()
+    writer = readers + 1
+    reader_tids = list(range(1, readers + 1))
+    for position, tid in enumerate(reader_tids):
+        scheduler.request(table, tid, "HOT", LockMode.S)
+    for position in range(readers):
+        scheduler.request(
+            table, writer, "P{}".format(position + 1), LockMode.X
+        )
+    scheduler.request(table, writer, "HOT", LockMode.X)  # blocks on readers
+    for position, tid in enumerate(reader_tids):
+        scheduler.request(
+            table, tid, "P{}".format(position + 1), LockMode.S
+        )  # each blocks on the writer -> n overlapping cycles
+    return table, reader_tids + [writer]
+
+
+def build_mesh(depth: int, width: int) -> Tuple[LockTable, List[int]]:
+    """A layered deadlock mesh with elementary-cycle count exponential in
+    ``depth`` (order ``width ** depth``; FIFO queue-predecessor edges add
+    a constant factor) through only ``1 + width*depth`` transactions.
+
+    One writer W holds X on ``P`` and waits behind the S holders of
+    ``HOT`` (layer 1).  Every layer-k member X-requests its own resource,
+    which all layer-(k+1) members hold S on — a complete bipartite
+    waited-by stage between adjacent layers.  The last layer queues on
+    ``P``.  Elementary cycles pick one member per layer, so the count is
+    exponential in the depth while the periodic walk still searches at
+    most ``n`` cycles — the X4 experiment's combinatorial family
+    (Jiang's worst case is ``O(3^{n/3})`` of exactly this flavor).
+    """
+    if depth < 1 or width < 1:
+        raise ValueError("mesh needs depth >= 1 and width >= 1")
+    table = LockTable()
+    writer = depth * width + 1
+    layers = [
+        list(range(1 + level * width, 1 + (level + 1) * width))
+        for level in range(depth)
+    ]
+
+    scheduler.request(table, writer, "P", LockMode.X)
+    for tid in layers[0]:
+        scheduler.request(table, tid, "HOT", LockMode.S)
+    for level in range(depth - 1):
+        for position, tid in enumerate(layers[level]):
+            rid = "B{}_{}".format(level, position)
+            for lower in layers[level + 1]:
+                scheduler.request(table, lower, rid, LockMode.S)
+    scheduler.request(table, writer, "HOT", LockMode.X)  # W waits layer 1
+    for level in range(depth - 1):
+        for position, tid in enumerate(layers[level]):
+            rid = "B{}_{}".format(level, position)
+            scheduler.request(table, tid, rid, LockMode.X)
+    for tid in layers[-1]:
+        scheduler.request(table, tid, "P", LockMode.S)  # queue on W
+    tids = [tid for layer in layers for tid in layer] + [writer]
+    return table, tids
+
+
+def build_upgrade_pair() -> Tuple[LockTable, List[int]]:
+    """The canonical conversion deadlock: two S holders both upgrading to
+    X — Observation 3.1(3)'s "kind of deadlock" inside one holder list."""
+    table = LockTable()
+    scheduler.request(table, 1, "R", LockMode.S)
+    scheduler.request(table, 2, "R", LockMode.S)
+    scheduler.request(table, 1, "R", LockMode.X)
+    scheduler.request(table, 2, "R", LockMode.X)
+    return table, [1, 2]

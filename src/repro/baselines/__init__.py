@@ -1,0 +1,44 @@
+"""Baseline deadlock-handling schemes from the paper's related work,
+plus strategy adapters for the paper's own detectors."""
+
+from .agrawal import AgrawalStrategy, functional_graph, representative_blocker
+from .base import Strategy, StrategyOutcome
+from .elmagarmid import ElmagarmidStrategy, build_r_table, build_t_table, chase
+from .jiang import JiangStrategy, WaitForMatrix, direct_blockers
+from .johnson import circuit_count, elementary_circuits
+from .park import (
+    ParkBatchedStrategy,
+    ParkContinuousStrategy,
+    ParkPeriodicStrategy,
+)
+from .prevention import WaitDieStrategy, WoundWaitStrategy
+from .timeout import TimeoutStrategy
+from .wfg import WFGStrategy, adjacency, find_cycle, has_deadlock, waits_for_edges
+
+__all__ = [
+    "AgrawalStrategy",
+    "ElmagarmidStrategy",
+    "JiangStrategy",
+    "ParkBatchedStrategy",
+    "ParkContinuousStrategy",
+    "ParkPeriodicStrategy",
+    "Strategy",
+    "StrategyOutcome",
+    "TimeoutStrategy",
+    "WFGStrategy",
+    "WaitDieStrategy",
+    "WaitForMatrix",
+    "WoundWaitStrategy",
+    "adjacency",
+    "build_r_table",
+    "build_t_table",
+    "chase",
+    "circuit_count",
+    "direct_blockers",
+    "elementary_circuits",
+    "find_cycle",
+    "functional_graph",
+    "has_deadlock",
+    "representative_blocker",
+    "waits_for_edges",
+]

@@ -1,0 +1,101 @@
+"""Common interface for deadlock-handling strategies.
+
+The comparative experiments (X1–X4, A2, A3 in DESIGN.md) run the same
+workload through different deadlock handling schemes.  All schemes share
+the Section-3 lock manager — the paper's scheduling policy is the
+substrate — and differ only in *when* they look for deadlocks and *whom*
+they sacrifice:
+
+* ``on_block(...)`` is invoked right after a request blocked (continuous
+  schemes and prevention schemes act here);
+* ``periodic_pass(...)`` is invoked by the driver every period (periodic
+  schemes act here);
+* ``on_tick(...)`` sees the clock advance (timeout schemes act here).
+
+Each hook returns a :class:`StrategyOutcome` naming the transactions to
+abort; the paper's own strategies can additionally resolve deadlocks
+without aborts (TDR-2) and report that through ``repositioned``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core.victim import CostTable
+from ..lockmgr.lock_table import LockTable
+
+
+@dataclass
+class StrategyOutcome:
+    """What a strategy decided at one hook invocation.
+
+    ``victims`` — transactions the driver must abort (their locks are
+    *not* yet released; the driver owns transaction lifecycles).
+    ``repositioned`` — resource ids whose queues were reordered by TDR-2
+    (the strategy already performed the reorder and any grants).
+    ``granted`` — transactions the strategy itself unblocked.
+    ``cycles_found`` — number of deadlock cycles the pass resolved.
+    """
+
+    victims: List[int] = field(default_factory=list)
+    repositioned: List[str] = field(default_factory=list)
+    granted: List[int] = field(default_factory=list)
+    cycles_found: int = 0
+
+    @property
+    def acted(self) -> bool:
+        return bool(self.victims or self.repositioned)
+
+
+class Strategy:
+    """Base class; concrete strategies override the hooks they use."""
+
+    #: Human-readable identifier used in experiment reports.
+    name = "abstract"
+    #: True when the strategy needs the periodic hook.
+    periodic = False
+    #: How the driver books aborts decided on the tick hook
+    #: ("timeout" or "prevention").
+    tick_abort_kind = "timeout"
+
+    def on_block(
+        self, table: LockTable, tid: int, costs: CostTable, now: float
+    ) -> StrategyOutcome:
+        """Called right after ``tid`` blocked.  Default: wait quietly."""
+        return StrategyOutcome()
+
+    def periodic_pass(
+        self, table: LockTable, costs: CostTable, now: float
+    ) -> StrategyOutcome:
+        """Called once per detection period.  Default: no-op."""
+        return StrategyOutcome()
+
+    def on_tick(
+        self, table: LockTable, costs: CostTable, now: float
+    ) -> StrategyOutcome:
+        """Called when simulated time advances.  Default: no-op."""
+        return StrategyOutcome()
+
+    def forget(self, tid: int) -> None:
+        """A transaction left the system (commit or abort)."""
+
+    def on_grant(self, tid: int) -> None:
+        """A blocked transaction's request was granted (it waits no
+        more).  Strategies that cache wait-for state clear it here."""
+
+    def wait_allowed(
+        self,
+        table: LockTable,
+        requester: int,
+        holder_tids: List[int],
+        costs: CostTable,
+        now: float,
+    ) -> Optional[List[int]]:
+        """Prevention hook, consulted *before* letting a request wait.
+
+        Return ``None`` to allow the wait, or a list of victims (possibly
+        containing the requester itself) to abort instead.  Only
+        prevention schemes (wound-wait, wait-die) override this.
+        """
+        return None

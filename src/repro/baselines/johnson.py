@@ -1,0 +1,180 @@
+"""Johnson's algorithm for all elementary circuits of a directed graph.
+
+D. B. Johnson, "Finding All the Elementary Circuits of a Directed Graph",
+SIAM J. Computing 4(1), 1975 — the paper's reference [15].  The paper's
+Step 2 deliberately does *not* enumerate all elementary cycles (there can
+be exponentially many, up to ``3^{n/3}``); this baseline exists so
+experiment X4 can compare the number of cycles the periodic detector
+actually searches (``c'``) with the full circuit count (``c``).
+
+The implementation follows Johnson's structure: iterate over strongly
+connected components in ascending least-vertex order, unblock sets ``B``
+and the blocked map, with Tarjan's SCC algorithm (iterative) as the
+subcomponent finder.  Time O((n + e)(c + 1)), space O(n + e).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set
+
+
+def _tarjan_sccs(adjacency: Dict[int, Sequence[int]]) -> List[List[int]]:
+    """Strongly connected components (iterative Tarjan).  Vertices with
+    no outgoing entry in ``adjacency`` are treated as sinks."""
+    index_of: Dict[int, int] = {}
+    lowlink: Dict[int, int] = {}
+    on_stack: Set[int] = set()
+    stack: List[int] = []
+    components: List[List[int]] = []
+    counter = [0]
+
+    vertices = set(adjacency)
+    for targets in adjacency.values():
+        vertices.update(targets)
+
+    for start in sorted(vertices):
+        if start in index_of:
+            continue
+        work: List[tuple] = [(start, 0)]
+        while work:
+            vertex, child_index = work[-1]
+            if child_index == 0:
+                index_of[vertex] = counter[0]
+                lowlink[vertex] = counter[0]
+                counter[0] += 1
+                stack.append(vertex)
+                on_stack.add(vertex)
+            advanced = False
+            children = adjacency.get(vertex, ())
+            while child_index < len(children):
+                child = children[child_index]
+                child_index += 1
+                if child not in index_of:
+                    work[-1] = (vertex, child_index)
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[vertex] = min(lowlink[vertex], index_of[child])
+            if advanced:
+                continue
+            work.pop()
+            if lowlink[vertex] == index_of[vertex]:
+                component: List[int] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == vertex:
+                        break
+                components.append(component)
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[vertex])
+    return components
+
+
+def elementary_circuits(
+    adjacency: Dict[int, Sequence[int]]
+) -> List[List[int]]:
+    """All elementary circuits of the graph given as an adjacency map.
+
+    Each circuit is returned as a vertex list without repeating the start
+    vertex, rotated so the smallest vertex comes first; the result is
+    sorted for determinism.
+
+    >>> elementary_circuits({1: [2], 2: [1, 3], 3: [1]})
+    [[1, 2], [1, 2, 3]]
+    """
+    circuits: List[List[int]] = []
+    vertices = set(adjacency)
+    for targets in adjacency.values():
+        vertices.update(targets)
+    remaining = set(vertices)
+
+    while remaining:
+        sub = {
+            v: [w for w in adjacency.get(v, ()) if w in remaining]
+            for v in remaining
+        }
+        components = [c for c in _tarjan_sccs(sub) if len(c) > 1 or (
+            len(c) == 1 and c[0] in sub.get(c[0], ())
+        )]
+        if not components:
+            break
+        # Component containing the least remaining vertex candidate.
+        start_component = min(components, key=min)
+        start = min(start_component)
+        component_set = set(start_component)
+        component_adj = {
+            v: [w for w in sub[v] if w in component_set]
+            for v in component_set
+        }
+
+        blocked: Set[int] = set()
+        block_map: Dict[int, Set[int]] = {v: set() for v in component_set}
+        path: List[int] = []
+
+        def unblock(vertex: int) -> None:
+            pending = [vertex]
+            while pending:
+                v = pending.pop()
+                if v in blocked:
+                    blocked.discard(v)
+                    pending.extend(block_map[v])
+                    block_map[v].clear()
+
+        # Iterative version of Johnson's CIRCUIT procedure.
+        call_stack: List[tuple] = [(start, iter(component_adj[start]))]
+        path.append(start)
+        blocked.add(start)
+        found_flags: List[bool] = [False]
+
+        while call_stack:
+            vertex, child_iter = call_stack[-1]
+            advanced = False
+            for child in child_iter:
+                if child == start:
+                    circuits.append(list(path))
+                    found_flags[-1] = True
+                elif child not in blocked:
+                    path.append(child)
+                    blocked.add(child)
+                    call_stack.append((child, iter(component_adj[child])))
+                    found_flags.append(False)
+                    advanced = True
+                    break
+            if advanced:
+                continue
+            call_stack.pop()
+            found = found_flags.pop()
+            path.pop()
+            if found:
+                unblock(vertex)
+                if found_flags:
+                    found_flags[-1] = True
+            else:
+                for child in component_adj[vertex]:
+                    block_map[child].add(vertex)
+        remaining.discard(start)
+
+    normalized = []
+    for circuit in circuits:
+        least = circuit.index(min(circuit))
+        normalized.append(circuit[least:] + circuit[:least])
+    normalized.sort(key=lambda c: (len(c), c))
+    return normalized
+
+
+def circuit_count(adjacency: Dict[int, Sequence[int]]) -> int:
+    """Number of elementary circuits (the paper's ``c``)."""
+    return len(elementary_circuits(adjacency))
+
+
+def adjacency_of_edges(edges: Iterable[tuple]) -> Dict[int, List[int]]:
+    """Build an adjacency map from ``(source, target)`` pairs, with
+    duplicate edges collapsed and targets sorted."""
+    adjacency: Dict[int, Set[int]] = {}
+    for source, target in edges:
+        adjacency.setdefault(source, set()).add(target)
+    return {v: sorted(ws) for v, ws in adjacency.items()}

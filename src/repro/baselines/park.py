@@ -1,0 +1,113 @@
+"""The paper's own schemes wrapped as comparison strategies.
+
+These adapters put the H/W-TWBG periodic and continuous detectors behind
+the same :class:`~repro.baselines.base.Strategy` interface as the
+baselines, so the simulator runs all schemes through one code path.
+
+Unlike the baselines, the paper's detectors resolve deadlocks *inside*
+the pass (Step 3 releases victims' locks and performs the TDR-2 grants);
+the returned victims have therefore already been removed from the lock
+table, and the driver only has to update transaction lifecycles — which
+is exactly what it does for every strategy, since releasing an
+already-released transaction is a no-op.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.continuous import ContinuousDetector
+from ..core.detection import DetectionResult, PeriodicDetector
+from ..core.victim import CostTable
+from ..lockmgr.lock_table import LockTable
+from .base import Strategy, StrategyOutcome
+
+
+def _to_outcome(result: DetectionResult) -> StrategyOutcome:
+    return StrategyOutcome(
+        victims=list(result.aborted),
+        repositioned=[event.rid for event in result.repositions],
+        granted=[event.tid for event in result.grants],
+        cycles_found=result.stats.cycles_found,
+    )
+
+
+class ParkPeriodicStrategy(Strategy):
+    """The paper's Section-5 periodic detector (with optional A2
+    ablation: ``allow_tdr2=False`` forces abort-only resolution)."""
+
+    periodic = True
+
+    def __init__(self, allow_tdr2: bool = True) -> None:
+        self.allow_tdr2 = allow_tdr2
+        self.name = "park-periodic" if allow_tdr2 else "park-periodic-no-tdr2"
+        self._detector: Optional[PeriodicDetector] = None
+        self.last_result: Optional[DetectionResult] = None
+
+    def periodic_pass(
+        self, table: LockTable, costs: CostTable, now: float
+    ) -> StrategyOutcome:
+        if self._detector is None or self._detector.table is not table:
+            self._detector = PeriodicDetector(
+                table, costs, allow_tdr2=self.allow_tdr2
+            )
+        self.last_result = self._detector.run()
+        return _to_outcome(self.last_result)
+
+
+class ParkContinuousStrategy(Strategy):
+    """The companion continuous detector (reference [17])."""
+
+    name = "park-continuous"
+    periodic = False
+
+    def __init__(self) -> None:
+        self._detector: Optional[ContinuousDetector] = None
+        self.last_result: Optional[DetectionResult] = None
+
+    def on_block(
+        self, table: LockTable, tid: int, costs: CostTable, now: float
+    ) -> StrategyOutcome:
+        if self._detector is None or self._detector.table is not table:
+            self._detector = ContinuousDetector(table, costs)
+        self.last_result = self._detector.on_block(tid)
+        return _to_outcome(self.last_result)
+
+
+class ParkBatchedStrategy(Strategy):
+    """The batched middle ground: record blockers, resolve them in one
+    rooted pass every ``batch_size`` blocks (and on the periodic hook as
+    a fallback flush, so stragglers never wait forever)."""
+
+    periodic = True
+
+    def __init__(self, batch_size: int = 4) -> None:
+        from ..core.batched import BatchedDetector
+
+        self.batch_size = batch_size
+        self.name = "park-batched({})".format(batch_size)
+        self._detector_cls = BatchedDetector
+        self._detector = None
+
+    def _ensure(self, table: LockTable, costs: CostTable):
+        if self._detector is None or self._detector.table is not table:
+            self._detector = self._detector_cls(
+                table, costs, batch_size=self.batch_size
+            )
+        return self._detector
+
+    def on_block(
+        self, table: LockTable, tid: int, costs: CostTable, now: float
+    ) -> StrategyOutcome:
+        result = self._ensure(table, costs).on_block(tid)
+        if result is None:
+            return StrategyOutcome()
+        return _to_outcome(result)
+
+    def periodic_pass(
+        self, table: LockTable, costs: CostTable, now: float
+    ) -> StrategyOutcome:
+        detector = self._ensure(table, costs)
+        if not detector.pending:
+            return StrategyOutcome()
+        return _to_outcome(detector.flush())

@@ -1,0 +1,121 @@
+"""Timestamp-based deadlock *prevention*: wound-wait and wait-die.
+
+Rosenkrantz/Stearns/Lewis schemes, included because Agrawal, Carey and
+McVoy's strategy study (the paper's reference [2]) uses them as the
+classic alternatives to detection.  Both consult transaction timestamps
+*before* a wait is allowed, so deadlock never forms — at the price of
+aborts for conflicts that would have resolved themselves:
+
+* **wait-die**: an older requester may wait for a younger holder; a
+  younger requester "dies" (aborts itself) instead of waiting.
+* **wound-wait**: an older requester "wounds" (aborts) younger holders
+  and takes their place; a younger requester is allowed to wait.
+
+Timestamps are assigned on first sight and kept across the hooks; a
+restarted transaction receives a fresh (younger) timestamp from its new
+tid, which preserves the schemes' liveness argument in our driver
+because tids increase monotonically.
+
+One subtlety the textbook statement glosses over: under FIFO queues and
+lock conversions a blocked transaction's *blocker set changes over
+time* — a grant can reshuffle the holder list so that an old transaction
+suddenly waits for a young one even though its original wait was legal.
+Checking only at enqueue time therefore does NOT prevent all deadlocks
+in this model (the simulator's oracle catches the residue).  Both
+strategies here also revalidate every blocked transaction on the tick
+hook, which restores the schemes' guarantee at the cost of periodic
+rescans — the same fix a real lock manager applies by re-running the
+timestamp test whenever a wait is retargeted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.victim import CostTable
+from ..lockmgr.lock_table import LockTable
+from .base import Strategy, StrategyOutcome
+from .jiang import direct_blockers
+
+
+class _TimestampStrategy(Strategy):
+    periodic = False
+    tick_abort_kind = "prevention"
+
+    def __init__(self) -> None:
+        self._timestamps: Dict[int, float] = {}
+        self._next_stamp = 0.0
+
+    def _stamp(self, tid: int) -> float:
+        if tid not in self._timestamps:
+            self._next_stamp += 1.0
+            self._timestamps[tid] = self._next_stamp
+        return self._timestamps[tid]
+
+    def forget(self, tid: int) -> None:
+        self._timestamps.pop(tid, None)
+
+    def on_tick(
+        self, table: LockTable, costs: CostTable, now: float
+    ) -> StrategyOutcome:
+        """Revalidate every blocked transaction against its *current*
+        blockers (grant reshuffles can retarget waits)."""
+        outcome = StrategyOutcome()
+        doomed: set = set()
+        for tid in table.blocked_tids():
+            rid = table.blocked_at(tid)
+            blockers = [
+                b
+                for b in sorted(direct_blockers(table.existing(rid), tid))
+                if b not in doomed
+            ]
+            veto = self.wait_allowed(table, tid, blockers, costs, now)
+            if veto:
+                for victim in veto:
+                    if victim not in doomed:
+                        doomed.add(victim)
+                        outcome.victims.append(victim)
+        return outcome
+
+
+class WaitDieStrategy(_TimestampStrategy):
+    """Younger requesters die instead of waiting."""
+
+    name = "wait-die"
+
+    def wait_allowed(
+        self,
+        table: LockTable,
+        requester: int,
+        holder_tids: List[int],
+        costs: CostTable,
+        now: float,
+    ) -> Optional[List[int]]:
+        my_stamp = self._stamp(requester)
+        for holder in holder_tids:
+            if my_stamp > self._stamp(holder):
+                # Requester is younger than a holder: die.
+                return [requester]
+        return None
+
+
+class WoundWaitStrategy(_TimestampStrategy):
+    """Older requesters wound younger holders; younger requesters wait."""
+
+    name = "wound-wait"
+
+    def wait_allowed(
+        self,
+        table: LockTable,
+        requester: int,
+        holder_tids: List[int],
+        costs: CostTable,
+        now: float,
+    ) -> Optional[List[int]]:
+        my_stamp = self._stamp(requester)
+        wounded = [
+            holder
+            for holder in holder_tids
+            if self._stamp(holder) > my_stamp
+        ]
+        return wounded or None

@@ -1,0 +1,52 @@
+"""Timeout-based deadlock "resolution" (refs [2, 3]'s comparison point).
+
+No graph at all: any transaction blocked longer than ``timeout`` time
+units is presumed deadlocked and aborted.  Cheap, but it aborts slow
+waiters that are not deadlocked at all (false positives) and leaves real
+deadlocks standing for the full timeout (maximal latency) — the two
+failure modes the comparative benchmarks quantify.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core.victim import CostTable
+from ..lockmgr.lock_table import LockTable
+from .base import Strategy, StrategyOutcome
+
+
+class TimeoutStrategy(Strategy):
+    """Abort any transaction blocked for more than ``timeout``."""
+
+    periodic = False
+
+    def __init__(self, timeout: float = 10.0) -> None:
+        self.timeout = timeout
+        self.name = "timeout({:g})".format(timeout)
+        self._blocked_since: Dict[int, float] = {}
+
+    def on_block(
+        self, table: LockTable, tid: int, costs: CostTable, now: float
+    ) -> StrategyOutcome:
+        self._blocked_since.setdefault(tid, now)
+        return StrategyOutcome()
+
+    def on_tick(
+        self, table: LockTable, costs: CostTable, now: float
+    ) -> StrategyOutcome:
+        outcome = StrategyOutcome()
+        for tid, since in list(self._blocked_since.items()):
+            if not table.is_blocked(tid):
+                # Granted in the meantime; stop the clock.
+                del self._blocked_since[tid]
+            elif now - since >= self.timeout:
+                outcome.victims.append(tid)
+                del self._blocked_since[tid]
+        return outcome
+
+    def on_grant(self, tid: int) -> None:
+        self._blocked_since.pop(tid, None)
+
+    def forget(self, tid: int) -> None:
+        self._blocked_since.pop(tid, None)

@@ -1,0 +1,284 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``inspect FILE``
+    Load a lock-table state (paper notation ``.txt`` or JSON dump) and
+    print the operator report: resources, blocked transactions with
+    explanations, deadlock cycles.
+``detect FILE``
+    Run one periodic detection-resolution pass on the state and print
+    the resolutions, optionally with the full walk trace (``--trace``)
+    and per-transaction costs (``--cost 3=1.5``).
+``graph FILE``
+    Print the H/W-TWBG edges, or Graphviz with ``--dot``.
+``simulate``
+    Run the closed-system simulator with a chosen deadlock strategy and
+    print the metric summary.
+``compare``
+    The detector shoot-out: all strategies on identical workloads.
+
+States given as ``.json`` files must be :mod:`repro.core.serialize`
+dumps; anything else is parsed as the paper's notation, e.g.::
+
+    R1(S): Holder((T1, S, NL)) Queue((T2, X) (T3, S))
+    R2(S): Holder((T2, S, NL) (T3, S, NL)) Queue((T1, X))
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.report import render_summaries
+from .core.hw_twbg import build_graph
+from .core.notation import load_table
+from .core.serialize import loads as table_loads
+from .core.trace import format_trace, trace_detection
+from .core.victim import CostTable
+from .lockmgr.introspect import render_report
+from .lockmgr.lock_table import LockTable
+
+#: Strategy factories by CLI name (built lazily to keep startup light).
+STRATEGIES = {
+    "park-periodic": lambda: _baselines().ParkPeriodicStrategy(),
+    "park-continuous": lambda: _baselines().ParkContinuousStrategy(),
+    "agrawal": lambda: _baselines().AgrawalStrategy(),
+    "jiang": lambda: _baselines().JiangStrategy(),
+    "elmagarmid": lambda: _baselines().ElmagarmidStrategy(),
+    "wfg": lambda: _baselines().WFGStrategy(continuous=True),
+    "timeout": lambda: _baselines().TimeoutStrategy(15.0),
+    "wound-wait": lambda: _baselines().WoundWaitStrategy(),
+    "wait-die": lambda: _baselines().WaitDieStrategy(),
+}
+
+
+def _baselines():
+    from . import baselines
+
+    return baselines
+
+
+def read_table(path: str) -> LockTable:
+    """Load a lock table from a notation or JSON file."""
+    with open(path) as handle:
+        text = handle.read()
+    if path.endswith(".json"):
+        return table_loads(text)
+    return load_table(LockTable(), text)
+
+
+def parse_costs(pairs: List[str]) -> CostTable:
+    costs = {}
+    for pair in pairs:
+        tid, _, value = pair.partition("=")
+        costs[int(tid.lstrip("Tt"))] = float(value)
+    return CostTable(costs)
+
+
+def cmd_inspect(args) -> int:
+    table = read_table(args.file)
+    print(render_report(table))
+    return 0
+
+
+def cmd_graph(args) -> int:
+    graph = build_graph(read_table(args.file).snapshot())
+    print(graph.to_dot() if args.dot else graph)
+    return 0
+
+
+def cmd_detect(args) -> int:
+    table = read_table(args.file)
+    costs = parse_costs(args.cost)
+    if args.trace:
+        result, trace = trace_detection(
+            table, costs, allow_tdr2=not args.no_tdr2
+        )
+        print(format_trace(trace))
+        print()
+    else:
+        from .core.detection import PeriodicDetector
+
+        result = PeriodicDetector(
+            table, costs, allow_tdr2=not args.no_tdr2
+        ).run()
+    if not result.deadlock_found:
+        print("no deadlock found")
+    for resolution in result.resolutions:
+        print(
+            "cycle {} resolved by: {}".format(
+                resolution.cycle, resolution.chosen
+            )
+        )
+    print("aborted:", result.aborted or "-")
+    if result.spared:
+        print("spared:", result.spared)
+    if result.repositions:
+        print(
+            "repositioned queues:",
+            ", ".join(event.rid for event in result.repositions),
+        )
+    print("\nresulting table:")
+    print(table)
+    return 0 if not result.aborted else 1
+
+
+def _spec_from_args(args):
+    from .sim.workload import PRESETS, WorkloadSpec
+
+    if args.preset:
+        return PRESETS[args.preset]()
+    return WorkloadSpec(
+        resources=args.resources,
+        hotspot_resources=max(args.resources // 6, 1),
+        write_fraction=args.write_fraction,
+        upgrade_fraction=args.upgrade_fraction,
+    )
+
+
+def cmd_simulate(args) -> int:
+    from .sim.runner import run_once
+
+    spec = _spec_from_args(args)
+    result = run_once(
+        spec,
+        STRATEGIES[args.strategy](),
+        duration=args.duration,
+        terminals=args.terminals,
+        seed=args.seed,
+        period=args.period,
+    )
+    print(
+        render_summaries(
+            {result.strategy: result.metrics.summary()},
+            title="simulation (duration {}, {} terminals, seed {})".format(
+                args.duration, args.terminals, args.seed
+            ),
+        )
+    )
+    return 0
+
+
+def cmd_compare(args) -> int:
+    from .sim.runner import aggregate, compare_strategies
+
+    spec = _spec_from_args(args)
+    names = args.strategies or list(STRATEGIES)
+    results = compare_strategies(
+        spec,
+        [STRATEGIES[name] for name in names],
+        duration=args.duration,
+        terminals=args.terminals,
+        seeds=tuple(range(args.seed, args.seed + args.runs)),
+        period=args.period,
+    )
+    print(
+        render_summaries(
+            aggregate(results),
+            columns=[
+                "commits",
+                "aborts",
+                "wasted_fraction",
+                "deadlocks_resolved",
+                "abort_free",
+                "mean_deadlock_latency",
+            ],
+            title="strategy comparison ({} seeds)".format(args.runs),
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="H/W-TWBG deadlock detection and resolution "
+        "(Park 1991/1992 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    inspect_cmd = commands.add_parser(
+        "inspect", help="report on a lock-table state file"
+    )
+    inspect_cmd.add_argument("file")
+    inspect_cmd.set_defaults(run=cmd_inspect)
+
+    graph_cmd = commands.add_parser(
+        "graph", help="print the H/W-TWBG of a state file"
+    )
+    graph_cmd.add_argument("file")
+    graph_cmd.add_argument(
+        "--dot", action="store_true", help="emit Graphviz"
+    )
+    graph_cmd.set_defaults(run=cmd_graph)
+
+    detect_cmd = commands.add_parser(
+        "detect", help="run one periodic detection-resolution pass"
+    )
+    detect_cmd.add_argument("file")
+    detect_cmd.add_argument(
+        "--cost",
+        action="append",
+        default=[],
+        metavar="TID=COST",
+        help="victim cost for a transaction (repeatable)",
+    )
+    detect_cmd.add_argument(
+        "--no-tdr2", action="store_true", help="abort-only resolution"
+    )
+    detect_cmd.add_argument(
+        "--trace", action="store_true", help="print the Step-2 walk"
+    )
+    detect_cmd.set_defaults(run=cmd_detect)
+
+    def add_sim_options(sub):
+        from .sim.workload import PRESETS
+
+        sub.add_argument("--duration", type=float, default=150.0)
+        sub.add_argument("--terminals", type=int, default=6)
+        sub.add_argument("--seed", type=int, default=1)
+        sub.add_argument("--period", type=float, default=5.0)
+        sub.add_argument("--resources", type=int, default=36)
+        sub.add_argument("--write-fraction", type=float, default=0.35)
+        sub.add_argument("--upgrade-fraction", type=float, default=0.25)
+        sub.add_argument(
+            "--preset",
+            choices=sorted(PRESETS),
+            help="named workload (overrides the knobs above)",
+        )
+
+    simulate_cmd = commands.add_parser(
+        "simulate", help="run the closed-system simulator"
+    )
+    simulate_cmd.add_argument(
+        "--strategy", choices=sorted(STRATEGIES), default="park-periodic"
+    )
+    add_sim_options(simulate_cmd)
+    simulate_cmd.set_defaults(run=cmd_simulate)
+
+    compare_cmd = commands.add_parser(
+        "compare", help="compare deadlock-handling strategies"
+    )
+    compare_cmd.add_argument(
+        "--strategies",
+        nargs="*",
+        choices=sorted(STRATEGIES),
+        help="subset to compare (default: all)",
+    )
+    compare_cmd.add_argument("--runs", type=int, default=2)
+    add_sim_options(compare_cmd)
+    compare_cmd.set_defaults(run=cmd_compare)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.run(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,71 @@
+"""Batched deadlock detection — between periodic and continuous.
+
+The paper's two drivers sit at the ends of a spectrum: the periodic
+algorithm walks from *every* transaction each period, the continuous
+companion walks from the *one* transaction that just blocked, on every
+block.  A batched driver is the standard middle ground: remember which
+transactions blocked since the last pass and, when flushed (by a timer
+or a batch-size threshold), run one pass rooted at exactly those
+transactions.
+
+Correctness follows from the same argument as the continuous case: every
+cycle that appeared since the last flush contains at least one edge that
+appeared with some block event, so walking from the recorded blockers
+finds it.  Cost: one TST build per flush (like one period), but Step 2
+touches only the subgraphs reachable from actual waiters instead of all
+n roots.
+
+(One caveat shared with the continuous detector: a cycle formed purely
+by a *grant* reshuffle is only found once some root reaches it — see the
+note in :mod:`repro.baselines.elmagarmid`; the periodic all-roots walk
+has no such blind spot.)
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from ..lockmgr.lock_table import LockTable
+from .detection import DetectionResult, _DetectionRun
+from .victim import CostTable
+
+
+class BatchedDetector:
+    """Accumulate blocked transactions; resolve them in one rooted pass."""
+
+    def __init__(
+        self,
+        table: LockTable,
+        costs: Optional[CostTable] = None,
+        batch_size: Optional[int] = None,
+    ) -> None:
+        self.table = table
+        self.costs = costs if costs is not None else CostTable()
+        #: Flush automatically once this many distinct transactions have
+        #: blocked (None: only explicit flushes).
+        self.batch_size = batch_size
+        self._pending: Set[int] = set()
+        self.flushes = 0
+
+    def on_block(self, tid: int) -> Optional[DetectionResult]:
+        """Record a block; flush if the batch threshold is reached.
+
+        Returns the flush result when one ran, else None.
+        """
+        self._pending.add(tid)
+        if self.batch_size is not None and len(self._pending) >= self.batch_size:
+            return self.flush()
+        return None
+
+    def flush(self) -> DetectionResult:
+        """One detection pass rooted at every recorded blocker."""
+        roots = sorted(self._pending)
+        self._pending.clear()
+        self.flushes += 1
+        run = _DetectionRun(self.table, self.costs, roots=roots)
+        return run.execute()
+
+    @property
+    def pending(self) -> List[int]:
+        """Blockers recorded since the last flush."""
+        return sorted(self._pending)

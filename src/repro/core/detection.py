@@ -1,0 +1,325 @@
+"""The periodic deadlock detection and resolution algorithm (Section 5).
+
+The algorithm runs three steps over the lock table (RST) and a per-run
+:class:`~repro.core.tst.TST`:
+
+**Step 1 — initialization.**  Construct the H edges by ECR-1/ECR-2 for
+every resource (W edges mirror the queues, which the scheduler maintains
+continuously), and reset every transaction's ``ancestor``/``current``.
+
+**Step 2 — cycle detection and victim selection.**  A directed walk is
+started from every transaction in id order.  The walk descends along
+``current`` edges, marking the path with ``ancestor`` pointers; meeting a
+vertex whose ``ancestor`` is non-zero closes a cycle.  The cycle is read
+back off the ancestor chain, its TDR candidates are costed
+(:mod:`repro.core.victim`), the minimum-cost one is applied — TDR-1 adds
+the victim to the *abortion-list* and kills its ``current``; TDR-2
+repositions the resource queue (AV before ST), bumps the delayed
+transactions' costs, records the resource on the *change-list* and kills
+the AV members' ``current`` (they can no longer deadlock, Lemma 4.1) —
+and the walk resumes at the vertex where the cycle was found.  Because
+every resolution kills at least one cycle vertex, the number of cycles
+searched (``c'``) never exceeds the number of transactions.
+
+**Step 3 — confirmation.**  Victims are processed against the live table:
+a victim that an earlier victim's release has already *granted* is spared
+(Example 5.1 — it is no longer deadlocked, so aborting it would be
+waste); otherwise all its requests are removed and the freed resources
+swept.  Finally every change-list resource is swept, turning TDR-2
+repositionings into actual grants.  The victims are examined newest
+first, matching the paper's Example 5.1 walk-through (the later, inner
+cycle's victim often supersedes the earlier one).
+
+The run returns a :class:`DetectionResult` with the aborted and spared
+transactions, every grant event, the per-cycle resolution records and the
+instrumentation counters used by the complexity experiments (C1–C3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from ..lockmgr import scheduler
+from ..lockmgr.events import Granted, Repositioned
+from ..lockmgr.lock_table import LockTable
+from .errors import ReproError
+from .hw_twbg import Edge
+from .tst import OFF_PATH, ROOT, TST
+from .victim import (
+    AbortCandidate,
+    CostTable,
+    RepositionCandidate,
+    Resolution,
+    candidates_for_cycle,
+    select_victim,
+)
+
+
+@dataclass
+class DetectionStats:
+    """Instrumentation counters for the complexity experiments.
+
+    ``edges_examined`` counts every edge considered by the Step-2 walk
+    (including re-examinations after a resolution); ``cycles_found`` is
+    the paper's ``c'``.
+    """
+
+    transactions: int = 0
+    edges_total: int = 0
+    edges_examined: int = 0
+    cycles_found: int = 0
+    tdr1_applied: int = 0
+    tdr2_applied: int = 0
+    backtrack_steps: int = 0
+
+
+@dataclass
+class DetectionResult:
+    """Outcome of one periodic detection-resolution run."""
+
+    aborted: List[int] = field(default_factory=list)
+    spared: List[int] = field(default_factory=list)
+    grants: List[Granted] = field(default_factory=list)
+    repositions: List[Repositioned] = field(default_factory=list)
+    resolutions: List[Resolution] = field(default_factory=list)
+    stats: DetectionStats = field(default_factory=DetectionStats)
+
+    @property
+    def deadlock_found(self) -> bool:
+        """True when Step 2 resolved at least one cycle."""
+        return bool(self.resolutions)
+
+    @property
+    def abort_free(self) -> bool:
+        """True when every found deadlock was resolved without any abort
+        (the paper's headline TDR-2 feature)."""
+        return self.deadlock_found and not self.aborted
+
+
+class PeriodicDetector:
+    """Runs the periodic-detection-resolution algorithm on a lock table.
+
+    Reusable: call :meth:`run` once per period.  The cost table persists
+    across runs so TDR-2 delay penalties accumulate as the paper intends.
+    """
+
+    def __init__(
+        self,
+        table: LockTable,
+        costs: Optional[CostTable] = None,
+        allow_tdr2: bool = True,
+    ) -> None:
+        self.table = table
+        self.costs = costs if costs is not None else CostTable()
+        #: Ablation switch (experiment A2): with TDR-2 disabled every
+        #: deadlock costs an abort.
+        self.allow_tdr2 = allow_tdr2
+
+    def run(self) -> DetectionResult:
+        """Execute Steps 1–3 and return the run's outcome."""
+        run = _DetectionRun(self.table, self.costs, allow_tdr2=self.allow_tdr2)
+        return run.execute()
+
+
+class _DetectionRun:
+    """State of a single detector activation (one period).
+
+    ``roots`` restricts the Step-2 walk to the given start vertices (used
+    by the continuous companion detector, which only searches from the
+    transaction that just blocked); the periodic algorithm walks from
+    every transaction.
+    """
+
+    def __init__(
+        self,
+        table: LockTable,
+        costs: CostTable,
+        roots: Optional[List[int]] = None,
+        allow_tdr2: bool = True,
+        observer=None,
+    ) -> None:
+        self._table = table
+        self._costs = costs
+        self._roots = roots
+        self._allow_tdr2 = allow_tdr2
+        self._tst: Optional[TST] = None
+        self._abortion_list: List[int] = []
+        self._change_list: List[str] = []
+        self.result = DetectionResult()
+        #: Optional callable ``observer(event, **info)`` invoked at every
+        #: step of the Step-2 walk and Step-3 confirmation — the tracing
+        #: facility of :mod:`repro.core.trace`.
+        self._observer = observer
+
+    def _emit(self, event: str, **info) -> None:
+        if self._observer is not None:
+            self._observer(event, **info)
+
+    def execute(self) -> DetectionResult:
+        self._step1_initialize()
+        self._step2_detect_and_select()
+        self._step3_confirm()
+        return self.result
+
+    # -- Step 1 -----------------------------------------------------------
+
+    def _step1_initialize(self) -> None:
+        self._tst = TST(self._table)
+        stats = self.result.stats
+        stats.transactions = len(self._tst.entries)
+        stats.edges_total = sum(
+            len(entry.waited) for entry in self._tst.entries.values()
+        )
+
+    # -- Step 2 -----------------------------------------------------------
+
+    def _step2_detect_and_select(self) -> None:
+        tst = self._tst
+        entries = tst.entries
+        roots = self._roots if self._roots is not None else tst.tids()
+        for root in roots:
+            if root not in entries:
+                continue
+            self._emit("root", tid=root)
+            entries[root].ancestor = ROOT
+            v = root
+            while v != ROOT:
+                record = entries[v]
+                if record.current is None:
+                    parent = record.ancestor
+                    record.ancestor = OFF_PATH
+                    self.result.stats.backtrack_steps += 1
+                    self._emit("backtrack", tid=v, parent=parent)
+                    v = parent
+                    continue
+                edge = record.waited[record.current]
+                self.result.stats.edges_examined += 1
+                target = edge.target
+                self._emit("examine", tid=v, target=target, label=edge.label)
+                if target == 0 or entries[target].current is None:
+                    record.advance()
+                elif entries[target].ancestor != OFF_PATH:
+                    self._emit("cycle-found", tid=v, closes=target)
+                    self._victim_selection(v, target)
+                    v = target
+                else:
+                    entries[target].ancestor = v
+                    self._emit("descend", tid=v, target=target)
+                    v = target
+
+    def _victim_selection(self, v: int, w: int) -> None:
+        """A cycle was closed by the edge ``v -> w`` (``w`` on the current
+        path).  Read the cycle off the ancestor chain, apply TDR with the
+        minimum-cost candidate, clear the backtracked ancestors."""
+        entries = self._tst.entries
+        chain = [v]
+        walk = v
+        while walk != w:
+            walk = entries[walk].ancestor
+            if walk in (OFF_PATH, ROOT) and walk != w:
+                raise ReproError(
+                    "ancestor chain from T{} broke before reaching "
+                    "T{}".format(v, w)
+                )
+            chain.append(walk)
+        chain.reverse()  # cycle order: w, ..., v
+
+        cycle_edges = self._chain_edges(chain)
+        candidates = candidates_for_cycle(
+            cycle_edges, self._table.existing, self._costs
+        )
+        if not self._allow_tdr2:
+            candidates = [
+                c for c in candidates if isinstance(c, AbortCandidate)
+            ]
+        chosen = select_victim(candidates)
+        self.result.stats.cycles_found += 1
+        self.result.resolutions.append(
+            Resolution(cycle=list(chain), candidates=candidates, chosen=chosen)
+        )
+
+        self._emit("victim", cycle=list(chain), chosen=chosen)
+        if isinstance(chosen, AbortCandidate):
+            self._apply_tdr1(chosen)
+        else:
+            self._apply_tdr2(chosen)
+
+        for tid in chain:
+            if tid != w:
+                entries[tid].ancestor = OFF_PATH
+
+    def _chain_edges(self, chain: List[int]) -> List[Edge]:
+        """The edge objects along the cycle ``chain`` — each chain
+        vertex's ``current`` edge (the walk never advances ``current``
+        when descending, so it still points at the taken edge)."""
+        entries = self._tst.entries
+        edges: List[Edge] = []
+        for tid in chain:
+            tst_edge = entries[tid].current_edge()
+            if tst_edge is None:  # pragma: no cover - walk invariant
+                raise ReproError(
+                    "cycle vertex T{} has no current edge".format(tid)
+                )
+            edges.append(
+                Edge(
+                    source=tid,
+                    target=tst_edge.target,
+                    label=tst_edge.label,
+                    rid=tst_edge.rid,
+                    lock=tst_edge.lock,
+                )
+            )
+        return edges
+
+    def _apply_tdr1(self, chosen: AbortCandidate) -> None:
+        if chosen.tid in self._abortion_list:  # pragma: no cover
+            raise ReproError(
+                "T{} selected as victim twice".format(chosen.tid)
+            )
+        self._tst.entries[chosen.tid].kill()
+        self._abortion_list.append(chosen.tid)
+        self.result.stats.tdr1_applied += 1
+
+    def _apply_tdr2(self, chosen: RepositionCandidate) -> None:
+        scheduler.reposition_queue(
+            self._table, chosen.rid, list(chosen.av), list(chosen.st)
+        )
+        self._tst.retarget_queue_edges(chosen.rid)
+        for tid in chosen.st:
+            self._costs.apply_delay_penalty(tid)
+        for tid in chosen.av:
+            self._tst.entries[tid].kill()
+        self._change_list.append(chosen.rid)
+        self.result.stats.tdr2_applied += 1
+        self.result.repositions.append(
+            Repositioned(rid=chosen.rid, delayed=tuple(chosen.st))
+        )
+
+    # -- Step 3 -----------------------------------------------------------
+
+    def _step3_confirm(self) -> None:
+        granted_tids: Set[int] = set()
+        for tid in reversed(self._abortion_list):
+            if tid in granted_tids:
+                self._emit("spare", tid=tid)
+                self.result.spared.append(tid)
+                continue
+            self._emit("abort", tid=tid)
+            events = scheduler.release_all(self._table, tid)
+            self.result.grants.extend(events)
+            granted_tids.update(event.tid for event in events)
+            self.result.aborted.append(tid)
+            self._costs.forget(tid)
+        for rid in self._change_list:
+            if rid in self._table:
+                events = scheduler.sweep(self._table, rid)
+                self.result.grants.extend(events)
+                granted_tids.update(event.tid for event in events)
+
+
+def detect_once(
+    table: LockTable, costs: Optional[CostTable] = None
+) -> DetectionResult:
+    """Convenience wrapper: one periodic detection-resolution pass."""
+    return PeriodicDetector(table, costs).run()

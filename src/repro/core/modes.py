@@ -1,0 +1,274 @@
+"""Lock modes, the compatibility matrix and the conversion matrix.
+
+This module reproduces Tables 1 and 2 of the paper (Section 2):
+
+* Table 1 — the *compatibility matrix* ``Comp``: two lock requests for the
+  same resource by two different transactions are *compatible* if they can
+  be granted concurrently.
+* Table 2 — the *conversion matrix* ``Conv``: when a holder re-requests the
+  same resource, the granted mode and the newly requested mode are combined
+  into the mode the transaction eventually wants to hold.
+
+The six modes are the classic multiple-granularity-locking modes of
+Gray [11]: ``NL`` (no lock), ``IS`` (intention shared), ``IX`` (intention
+exclusive), ``S`` (shared), ``SIX`` (shared + intention exclusive) and
+``X`` (exclusive).
+
+One transcription note: the scanned Table 1 in the source text reads
+``Comp(S, S) = false``, but the paper's own Example 5.1 places two
+transactions simultaneously in the holder list of a resource with granted
+mode ``S`` each, which requires ``Comp(S, S) = true`` — the value the
+standard Gray matrix assigns.  We therefore use the standard matrix; every
+other entry agrees with the scanned table.
+
+The paper's *total mode* (Section 2) and the conventional *group mode*
+(Gray [11]) are both provided; the total mode folds blocked conversion
+modes into the summary so that a single comparison decides grantability of
+new queue requests (see :func:`total_mode` and experiment X5 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Tuple
+
+
+class LockMode(enum.IntEnum):
+    """The five lock modes of the paper plus ``NL`` (no lock).
+
+    The integer values order the modes by *exclusiveness* along the
+    conversion lattice's longest chain (NL < IS < IX/S < SIX < X); they are
+    an implementation convenience only — grantability decisions always go
+    through :func:`compatible` / :func:`convert`, never through ``<``.
+    """
+
+    NL = 0
+    IS = 1
+    IX = 2
+    S = 3
+    SIX = 4
+    X = 5
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+    @property
+    def is_intention(self) -> bool:
+        """True for the intention modes ``IS``, ``IX`` and ``SIX``."""
+        return self in (LockMode.IS, LockMode.IX, LockMode.SIX)
+
+    @property
+    def grants_read(self) -> bool:
+        """True if the mode by itself permits reading the resource."""
+        return self in (LockMode.S, LockMode.SIX, LockMode.X)
+
+    @property
+    def grants_write(self) -> bool:
+        """True if the mode by itself permits writing the resource."""
+        return self is LockMode.X
+
+
+#: All modes, in the row/column order of Tables 1 and 2.
+ALL_MODES: Tuple[LockMode, ...] = (
+    LockMode.NL,
+    LockMode.IS,
+    LockMode.IX,
+    LockMode.SIX,
+    LockMode.S,
+    LockMode.X,
+)
+
+#: Modes a transaction can actually request (``NL`` is a non-request).
+REQUESTABLE_MODES: Tuple[LockMode, ...] = (
+    LockMode.IS,
+    LockMode.IX,
+    LockMode.S,
+    LockMode.SIX,
+    LockMode.X,
+)
+
+#: The modes a blocked conversion can be waiting for.  Theorem 3.1's proof
+#: relies on a blocked mode being one of these (an ``IS`` request can never
+#: block because ``IS`` conflicts only with ``X``, and a granted ``X``
+#: holder forces the sole holder case).
+BLOCKABLE_MODES: Tuple[LockMode, ...] = (
+    LockMode.IX,
+    LockMode.S,
+    LockMode.SIX,
+    LockMode.X,
+)
+
+
+def _build_compatibility() -> dict:
+    """Build Table 1 as a dict keyed by ``(held, requested)``.
+
+    ``True`` means the two modes can be granted concurrently.
+    """
+    t, f = True, False
+    rows = {
+        #                NL IS IX SIX  S  X
+        LockMode.NL: (t, t, t, t, t, t),
+        LockMode.IS: (t, t, t, t, t, f),
+        LockMode.IX: (t, t, t, f, f, f),
+        LockMode.SIX: (t, t, f, f, f, f),
+        LockMode.S: (t, t, f, f, t, f),
+        LockMode.X: (t, f, f, f, f, f),
+    }
+    table = {}
+    columns = (
+        LockMode.NL,
+        LockMode.IS,
+        LockMode.IX,
+        LockMode.SIX,
+        LockMode.S,
+        LockMode.X,
+    )
+    for row_mode, values in rows.items():
+        for col_mode, value in zip(columns, values):
+            table[(row_mode, col_mode)] = value
+    return table
+
+
+def _build_conversion() -> dict:
+    """Build Table 2 as a dict keyed by ``(granted, requested)``.
+
+    ``Conv(granted, requested)`` is the mode the transaction eventually
+    wants to hold; it is the least upper bound in the lock-mode lattice
+    (``S`` and ``IX`` are incomparable, their join is ``SIX``).
+    """
+    NL, IS, IX, SIX, S, X = (
+        LockMode.NL,
+        LockMode.IS,
+        LockMode.IX,
+        LockMode.SIX,
+        LockMode.S,
+        LockMode.X,
+    )
+    rows = {
+        #      NL   IS   IX   SIX  S    X
+        NL: (NL, IS, IX, SIX, S, X),
+        IS: (IS, IS, IX, SIX, S, X),
+        IX: (IX, IX, IX, SIX, SIX, X),
+        SIX: (SIX, SIX, SIX, SIX, SIX, X),
+        S: (S, S, SIX, SIX, S, X),
+        X: (X, X, X, X, X, X),
+    }
+    table = {}
+    columns = (NL, IS, IX, SIX, S, X)
+    for row_mode, values in rows.items():
+        for col_mode, value in zip(columns, values):
+            table[(row_mode, col_mode)] = value
+    return table
+
+
+#: Table 1 of the paper.  ``COMPATIBILITY[(a, b)]`` is ``Comp(a, b)``.
+COMPATIBILITY = _build_compatibility()
+
+#: Table 2 of the paper.  ``CONVERSION[(a, b)]`` is ``Conv(a, b)``.
+CONVERSION = _build_conversion()
+
+
+def compatible(held: LockMode, requested: LockMode) -> bool:
+    """``Comp(held, requested)`` — Table 1.
+
+    Example from the paper: ``Comp(S, IS)`` is true but ``Comp(IX, SIX)``
+    is false.
+    """
+    return COMPATIBILITY[(held, requested)]
+
+
+def convert(granted: LockMode, requested: LockMode) -> LockMode:
+    """``Conv(granted, requested)`` — Table 2.
+
+    Example from the paper: a transaction holding ``IX`` that re-requests
+    ``S`` eventually wants ``SIX`` (``Conv(IX, S) == SIX``).
+    """
+    return CONVERSION[(granted, requested)]
+
+
+def supremum(modes: Iterable[LockMode]) -> LockMode:
+    """Fold :func:`convert` over ``modes`` (the lattice join of all of them).
+
+    Returns ``NL`` for an empty iterable.
+    """
+    result = LockMode.NL
+    for mode in modes:
+        result = convert(result, mode)
+    return result
+
+
+def total_mode(entries: Iterable[Tuple[LockMode, LockMode]]) -> LockMode:
+    """The paper's *total mode* of a holder list (Section 2).
+
+    ``entries`` yields ``(granted_mode, blocked_mode)`` pairs, one per
+    holder, in holder-list order.  The total mode is defined as::
+
+        Conv(... Conv(Conv(gm1, bm1), gm2), bm2) ..., gmn), bmn)
+
+    i.e. the join of every granted *and* blocked mode.  A new request is
+    grantable against the resource exactly when it is compatible with the
+    total mode, which makes the grantability check O(1) instead of a scan
+    of the holder list (experiment X5 compares this with the group mode).
+    """
+    result = LockMode.NL
+    for granted, blocked in entries:
+        result = convert(convert(result, granted), blocked)
+    return result
+
+
+def group_mode(granted_modes: Iterable[LockMode]) -> LockMode:
+    """The conventional *group mode* of Gray [11]: join of granted modes only.
+
+    Unlike :func:`total_mode` it ignores blocked conversion modes, so a
+    request judged compatible with the group mode may still have to wait
+    behind a blocked upgrader; schedulers based on it must rescan the
+    holder list.  Provided for the X5 ablation.
+    """
+    return supremum(granted_modes)
+
+
+def parse_mode(text: str) -> LockMode:
+    """Parse a mode name such as ``"IX"`` (case-insensitive) to a mode.
+
+    Raises ``ValueError`` for unknown names.
+    """
+    try:
+        return LockMode[text.strip().upper()]
+    except KeyError:
+        raise ValueError("unknown lock mode: {!r}".format(text)) from None
+
+
+def stronger_or_equal(a: LockMode, b: LockMode) -> bool:
+    """True if mode ``a`` covers mode ``b`` in the lattice.
+
+    ``a`` covers ``b`` when converting ``a`` by ``b`` changes nothing,
+    i.e. a holder of ``a`` already possesses every privilege of ``b``.
+    """
+    return convert(a, b) is a
+
+
+#: Minimal intention mode required on an ancestor before locking a
+#: descendant in the given mode (multiple granularity locking, Section 2's
+#: "upward compatible with the MGL protocol").  Reads need ``IS``; writes
+#: need ``IX``.
+REQUIRED_PARENT_MODE = {
+    LockMode.IS: LockMode.IS,
+    LockMode.S: LockMode.IS,
+    LockMode.IX: LockMode.IX,
+    LockMode.SIX: LockMode.IX,
+    LockMode.X: LockMode.IX,
+}
+
+
+def required_parent_mode(child_mode: LockMode) -> LockMode:
+    """The weakest mode a transaction must hold on the parent resource
+    before requesting ``child_mode`` on a child (MGL rule).
+
+    Raises ``ValueError`` for ``NL`` (no lock is not requestable).
+    """
+    try:
+        return REQUIRED_PARENT_MODE[child_mode]
+    except KeyError:
+        raise ValueError(
+            "no parent mode defined for {!r}".format(child_mode)
+        ) from None

@@ -1,0 +1,219 @@
+"""Lock-mode systems as first-class objects, with the algebraic checks
+the paper's correctness arguments rest on.
+
+The paper fixes the five-mode MGL system, but nothing in H/W-TWBG or the
+detection algorithm depends on those *particular* matrices — only on
+structural properties (its reference [4] makes the same point for
+"resource class independent" detection).  This module captures an
+arbitrary ``(modes, Comp, Conv)`` triple and validates exactly the
+assumptions the proofs use:
+
+* ``Comp`` is **symmetric** and ``NL`` is compatible with everything —
+  Theorem 3.1's case analysis and the ECR rules use conflicts in both
+  directions interchangeably;
+* ``Conv`` is a **join**: commutative, associative, idempotent, with
+  ``NL`` as identity — the total mode is a fold, so it must not depend
+  on fold order;
+* **conflict monotonicity**: if ``a`` conflicts with ``c``, so does
+  ``Conv(a, b)`` — granting via one total-mode comparison is only sound
+  if joining modes never *removes* conflicts;
+* ``Conv(a, b)`` is an upper bound of both arguments under the
+  derived cover order.
+
+Two instructive systems ship besides the paper's:
+:func:`ulock_symmetric_system` (classic S/U/X update locks with
+symmetric compatibility) **passes**, while :func:`ulock_asymmetric_system`
+(DB2-style U locks, where a U holder admits new S readers but an S
+holder blocks U requesters... or vice versa, depending on vendor) is
+**rejected by the validator** — asymmetric compatibility breaks the
+waited-by construction, which is worth knowing before porting the
+algorithm to such a lock manager.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .modes import ALL_MODES, COMPATIBILITY, CONVERSION, LockMode
+
+
+@dataclass
+class ModeSystem:
+    """An arbitrary lock-mode algebra.
+
+    ``modes`` are opaque strings; ``nl`` names the no-lock identity;
+    ``comp``/``conv`` are total tables over ``modes``.
+    """
+
+    name: str
+    modes: Tuple[str, ...]
+    nl: str
+    comp: Dict[Tuple[str, str], bool] = field(repr=False)
+    conv: Dict[Tuple[str, str], str] = field(repr=False)
+
+    def compatible(self, a: str, b: str) -> bool:
+        return self.comp[(a, b)]
+
+    def convert(self, a: str, b: str) -> str:
+        return self.conv[(a, b)]
+
+    def covers(self, a: str, b: str) -> bool:
+        """``a`` covers ``b`` iff joining changes nothing."""
+        return self.convert(a, b) == a
+
+    # -- validation --------------------------------------------------------
+
+    def validate(self) -> List[str]:
+        """All violated assumptions, as human-readable strings."""
+        problems: List[str] = []
+        problems.extend(self._check_totality())
+        if problems:
+            return problems  # later checks would just KeyError
+        problems.extend(self._check_compatibility_axioms())
+        problems.extend(self._check_join_axioms())
+        problems.extend(self._check_conflict_monotonicity())
+        return problems
+
+    def _check_totality(self) -> List[str]:
+        problems = []
+        for a in self.modes:
+            for b in self.modes:
+                if (a, b) not in self.comp:
+                    problems.append("Comp({}, {}) undefined".format(a, b))
+                joined = self.conv.get((a, b))
+                if joined is None:
+                    problems.append("Conv({}, {}) undefined".format(a, b))
+                elif joined not in self.modes:
+                    problems.append(
+                        "Conv({}, {}) = {} is not a mode".format(a, b, joined)
+                    )
+        if self.nl not in self.modes:
+            problems.append("identity {} is not a mode".format(self.nl))
+        return problems
+
+    def _check_compatibility_axioms(self) -> List[str]:
+        problems = []
+        for a in self.modes:
+            for b in self.modes:
+                if self.comp[(a, b)] != self.comp[(b, a)]:
+                    problems.append(
+                        "Comp not symmetric at ({}, {})".format(a, b)
+                    )
+            if not self.comp[(self.nl, a)]:
+                problems.append(
+                    "NL must be compatible with {}".format(a)
+                )
+        return problems
+
+    def _check_join_axioms(self) -> List[str]:
+        problems = []
+        for a in self.modes:
+            if self.conv[(a, a)] != a:
+                problems.append("Conv not idempotent at {}".format(a))
+            if self.conv[(self.nl, a)] != a:
+                problems.append("NL not a Conv identity for {}".format(a))
+            for b in self.modes:
+                if self.conv[(a, b)] != self.conv[(b, a)]:
+                    problems.append(
+                        "Conv not commutative at ({}, {})".format(a, b)
+                    )
+                joined = self.conv[(a, b)]
+                if not (self.covers(joined, a) and self.covers(joined, b)):
+                    problems.append(
+                        "Conv({}, {}) = {} is not an upper bound".format(
+                            a, b, joined
+                        )
+                    )
+                for c in self.modes:
+                    if self.conv[(self.conv[(a, b)], c)] != self.conv[
+                        (a, self.conv[(b, c)])
+                    ]:
+                        problems.append(
+                            "Conv not associative at ({}, {}, {})".format(
+                                a, b, c
+                            )
+                        )
+        return problems
+
+    def _check_conflict_monotonicity(self) -> List[str]:
+        problems = []
+        for a in self.modes:
+            for b in self.modes:
+                joined = self.conv[(a, b)]
+                for c in self.modes:
+                    if not self.comp[(a, c)] and self.comp[(joined, c)]:
+                        problems.append(
+                            "joining {} with {} loses the conflict with "
+                            "{}".format(a, b, c)
+                        )
+        return problems
+
+    @property
+    def is_valid(self) -> bool:
+        return not self.validate()
+
+
+def paper_system() -> ModeSystem:
+    """The paper's six-mode system, from the live Tables 1 and 2."""
+    names = tuple(mode.name for mode in ALL_MODES)
+    comp = {
+        (a.name, b.name): COMPATIBILITY[(a, b)]
+        for a in ALL_MODES
+        for b in ALL_MODES
+    }
+    conv = {
+        (a.name, b.name): CONVERSION[(a, b)].name
+        for a in ALL_MODES
+        for b in ALL_MODES
+    }
+    return ModeSystem("paper-mgl", names, LockMode.NL.name, comp, conv)
+
+
+def _table(rows: Dict[str, Dict[str, object]]) -> Dict[Tuple[str, str], object]:
+    return {
+        (a, b): value
+        for a, columns in rows.items()
+        for b, value in columns.items()
+    }
+
+
+def ulock_symmetric_system() -> ModeSystem:
+    """S/U/X update locks with *symmetric* compatibility: U is
+    compatible with S (both directions) and with nothing else.  A valid
+    system — the paper's machinery ports directly."""
+    t, f = True, False
+    comp = _table({
+        "NL": {"NL": t, "S": t, "U": t, "X": t},
+        "S": {"NL": t, "S": t, "U": t, "X": f},
+        "U": {"NL": t, "S": t, "U": f, "X": f},
+        "X": {"NL": t, "S": f, "U": f, "X": f},
+    })
+    conv = _table({
+        "NL": {"NL": "NL", "S": "S", "U": "U", "X": "X"},
+        "S": {"NL": "S", "S": "S", "U": "U", "X": "X"},
+        "U": {"NL": "U", "S": "U", "U": "U", "X": "X"},
+        "X": {"NL": "X", "S": "X", "U": "X", "X": "X"},
+    })
+    return ModeSystem("ulock-symmetric", ("NL", "S", "U", "X"), "NL", comp, conv)
+
+
+def ulock_asymmetric_system() -> ModeSystem:
+    """DB2-flavored U locks: a U holder still admits S readers, but an S
+    holder refuses new U requesters (or the converse — vendors differ).
+    The asymmetry breaks the paper's assumptions; the validator says so.
+    """
+    t, f = True, False
+    comp = _table({
+        "NL": {"NL": t, "S": t, "U": t, "X": t},
+        "S": {"NL": t, "S": t, "U": f, "X": f},  # S holder blocks U
+        "U": {"NL": t, "S": t, "U": f, "X": f},  # U holder admits S
+        "X": {"NL": t, "S": f, "U": f, "X": f},
+    })
+    conv = _table({
+        "NL": {"NL": "NL", "S": "S", "U": "U", "X": "X"},
+        "S": {"NL": "S", "S": "S", "U": "U", "X": "X"},
+        "U": {"NL": "U", "S": "U", "U": "U", "X": "X"},
+        "X": {"NL": "X", "S": "X", "U": "X", "X": "X"},
+    })
+    return ModeSystem("ulock-asymmetric", ("NL", "S", "U", "X"), "NL", comp, conv)

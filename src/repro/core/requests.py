@@ -1,0 +1,195 @@
+"""Lock-table records: holder entries, queue entries and resource state.
+
+The paper's lock table (Section 2) keeps, for every locked resource:
+
+* a **holder list** — entries ``(tid, gm, bm)`` where ``gm`` is the granted
+  mode and ``bm`` is the blocked (conversion) mode, ``NL`` when the holder
+  is not waiting on a conversion;
+* a **queue** — entries ``(tid, bm)`` of new requestors waiting FIFO;
+* the **total mode** ``tm`` of the holders —
+  ``Conv(...Conv(Conv(gm1, bm1), gm2)..., bmn)``.
+
+These records are plain data plus consistency helpers; the scheduling
+policy that mutates them according to Section 3 lives in
+:mod:`repro.lockmgr.scheduler`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from .errors import LockTableError
+from .modes import LockMode, total_mode as _total_mode
+
+
+@dataclass
+class HolderEntry:
+    """One member of a resource's holder list: ``(tid, gm, bm)``.
+
+    ``blocked`` is ``NL`` while the holder is not waiting; when a lock
+    conversion cannot be granted, ``blocked`` records the *target* mode
+    ``Conv(gm, requested)`` the holder is waiting to reach.
+    """
+
+    tid: int
+    granted: LockMode
+    blocked: LockMode = LockMode.NL
+
+    @property
+    def is_blocked(self) -> bool:
+        """True while this holder waits on a lock conversion."""
+        return self.blocked is not LockMode.NL
+
+    def copy(self) -> "HolderEntry":
+        return HolderEntry(self.tid, self.granted, self.blocked)
+
+    def __str__(self) -> str:
+        return "({}, {}, {})".format(
+            _tname(self.tid), self.granted.name, self.blocked.name
+        )
+
+
+@dataclass
+class QueueEntry:
+    """One member of a resource's queue: ``(tid, bm)``."""
+
+    tid: int
+    blocked: LockMode
+
+    def copy(self) -> "QueueEntry":
+        return QueueEntry(self.tid, self.blocked)
+
+    def __str__(self) -> str:
+        return "({}, {})".format(_tname(self.tid), self.blocked.name)
+
+
+def _tname(tid: int) -> str:
+    """Render a transaction id in the paper's ``T<i>`` style."""
+    return "T{}".format(tid)
+
+
+@dataclass
+class ResourceState:
+    """Complete lock-table entry for one resource.
+
+    The ``total`` field caches the paper's total mode; it is maintained
+    incrementally on grant/convert and recomputed from scratch whenever a
+    holder leaves (the paper's Section 3 release procedure), because the
+    conversion join is not invertible.
+    """
+
+    rid: str
+    holders: List[HolderEntry] = field(default_factory=list)
+    queue: List[QueueEntry] = field(default_factory=list)
+    total: LockMode = LockMode.NL
+
+    # -- lookups ---------------------------------------------------------
+
+    def holder_entry(self, tid: int) -> Optional[HolderEntry]:
+        """The holder entry of ``tid``, or ``None`` if not a holder."""
+        for entry in self.holders:
+            if entry.tid == tid:
+                return entry
+        return None
+
+    def queue_entry(self, tid: int) -> Optional[QueueEntry]:
+        """The queue entry of ``tid``, or ``None`` if not queued."""
+        for entry in self.queue:
+            if entry.tid == tid:
+                return entry
+        return None
+
+    def queue_position(self, tid: int) -> int:
+        """Index of ``tid`` in the queue, or -1."""
+        for index, entry in enumerate(self.queue):
+            if entry.tid == tid:
+                return index
+        return -1
+
+    def is_held_by(self, tid: int) -> bool:
+        return self.holder_entry(tid) is not None
+
+    def blocked_holders(self) -> List[HolderEntry]:
+        """Holders currently waiting on a conversion, in list order."""
+        return [entry for entry in self.holders if entry.is_blocked]
+
+    def unblocked_holders(self) -> List[HolderEntry]:
+        """Holders not waiting, in list order."""
+        return [entry for entry in self.holders if not entry.is_blocked]
+
+    def waiting_tids(self) -> List[int]:
+        """All transactions blocked at this resource (conversions first,
+        then queue, each in list order)."""
+        tids = [entry.tid for entry in self.blocked_holders()]
+        tids.extend(entry.tid for entry in self.queue)
+        return tids
+
+    @property
+    def is_free(self) -> bool:
+        """True when no holder and no waiter remains."""
+        return not self.holders and not self.queue
+
+    # -- mutation helpers (total-mode maintenance) -----------------------
+
+    def recompute_total(self) -> LockMode:
+        """Recompute the total mode from the holder list (paper §3:
+        done whenever a holder is deleted).  Queue entries do not
+        contribute — the total mode summarizes *holders* only."""
+        self.total = _total_mode(
+            (entry.granted, entry.blocked) for entry in self.holders
+        )
+        return self.total
+
+    def raise_total(self, mode: LockMode) -> None:
+        """Join ``mode`` into the cached total mode (grant/convert path)."""
+        from .modes import convert
+
+        self.total = convert(self.total, mode)
+
+    def remove_holder(self, tid: int) -> HolderEntry:
+        """Delete ``tid`` from the holder list and recompute the total.
+
+        Raises :class:`LockTableError` if ``tid`` is not a holder.
+        """
+        for index, entry in enumerate(self.holders):
+            if entry.tid == tid:
+                removed = self.holders.pop(index)
+                self.recompute_total()
+                return removed
+        raise LockTableError(
+            "transaction {} is not a holder of {}".format(tid, self.rid)
+        )
+
+    def remove_from_queue(self, tid: int) -> QueueEntry:
+        """Delete ``tid`` from the queue.
+
+        Raises :class:`LockTableError` if ``tid`` is not queued.
+        """
+        position = self.queue_position(tid)
+        if position < 0:
+            raise LockTableError(
+                "transaction {} is not queued at {}".format(tid, self.rid)
+            )
+        return self.queue.pop(position)
+
+    # -- presentation ----------------------------------------------------
+
+    def copy(self) -> "ResourceState":
+        """Deep copy (for snapshots taken by detectors and tests)."""
+        return ResourceState(
+            rid=self.rid,
+            holders=[entry.copy() for entry in self.holders],
+            queue=[entry.copy() for entry in self.queue],
+            total=self.total,
+        )
+
+    def __str__(self) -> str:
+        holders = " ".join(str(entry) for entry in self.holders)
+        queue = " ".join(str(entry) for entry in self.queue)
+        return "{}({}): Holder({}) Queue({})".format(
+            self.rid, self.total.name, holders, queue
+        )
+
+    def __iter__(self) -> Iterator[HolderEntry]:
+        return iter(self.holders)

@@ -1,0 +1,98 @@
+"""Serialization of lock-table state to and from plain dictionaries.
+
+Lets applications snapshot a lock manager (debug dumps, golden tests,
+cross-process inspection) and rebuild an identical table later.  The
+format is intentionally boring JSON-ready data::
+
+    {"resources": [
+        {"rid": "R1",
+         "total": "SIX",
+         "holders": [{"tid": 1, "granted": "IX", "blocked": "SIX"}, ...],
+         "queue": [{"tid": 5, "mode": "IX"}, ...]},
+        ...]}
+
+``loads``/``dumps`` wrap the dict functions with ``json``.  Round-trips
+are exact: ``table_from_dict(table_to_dict(t))`` reproduces every holder,
+queue entry, total mode and index (verified by property tests).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from ..lockmgr.lock_table import LockTable
+from .errors import ReproError
+from .modes import parse_mode
+from .requests import HolderEntry, QueueEntry
+
+
+def table_to_dict(table: LockTable) -> Dict[str, Any]:
+    """Dump a lock table to a JSON-ready dict."""
+    resources = []
+    for state in table.resources():
+        resources.append(
+            {
+                "rid": state.rid,
+                "total": state.total.name,
+                "holders": [
+                    {
+                        "tid": holder.tid,
+                        "granted": holder.granted.name,
+                        "blocked": holder.blocked.name,
+                    }
+                    for holder in state.holders
+                ],
+                "queue": [
+                    {"tid": waiter.tid, "mode": waiter.blocked.name}
+                    for waiter in state.queue
+                ],
+            }
+        )
+    return {"resources": resources}
+
+
+def table_from_dict(data: Dict[str, Any]) -> LockTable:
+    """Rebuild a lock table (including indexes) from a dump.
+
+    Raises :class:`ReproError` when the dump's recorded total mode does
+    not match the recomputed one — a corrupted or hand-edited dump.
+    """
+    table = LockTable()
+    for entry in data.get("resources", ()):
+        state = table.resource(entry["rid"])
+        for holder in entry.get("holders", ()):
+            record = HolderEntry(
+                tid=int(holder["tid"]),
+                granted=parse_mode(holder["granted"]),
+                blocked=parse_mode(holder.get("blocked", "NL")),
+            )
+            state.holders.append(record)
+            table.note_holder(record.tid, state.rid)
+            if record.is_blocked:
+                table.note_blocked(record.tid, state.rid, in_queue=False)
+        for waiter in entry.get("queue", ()):
+            record = QueueEntry(
+                tid=int(waiter["tid"]), blocked=parse_mode(waiter["mode"])
+            )
+            state.queue.append(record)
+            table.note_blocked(record.tid, state.rid, in_queue=True)
+        state.recompute_total()
+        declared = entry.get("total")
+        if declared is not None and parse_mode(declared) is not state.total:
+            raise ReproError(
+                "dump of {} declares total {} but holders give {}".format(
+                    state.rid, declared, state.total.name
+                )
+            )
+    return table
+
+
+def dumps(table: LockTable, indent: int = 2) -> str:
+    """Lock table as a JSON string."""
+    return json.dumps(table_to_dict(table), indent=indent, sort_keys=True)
+
+
+def loads(text: str) -> LockTable:
+    """Lock table from a JSON string."""
+    return table_from_dict(json.loads(text))

@@ -1,0 +1,154 @@
+"""Invariant verification for lock tables.
+
+A production lock manager needs a way to assert its own consistency —
+in tests, after crash recovery, or behind a debug flag.  This module
+checks every structural invariant the paper's algorithms rely on and
+returns human-readable violations instead of crashing:
+
+* cached total mode equals the recomputed conversion fold;
+* granted modes of co-holders are pairwise compatible (lock safety);
+* blocked conversions form a prefix of each holder list (UPR);
+* blocked and queued modes are requestable (never ``NL``);
+* Axiom 1 — no transaction waits in more than one place;
+* the table's transaction-side indexes agree with the resource states;
+* no granted-but-also-queued transaction (a holder re-request is a
+  conversion, never a queue entry).
+
+``verify_table`` returns a list of :class:`Violation`;
+``assert_consistent`` raises on the first problem (handy in tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..lockmgr.lock_table import LockTable
+from .errors import ReproError
+from .modes import LockMode, compatible, total_mode
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One consistency violation: which rule, where, and what we saw."""
+
+    rule: str
+    rid: Optional[str]
+    tid: Optional[int]
+    detail: str
+
+    def __str__(self) -> str:
+        place = []
+        if self.rid is not None:
+            place.append(self.rid)
+        if self.tid is not None:
+            place.append("T{}".format(self.tid))
+        return "[{}] {}: {}".format(self.rule, "/".join(place) or "-", self.detail)
+
+
+class InconsistentTableError(ReproError):
+    """Raised by :func:`assert_consistent` with all violations attached."""
+
+    def __init__(self, violations: List[Violation]) -> None:
+        super().__init__(
+            "lock table inconsistent: "
+            + "; ".join(str(v) for v in violations)
+        )
+        self.violations = violations
+
+
+def verify_table(table: LockTable) -> List[Violation]:
+    """Check every invariant; returns an empty list when consistent."""
+    violations: List[Violation] = []
+    waits: Dict[int, List[str]] = {}
+
+    for state in table.resources():
+        rid = state.rid
+
+        expected_total = total_mode(
+            (holder.granted, holder.blocked) for holder in state.holders
+        )
+        if state.total is not expected_total:
+            violations.append(Violation(
+                "total-mode", rid, None,
+                "cached {} but recomputed {}".format(
+                    state.total.name, expected_total.name),
+            ))
+
+        for index, first in enumerate(state.holders):
+            for second in state.holders[index + 1:]:
+                if not compatible(first.granted, second.granted):
+                    violations.append(Violation(
+                        "lock-safety", rid, first.tid,
+                        "granted {} incompatible with T{}'s granted "
+                        "{}".format(first.granted.name, second.tid,
+                                    second.granted.name),
+                    ))
+
+        seen_unblocked = False
+        for holder in state.holders:
+            if holder.is_blocked and seen_unblocked:
+                violations.append(Violation(
+                    "blocked-prefix", rid, holder.tid,
+                    "blocked conversion after an unblocked holder",
+                ))
+            if not holder.is_blocked:
+                seen_unblocked = True
+            if holder.granted is LockMode.NL:
+                violations.append(Violation(
+                    "holder-mode", rid, holder.tid, "granted mode is NL",
+                ))
+            if holder.is_blocked:
+                waits.setdefault(holder.tid, []).append(rid)
+
+        holder_tids = {holder.tid for holder in state.holders}
+        for waiter in state.queue:
+            if waiter.blocked is LockMode.NL:
+                violations.append(Violation(
+                    "queue-mode", rid, waiter.tid, "queued mode is NL",
+                ))
+            if waiter.tid in holder_tids:
+                violations.append(Violation(
+                    "holder-queued", rid, waiter.tid,
+                    "appears in both holder list and queue of the same "
+                    "resource (re-requests must be conversions)",
+                ))
+            waits.setdefault(waiter.tid, []).append(rid)
+
+    for tid, places in waits.items():
+        if len(places) > 1:
+            violations.append(Violation(
+                "axiom-1", None, tid,
+                "waits at {} simultaneously".format(", ".join(places)),
+            ))
+        indexed = table.blocked_at(tid)
+        if indexed != places[0] and len(places) == 1:
+            violations.append(Violation(
+                "index-blocked", places[0], tid,
+                "state says blocked here but index says {!r}".format(indexed),
+            ))
+
+    for tid in table.blocked_tids():
+        if tid not in waits:
+            violations.append(Violation(
+                "index-stale", None, tid,
+                "index lists the transaction as blocked but no state "
+                "shows it waiting",
+            ))
+
+    for state in table.resources():
+        for holder in state.holders:
+            if state.rid not in table.held_by(holder.tid):
+                violations.append(Violation(
+                    "index-held", state.rid, holder.tid,
+                    "holder not present in the held-by index",
+                ))
+
+    return violations
+
+
+def assert_consistent(table: LockTable) -> None:
+    """Raise :class:`InconsistentTableError` if any invariant fails."""
+    violations = verify_table(table)
+    if violations:
+        raise InconsistentTableError(violations)

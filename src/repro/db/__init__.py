@@ -1,0 +1,20 @@
+"""Mini database substrate: tables, MGL-protected operations, executor."""
+
+from .database import Blocked, Database
+from .executor import Executor, ExecutorReport, ScriptedTransaction, StallError
+from .recovery import RecoverableDatabase
+from .wal import LogRecord, WriteAheadLog, analyze, recover
+
+__all__ = [
+    "Blocked",
+    "Database",
+    "Executor",
+    "ExecutorReport",
+    "LogRecord",
+    "RecoverableDatabase",
+    "ScriptedTransaction",
+    "StallError",
+    "WriteAheadLog",
+    "analyze",
+    "recover",
+]

@@ -1,0 +1,190 @@
+"""A small in-memory multi-granularity database.
+
+This is the substrate the examples and integration tests run real
+workloads on: named tables of key → value records, protected by the MGL
+protocol over a ``database → table → record`` hierarchy, with strict 2PL
+and undo logging so aborted transactions roll back.
+
+Lock usage follows the classic granularity rules:
+
+* ``read``   — ``IS`` intent down the path, ``S`` on the record;
+* ``write``  — ``IX`` intent down the path, ``X`` on the record;
+* ``scan``   — ``S`` on the whole table (implicitly read-locks every
+  record);
+* ``update_all`` — ``SIX`` on the table (scan while updating a few
+  records with record-level ``X``).
+
+Every data operation returns normally when its locks were granted
+immediately, and raises :class:`Blocked` when the transaction must wait —
+callers (the executor, the simulator) decide how to wait.  A transaction
+aborted by the deadlock detector raises
+:class:`~repro.core.errors.TransactionAborted` on its next operation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..core.errors import ReproError, TransactionAborted, UnknownResourceError
+from ..core.modes import LockMode
+from ..mgl.hierarchy import ResourceHierarchy
+from ..mgl.protocol import MGLProtocol
+from ..txn.manager import TransactionManager
+from ..txn.transaction import Transaction, TxnState
+
+
+class Blocked(ReproError):
+    """The operation's lock request blocked; retry once woken.
+
+    Carries the blocking resource so drivers can report wait-for
+    information.
+    """
+
+    def __init__(self, tid: int, rid: str) -> None:
+        super().__init__("T{} blocked at {}".format(tid, rid))
+        self.tid = tid
+        self.rid = rid
+
+
+class Database:
+    """Tables, records, locks and undo — one object per simulated system."""
+
+    def __init__(
+        self,
+        name: str = "db",
+        transactions: Optional[TransactionManager] = None,
+    ) -> None:
+        self.name = name
+        self.transactions = (
+            transactions if transactions is not None else TransactionManager()
+        )
+        self.hierarchy = ResourceHierarchy()
+        self.hierarchy.add(name)
+        self.mgl = MGLProtocol(self.hierarchy, self.transactions)
+        self._tables: Dict[str, Dict[Any, Any]] = {}
+        self._undo: Dict[int, List[Tuple[str, Any, Any, bool]]] = {}
+
+    # -- schema ----------------------------------------------------------
+
+    def create_table(
+        self, table: str, rows: Optional[Dict[Any, Any]] = None
+    ) -> None:
+        """Create ``table`` (optionally pre-populated — initial rows are
+        installed without locking; do this before starting transactions)."""
+        if table in self._tables:
+            raise ReproError("table {!r} already exists".format(table))
+        self._tables[table] = dict(rows or {})
+        self.hierarchy.add(self._table_rid(table), parent=self.name)
+        for key in self._tables[table]:
+            self.hierarchy.add(
+                self._record_rid(table, key), parent=self._table_rid(table)
+            )
+
+    def _table_rid(self, table: str) -> str:
+        return "{}.{}".format(self.name, table)
+
+    def _record_rid(self, table: str, key: Any) -> str:
+        return "{}.{}[{}]".format(self.name, table, key)
+
+    def _table_data(self, table: str) -> Dict[Any, Any]:
+        try:
+            return self._tables[table]
+        except KeyError:
+            raise UnknownResourceError(table) from None
+
+    # -- transactions -------------------------------------------------------
+
+    def begin(self) -> Transaction:
+        return self.transactions.begin()
+
+    def commit(self, txn: Transaction) -> None:
+        self.transactions.commit(txn)
+        self._undo.pop(txn.tid, None)
+
+    def abort(self, txn: Transaction, reason: str = "user abort") -> None:
+        self.rollback(txn.tid)
+        self.transactions.abort(txn, reason)
+
+    def rollback(self, tid: int) -> None:
+        """Undo the writes of ``tid`` (used on abort, including deadlock
+        victims — the executor calls this when it learns of the abort)."""
+        for rid_key, old_value, table, existed in reversed(
+            self._undo.pop(tid, [])
+        ):
+            data = self._tables[table]
+            if existed:
+                data[rid_key] = old_value
+            else:
+                data.pop(rid_key, None)
+
+    # -- data operations --------------------------------------------------------
+
+    def read(self, txn: Transaction, table: str, key: Any) -> Any:
+        """Record-level read: IS intents + S on the record.
+
+        A missing key is still locked (its resource is registered on
+        demand), so a read of "nothing" cannot race a later insert.
+        """
+        data = self._table_data(table)
+        rid = self._record_rid(table, key)
+        if rid not in self.hierarchy:
+            self.hierarchy.add(rid, parent=self._table_rid(table))
+        self._acquire(txn, rid, LockMode.S)
+        return data.get(key)
+
+    def write(self, txn: Transaction, table: str, key: Any, value: Any) -> None:
+        """Record-level write: IX intents + X on the record."""
+        data = self._table_data(table)
+        rid = self._record_rid(table, key)
+        if rid not in self.hierarchy:
+            self.hierarchy.add(rid, parent=self._table_rid(table))
+        self._acquire(txn, rid, LockMode.X)
+        before, existed = data.get(key), key in data
+        self._on_write(txn.tid, table, key, before, existed, value)
+        self._undo.setdefault(txn.tid, []).append(
+            (key, before, table, existed)
+        )
+        data[key] = value
+
+    def _on_write(
+        self, tid: int, table: str, key: Any, before: Any, existed: bool,
+        value: Any,
+    ) -> None:
+        """Hook invoked after locking and before mutation — the
+        write-ahead point (:class:`~repro.db.recovery.RecoverableDatabase`
+        logs here)."""
+
+    def scan(self, txn: Transaction, table: str) -> Dict[Any, Any]:
+        """Table scan: S on the table read-locks every record at once."""
+        data = self._table_data(table)
+        self._acquire(txn, self._table_rid(table), LockMode.S)
+        return dict(data)
+
+    def scan_for_update(self, txn: Transaction, table: str) -> Dict[Any, Any]:
+        """SIX on the table: scan now, record-level X writes afterwards."""
+        data = self._table_data(table)
+        self._acquire(txn, self._table_rid(table), LockMode.SIX)
+        return dict(data)
+
+    def keys(self, table: str) -> Iterable[Any]:
+        """Unlocked key listing (schema inspection, not a data read)."""
+        return list(self._table_data(table))
+
+    # -- lock plumbing -----------------------------------------------------------
+
+    def _acquire(self, txn: Transaction, rid: str, mode: LockMode) -> None:
+        if txn.state is TxnState.ABORTED:
+            # A detector pass already chose this transaction as victim.
+            self.rollback(txn.tid)
+            raise TransactionAborted(txn.tid, txn.abort_reason or "aborted")
+        if self.transactions.locks.was_aborted(txn.tid):
+            self.rollback(txn.tid)
+            self.transactions.abort(txn, "deadlock victim")
+            raise TransactionAborted(txn.tid)
+        try:
+            granted = self.mgl.lock(txn, rid, mode)
+        except TransactionAborted:
+            self.rollback(txn.tid)
+            raise
+        if not granted:
+            raise Blocked(txn.tid, txn.pending_rid or rid)

@@ -1,0 +1,184 @@
+"""Write-ahead logging and crash recovery for the mini database.
+
+The paper's transaction model (Section 2) takes strict two-phase locking
+because of *recovery*: "a transaction is a sequence of database
+operations which is atomic with respect to the recovery" [13].  This
+module completes that story for the db substrate: a write-ahead log with
+before/after images, a crash simulation, and redo/undo restart recovery
+(ARIES-lite, record-granular, no pages/LSNs — strict 2PL means no dirty
+reads, so history replay + loser undo is exact).
+
+Log record kinds::
+
+    ("begin",  tid)
+    ("write",  tid, table, key, before, after, existed)
+    ("commit", tid)
+    ("abort",  tid)
+
+The log itself is an append-only list standing in for stable storage,
+serializable to JSON-lines for real files.  Recovery:
+
+1. **Analysis** — scan for transactions with ``begin`` but neither
+   ``commit`` nor ``abort`` (the losers).
+2. **Redo** — replay every write in log order (repeating history,
+   including losers' writes — exactness over cleverness).
+3. **Undo** — walk losers' writes backwards restoring before-images,
+   then append their ``abort`` records (so a crash during recovery is
+   also recoverable).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One durable log entry."""
+
+    kind: str  # begin | write | commit | abort
+    tid: int
+    table: Optional[str] = None
+    key: Any = None
+    before: Any = None
+    after: Any = None
+    existed: bool = False
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "kind": self.kind,
+                "tid": self.tid,
+                "table": self.table,
+                "key": self.key,
+                "before": self.before,
+                "after": self.after,
+                "existed": self.existed,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "LogRecord":
+        data = json.loads(text)
+        return cls(**data)
+
+
+class WriteAheadLog:
+    """Append-only log; appended records are durable by definition."""
+
+    def __init__(self) -> None:
+        self._records: List[LogRecord] = []
+
+    def append(self, record: LogRecord) -> None:
+        self._records.append(record)
+
+    def log_begin(self, tid: int) -> None:
+        self.append(LogRecord("begin", tid))
+
+    def log_load(self, table: str, key: Any, value: Any) -> None:
+        """Initial (pre-transactional) table contents; treated as
+        committed by recovery."""
+        self.append(
+            LogRecord("load", 0, table, key, None, value, False)
+        )
+
+    def log_write(
+        self,
+        tid: int,
+        table: str,
+        key: Any,
+        before: Any,
+        after: Any,
+        existed: bool,
+    ) -> None:
+        self.append(
+            LogRecord("write", tid, table, key, before, after, existed)
+        )
+
+    def log_create(self, table: str) -> None:
+        """Table creation (so empty tables survive recovery)."""
+        self.append(LogRecord("create", 0, table))
+
+    def log_commit(self, tid: int) -> None:
+        self.append(LogRecord("commit", tid))
+
+    def log_abort(self, tid: int) -> None:
+        self.append(LogRecord("abort", tid))
+
+    def records(self) -> List[LogRecord]:
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # -- persistence ------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        return "\n".join(record.to_json() for record in self._records)
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "WriteAheadLog":
+        log = cls()
+        for line in text.splitlines():
+            if line.strip():
+                log.append(LogRecord.from_json(line))
+        return log
+
+
+def analyze(log: WriteAheadLog) -> Tuple[Set[int], Set[int]]:
+    """``(winners, losers)``: committed vs in-flight at crash time."""
+    begun: Set[int] = set()
+    ended: Set[int] = set()
+    winners: Set[int] = set()
+    for record in log.records():
+        if record.kind == "begin":
+            begun.add(record.tid)
+        elif record.kind == "commit":
+            winners.add(record.tid)
+            ended.add(record.tid)
+        elif record.kind == "abort":
+            ended.add(record.tid)
+    return winners, begun - ended
+
+
+def recover(
+    log: WriteAheadLog,
+) -> Dict[str, Dict[Any, Any]]:
+    """Rebuild the table contents from the log alone.
+
+    Returns the recovered ``{table: {key: value}}`` state; appends abort
+    records for the undone losers so the log records their fate.
+
+    Aborted transactions are undone exactly like in-flight losers: their
+    in-memory rollbacks wrote no compensation records, so only the
+    original before-images in the log can reverse them — which also
+    makes recovery idempotent (an abort record never turns a transaction
+    into a winner).
+    """
+    winners, losers = analyze(log)
+
+    tables: Dict[str, Dict[Any, Any]] = {}
+    # Redo: repeat history (initial loads included).
+    for record in log.records():
+        if record.kind == "create":
+            tables.setdefault(record.table, {})
+        if record.kind not in ("write", "load"):
+            continue
+        tables.setdefault(record.table, {})[record.key] = record.after
+
+    # Undo every non-winner, newest write first.
+    for record in reversed(log.records()):
+        if record.kind != "write" or record.tid in winners:
+            continue
+        data = tables.setdefault(record.table, {})
+        if record.existed:
+            data[record.key] = record.before
+        else:
+            data.pop(record.key, None)
+
+    for tid in sorted(losers):
+        log.log_abort(tid)
+    return tables

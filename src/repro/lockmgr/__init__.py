@@ -1,0 +1,45 @@
+"""The lock manager substrate: lock table, Section-3 scheduler and the
+LockManager façade."""
+
+from .concurrent import ConcurrentLockManager
+from .events import Aborted, Blocked, Granted, Repositioned
+from .introspect import (
+    BlockExplanation,
+    explain_block,
+    render_report,
+    wait_graph_summary,
+)
+from .lock_table import LockTable
+from .manager import LockManager
+from .scheduler import (
+    RequestOutcome,
+    conversion_grantable,
+    release_all,
+    remove_holder,
+    remove_waiter,
+    reposition_queue,
+    request,
+    sweep,
+)
+
+__all__ = [
+    "Aborted",
+    "Blocked",
+    "BlockExplanation",
+    "ConcurrentLockManager",
+    "Granted",
+    "LockManager",
+    "LockTable",
+    "Repositioned",
+    "RequestOutcome",
+    "conversion_grantable",
+    "explain_block",
+    "release_all",
+    "remove_holder",
+    "remove_waiter",
+    "render_report",
+    "reposition_queue",
+    "request",
+    "sweep",
+    "wait_graph_summary",
+]

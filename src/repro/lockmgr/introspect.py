@@ -1,0 +1,120 @@
+"""Operator-facing introspection over a lock table.
+
+The functions here answer the questions a DBA (or a test author) asks a
+live lock manager:
+
+* :func:`explain_block` — *why* is this transaction not running?  Walks
+  the waited-by structure and produces the direct blockers, the kind of
+  wait (conversion vs queue, and queue position), and whether the
+  transaction currently sits on a deadlock cycle.
+* :func:`wait_graph_summary` — per-transaction fan-in/fan-out of the
+  H/W-TWBG, the hub view of contention.
+* :func:`render_report` — a text report of the whole table: resources,
+  holders, waiters, blockers, cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.hw_twbg import build_graph
+from ..core.modes import LockMode
+from .lock_table import LockTable
+
+
+@dataclass
+class BlockExplanation:
+    """Everything known about why one transaction waits."""
+
+    tid: int
+    blocked: bool
+    rid: Optional[str] = None
+    mode: Optional[LockMode] = None
+    conversion: bool = False
+    queue_position: Optional[int] = None
+    direct_blockers: List[int] = field(default_factory=list)
+    on_deadlock_cycle: bool = False
+    cycle: Optional[List[int]] = None
+
+    def __str__(self) -> str:
+        if not self.blocked:
+            return "T{} is not blocked".format(self.tid)
+        kind = (
+            "converting to {}".format(self.mode.name)
+            if self.conversion
+            else "queued (position {}) for {}".format(
+                self.queue_position, self.mode.name
+            )
+        )
+        text = "T{} is blocked at {} — {}; waiting for {}".format(
+            self.tid,
+            self.rid,
+            kind,
+            ", ".join("T{}".format(t) for t in self.direct_blockers) or "-",
+        )
+        if self.on_deadlock_cycle:
+            text += "; DEADLOCKED with cycle {}".format(self.cycle)
+        return text
+
+
+def explain_block(table: LockTable, tid: int) -> BlockExplanation:
+    """Explain the wait state of ``tid`` (see module docstring)."""
+    rid = table.blocked_at(tid)
+    if rid is None:
+        return BlockExplanation(tid=tid, blocked=False)
+
+    from ..baselines.jiang import direct_blockers
+
+    state = table.existing(rid)
+    explanation = BlockExplanation(tid=tid, blocked=True, rid=rid)
+    holder = state.holder_entry(tid)
+    if holder is not None and holder.is_blocked:
+        explanation.conversion = True
+        explanation.mode = holder.blocked
+    else:
+        entry = state.queue_entry(tid)
+        explanation.mode = entry.blocked if entry else None
+        explanation.queue_position = state.queue_position(tid)
+    explanation.direct_blockers = sorted(direct_blockers(state, tid))
+
+    graph = build_graph(table.snapshot())
+    for cycle in graph.elementary_cycles():
+        if tid in cycle:
+            explanation.on_deadlock_cycle = True
+            explanation.cycle = cycle
+            break
+    return explanation
+
+
+def wait_graph_summary(table: LockTable) -> Dict[int, Dict[str, int]]:
+    """Per-transaction contention summary: ``blocks`` (how many wait on
+    it, its waited-by fan-out) and ``waits_on`` (its fan-in)."""
+    graph = build_graph(table.snapshot())
+    summary: Dict[int, Dict[str, int]] = {}
+    for tid in graph.vertices:
+        summary[tid] = {
+            "blocks": len(graph.successors(tid)),
+            "waits_on": len(graph.predecessors(tid)),
+        }
+    return summary
+
+
+def render_report(table: LockTable) -> str:
+    """A full text report of the table: states, hubs and cycles."""
+    lines: List[str] = ["lock table ({} resources)".format(len(table))]
+    lines.append("-" * lines[0].__len__())
+    for state in table.resources():
+        lines.append(str(state))
+
+    graph = build_graph(table.snapshot())
+    cycles = graph.elementary_cycles()
+    lines.append("")
+    lines.append("blocked transactions:")
+    for tid in sorted(table.blocked_tids()):
+        lines.append("  " + str(explain_block(table, tid)))
+    lines.append("")
+    lines.append(
+        "deadlock cycles: {}".format(cycles if cycles else "none")
+    )
+    return "\n".join(lines)

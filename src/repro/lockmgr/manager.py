@@ -1,0 +1,175 @@
+"""LockManager — the façade over lock table, scheduler and detectors.
+
+This is the component a database kernel would talk to.  It exposes the
+paper's model faithfully:
+
+* ``lock(tid, rid, mode)`` — the only way to acquire or convert a lock;
+  honors requests FIFO except for conversions (Section 3).
+* ``finish(tid)`` — strict two-phase locking releases *all* locks at
+  transaction end (commit or abort); there is deliberately no public
+  single-lock release.
+* ``detect()`` — run the periodic detection-resolution pass (Section 5);
+  with ``continuous=True`` the manager instead runs a rooted detection
+  after every blocking request (the companion algorithm).
+
+All observable effects are returned as event lists
+(:mod:`repro.lockmgr.events`); the manager additionally keeps the
+cumulative event log for inspection by tests and the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
+
+from ..core.errors import LockTableError
+from ..core.hw_twbg import HWTWBG, build_graph
+from ..core.modes import LockMode
+from ..core.victim import CostTable
+from .events import Aborted, Granted
+from .lock_table import LockTable
+from . import scheduler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.detection import DetectionResult
+
+
+class LockManager:
+    """A strict-2PL lock manager with H/W-TWBG deadlock handling.
+
+    Parameters
+    ----------
+    costs:
+        Shared cost table for victim selection (default: unit costs).
+    continuous:
+        When True, every blocking request immediately triggers a rooted
+        deadlock check (the continuous companion detector).  When False
+        (default), deadlocks are only resolved by explicit :meth:`detect`
+        calls — the periodic scheme.
+    """
+
+    def __init__(
+        self,
+        costs: Optional[CostTable] = None,
+        continuous: bool = False,
+        track_graph: bool = False,
+    ) -> None:
+        # Imported here, not at module level: the detectors' modules use
+        # this package's scheduler, so a top-level import would be
+        # circular.
+        from ..core.continuous import ContinuousDetector
+        from ..core.detection import PeriodicDetector
+
+        self.table = LockTable()
+        self.costs = costs if costs is not None else CostTable()
+        self.continuous = continuous
+        self._periodic = PeriodicDetector(self.table, self.costs)
+        self._continuous = ContinuousDetector(self.table, self.costs)
+        self.log: List[object] = []
+        self._aborted: Set[int] = set()
+        #: Result of the continuous check triggered by the most recent
+        #: blocking ``lock`` call (None when it did not run).
+        self.last_detection: Optional["DetectionResult"] = None
+        #: Incremental graph maintainer (``track_graph=True``): kept in
+        #: sync on every operation so :meth:`graph` is O(edges) instead
+        #: of a rebuild from the lock table.
+        self.tracker = None
+        if track_graph:
+            from ..core.incremental import IncrementalHWTWBG
+
+            self.tracker = IncrementalHWTWBG(self.table)
+
+    # -- the locking surface ------------------------------------------------
+
+    def lock(self, tid: int, rid: str, mode: LockMode) -> scheduler.RequestOutcome:
+        """Request (or convert to) ``mode`` on ``rid`` for ``tid``.
+
+        Returns the request outcome.  Under continuous detection a
+        blocking request may be resolved on the spot; the resolution's
+        events are appended to the outcome via :attr:`last_detection`.
+        """
+        if tid in self._aborted:
+            raise LockTableError(
+                "transaction {} was aborted and cannot lock".format(tid)
+            )
+        outcome = scheduler.request(self.table, tid, rid, mode)
+        self.log.append(outcome.event)
+        self.last_detection = None
+        if self.continuous and not outcome.granted:
+            self.last_detection = self._continuous.on_block(tid)
+            self._absorb(self.last_detection)
+            if self.tracker is not None:
+                # Resolution may have touched arbitrary resources.
+                self.tracker.refresh_all()
+        elif self.tracker is not None:
+            self.tracker.refresh(rid)
+        return outcome
+
+    def finish(self, tid: int) -> List[Granted]:
+        """End ``tid`` (commit or abort): release everything it holds or
+        waits for and sweep the freed resources.  Returns the grants the
+        release enabled."""
+        affected = self.table.held_by(tid)
+        blocked_rid = self.table.blocked_at(tid)
+        if blocked_rid is not None:
+            affected.add(blocked_rid)
+        grants = scheduler.release_all(self.table, tid)
+        self.costs.forget(tid)
+        self._aborted.discard(tid)
+        self.log.extend(grants)
+        if self.tracker is not None:
+            self.tracker.refresh_many(affected)
+        return grants
+
+    # -- deadlock handling ------------------------------------------------------
+
+    def detect(self) -> DetectionResult:
+        """One periodic detection-resolution pass (Steps 1–3)."""
+        result = self._periodic.run()
+        self._absorb(result)
+        if self.tracker is not None:
+            self.tracker.refresh_all()
+        return result
+
+    def _absorb(self, result: DetectionResult) -> None:
+        """Fold a detection result into the manager's view: remember the
+        aborted victims (their further requests are rejected) and log the
+        events."""
+        for tid in result.aborted:
+            self._aborted.add(tid)
+            self.log.append(Aborted(tid, "deadlock victim"))
+        self.log.extend(result.repositions)
+        self.log.extend(result.grants)
+
+    # -- introspection --------------------------------------------------------
+
+    def graph(self) -> HWTWBG:
+        """The current H/W-TWBG — served by the incremental tracker when
+        ``track_graph=True``, rebuilt from the lock table otherwise."""
+        if self.tracker is not None:
+            return self.tracker.graph()
+        return build_graph(self.table.resources())
+
+    def is_blocked(self, tid: int) -> bool:
+        return self.table.is_blocked(tid)
+
+    def was_aborted(self, tid: int) -> bool:
+        """True if a detector chose ``tid`` as victim and the transaction
+        layer has not yet acknowledged with :meth:`finish`."""
+        return tid in self._aborted
+
+    def holding(self, tid: int) -> Dict[str, LockMode]:
+        """Map of resource id to granted mode for ``tid``."""
+        held = {}
+        for rid in self.table.held_by(tid):
+            entry = self.table.existing(rid).holder_entry(tid)
+            if entry is not None:
+                held[rid] = entry.granted
+        return held
+
+    def deadlocked(self) -> bool:
+        """True iff the system is currently deadlocked (Theorem 1:
+        equivalent to a cycle in the H/W-TWBG)."""
+        return self.graph().has_cycle()
+
+    def __str__(self) -> str:
+        return str(self.table)

@@ -1,0 +1,310 @@
+"""The scheduling policy of Section 3.
+
+Lock requests are honored first-in-first-out except for lock conversions:
+
+* A **new requestor** joins the FIFO queue unless the queue is empty *and*
+  its mode is compatible with the resource's total mode, in which case it
+  is granted immediately.
+* A **lock conversion** (the requestor already holds the resource) jumps
+  the queue: the target mode ``Conv(gm, requested)`` is computed and the
+  conversion is granted when that target is compatible with the granted
+  modes of all *other* holders.  A blocked conversion stays in the holder
+  list with ``bm`` set to the target mode, repositioned by the **Upgrader
+  Positioning Rule (UPR)**.
+
+The UPR (backed by Observation 3.1) orders blocked conversions so that
+Theorem 3.1 holds: if an earlier blocked conversion cannot be granted,
+no later one can be either — which lets the release-time sweep stop at
+the first non-grantable conversion.
+
+Two occasions trigger the **grant sweep** (:func:`sweep`): a holder leaves
+(commit or abort) and the first queue member leaves (abort).  The sweep
+first tries blocked conversions from the front of the holder list, then
+FIFO-grants queue members while their modes remain compatible with the
+total mode.
+
+Invariant maintained throughout: within a holder list, all blocked
+conversions precede all unblocked holders (UPR places blocked entries in
+the blocked prefix; grants move entries just behind it).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.errors import LockTableError
+from ..core.modes import LockMode, compatible, convert
+from ..core.requests import HolderEntry, QueueEntry, ResourceState
+from .events import Blocked, Granted
+from .lock_table import LockTable
+
+
+class RequestOutcome:
+    """Result of :func:`request`: either one ``Granted`` (immediate) or
+    one ``Blocked`` event.
+
+    ``granted`` is True for immediate grants.  ``mode`` is the mode now
+    held or waited for (for conversions, the converted target mode).
+    """
+
+    __slots__ = ("event",)
+
+    def __init__(self, event) -> None:
+        self.event = event
+
+    @property
+    def granted(self) -> bool:
+        return isinstance(self.event, Granted)
+
+    @property
+    def mode(self) -> LockMode:
+        return self.event.mode
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "RequestOutcome({!r})".format(self.event)
+
+
+def request(
+    table: LockTable, tid: int, rid: str, mode: LockMode
+) -> RequestOutcome:
+    """Handle a lock request of ``tid`` for ``rid`` in ``mode`` (Section 3).
+
+    Raises :class:`LockTableError` when the transaction is already blocked
+    (the sequential model allows at most one outstanding request) or when
+    ``mode`` is ``NL`` (not a request).
+    """
+    if mode is LockMode.NL:
+        raise LockTableError("NL is not a requestable lock mode")
+    if table.is_blocked(tid):
+        raise LockTableError(
+            "transaction {} is blocked at {} and cannot issue another "
+            "request".format(tid, table.blocked_at(tid))
+        )
+
+    state = table.resource(rid)
+    holder = state.holder_entry(tid)
+    if holder is not None:
+        return _request_conversion(table, state, holder, mode)
+    return _request_new(table, state, tid, mode)
+
+
+def _request_new(
+    table: LockTable, state: ResourceState, tid: int, mode: LockMode
+) -> RequestOutcome:
+    """A requestor that holds nothing on the resource yet (FIFO path)."""
+    if not state.queue and compatible(state.total, mode):
+        _admit_holder(table, state, HolderEntry(tid, mode), at_end=True)
+        state.raise_total(mode)
+        return RequestOutcome(Granted(tid, state.rid, mode, immediate=True))
+
+    state.queue.append(QueueEntry(tid, mode))
+    table.note_blocked(tid, state.rid, in_queue=True)
+    return RequestOutcome(Blocked(tid, state.rid, mode, conversion=False))
+
+
+def _request_conversion(
+    table: LockTable,
+    state: ResourceState,
+    holder: HolderEntry,
+    mode: LockMode,
+) -> RequestOutcome:
+    """A holder re-requests the resource: compute the conversion target
+    and grant it iff compatible with every other holder's granted mode."""
+    target = convert(holder.granted, mode)
+    if target is holder.granted:
+        # Already covered — nothing to wait for; report an immediate grant.
+        return RequestOutcome(
+            Granted(holder.tid, state.rid, holder.granted, immediate=True)
+        )
+
+    if conversion_grantable(state, holder, target):
+        holder.granted = target
+        state.raise_total(mode)
+        return RequestOutcome(
+            Granted(holder.tid, state.rid, target, immediate=True)
+        )
+
+    holder.blocked = target
+    state.raise_total(mode)
+    _apply_upr(state, holder)
+    table.note_blocked(holder.tid, state.rid, in_queue=False)
+    return RequestOutcome(
+        Blocked(holder.tid, state.rid, target, conversion=True)
+    )
+
+
+def conversion_grantable(
+    state: ResourceState, holder: HolderEntry, target: Optional[LockMode] = None
+) -> bool:
+    """True when ``holder``'s conversion to ``target`` (default: its
+    blocked mode) is compatible with the granted mode of all other
+    holders."""
+    wanted = holder.blocked if target is None else target
+    return all(
+        compatible(other.granted, wanted)
+        for other in state.holders
+        if other.tid != holder.tid
+    )
+
+
+def _blocked_prefix_length(state: ResourceState) -> int:
+    """Length of the leading run of blocked conversions in the holder
+    list (the list invariant keeps all of them at the front)."""
+    count = 0
+    for entry in state.holders:
+        if not entry.is_blocked:
+            break
+        count += 1
+    return count
+
+
+def _admit_holder(
+    table: LockTable, state: ResourceState, entry: HolderEntry, at_end: bool
+) -> None:
+    """Insert an unblocked holder entry.
+
+    Immediate grants append at the end; grants produced by the sweep are
+    inserted just behind the blocked prefix, matching the layouts the
+    paper displays after resolution (Example 4.1's modified R2 and
+    Example 5.1's final R1).
+    """
+    if at_end:
+        state.holders.append(entry)
+    else:
+        state.holders.insert(_blocked_prefix_length(state), entry)
+    table.note_holder(entry.tid, state.rid)
+
+
+def _apply_upr(state: ResourceState, entry: HolderEntry) -> None:
+    """Reposition a newly blocked conversion per UPR-1/2/3 (Section 3)."""
+    state.holders.remove(entry)
+
+    # UPR-1: before the first blocked request whose bm is compatible
+    # with ours (Observation 3.1(1): either could go first; FIFO keeps
+    # the earlier arrival earlier, and we slot in just before the first
+    # member of that compatible group).
+    for index, other in enumerate(state.holders):
+        if other.is_blocked and compatible(other.blocked, entry.blocked):
+            state.holders.insert(index, entry)
+            return
+
+    # UPR-2: before the first blocked request that we can precede but
+    # not follow (Observation 3.1(2): Comp(bm_i, gm_j) holds while
+    # Comp(gm_i, bm_j) fails — scheduling us first is the only order).
+    for index, other in enumerate(state.holders):
+        if (
+            other.is_blocked
+            and compatible(other.granted, entry.blocked)
+            and not compatible(other.blocked, entry.granted)
+        ):
+            state.holders.insert(index, entry)
+            return
+
+    # UPR-3: after all blocked requests, before all unblocked holders.
+    state.holders.insert(_blocked_prefix_length(state), entry)
+
+
+def sweep(table: LockTable, rid: str) -> List[Granted]:
+    """Grant whatever became grantable at ``rid`` (Section 3's release
+    procedure).  Returns the grant events in grant order.
+
+    Phase 1 walks the blocked-conversion prefix from the front and stops
+    at the first non-grantable entry (justified by Theorem 3.1).  A
+    granted conversion swaps ``bm`` into ``gm`` and moves just behind the
+    remaining blocked prefix; the total mode is unchanged because the
+    blocked mode already participated in it.
+
+    Phase 2 FIFO-grants queue members while the front member's mode is
+    compatible with the total mode, raising the total with each grant.
+    """
+    if rid not in table:
+        return []
+    state = table.existing(rid)
+    grants: List[Granted] = []
+
+    while state.holders and state.holders[0].is_blocked:
+        entry = state.holders[0]
+        if not conversion_grantable(state, entry):
+            break
+        state.holders.pop(0)
+        entry.granted, entry.blocked = entry.blocked, LockMode.NL
+        state.holders.insert(_blocked_prefix_length(state), entry)
+        table.forget_blocked(entry.tid)
+        grants.append(Granted(entry.tid, rid, entry.granted))
+
+    while state.queue and compatible(state.total, state.queue[0].blocked):
+        waiter = state.queue.pop(0)
+        _admit_holder(
+            table, state, HolderEntry(waiter.tid, waiter.blocked), at_end=False
+        )
+        state.raise_total(waiter.blocked)
+        table.forget_blocked(waiter.tid)
+        grants.append(Granted(waiter.tid, rid, waiter.blocked))
+
+    table.drop_if_free(rid)
+    return grants
+
+
+def remove_holder(table: LockTable, tid: int, rid: str) -> List[Granted]:
+    """Force a holder out (commit or abort) and run the grant sweep."""
+    state = table.existing(rid)
+    entry = state.remove_holder(tid)
+    table.forget_holder(tid, rid)
+    if entry.is_blocked:
+        table.forget_blocked(tid)
+    return sweep(table, rid)
+
+
+def remove_waiter(table: LockTable, tid: int, rid: str) -> List[Granted]:
+    """Remove a queued request (abort of a waiting transaction).
+
+    Only the departure of the *first* queue member can enable grants
+    (Section 3); removals further back just shrink the queue.
+    """
+    state = table.existing(rid)
+    position = state.queue_position(tid)
+    state.remove_from_queue(tid)
+    table.forget_blocked(tid)
+    if position == 0:
+        return sweep(table, rid)
+    table.drop_if_free(rid)
+    return []
+
+
+def release_all(table: LockTable, tid: int) -> List[Granted]:
+    """Remove every trace of ``tid`` (transaction end: commit or abort)
+    and sweep each affected resource.  Returns all grant events."""
+    grants: List[Granted] = []
+    blocked_rid = table.blocked_at(tid)
+    if blocked_rid is not None and table.blocked_in_queue(tid):
+        grants.extend(remove_waiter(table, tid, blocked_rid))
+    for rid in sorted(table.held_by(tid)):
+        grants.extend(remove_holder(table, tid, rid))
+    return grants
+
+
+def reposition_queue(
+    table: LockTable, rid: str, av_tids: List[int], st_tids: List[int]
+) -> None:
+    """Apply TDR-2's queue surgery: move the requests of ``st_tids``
+    right after those of ``av_tids`` (both given in current queue order);
+    requests behind the examined prefix keep their positions.
+
+    The caller (the detector) is responsible for running the grant sweep
+    afterwards — the paper defers that to Step 3 via the change-list.
+    """
+    state = table.existing(rid)
+    prefix = len(av_tids) + len(st_tids)
+    examined = state.queue[:prefix]
+    rest = state.queue[prefix:]
+    by_tid = {entry.tid: entry for entry in examined}
+    if set(by_tid) != set(av_tids) | set(st_tids):
+        raise LockTableError(
+            "AV/ST sets do not match the leading queue entries of "
+            "{}".format(rid)
+        )
+    state.queue = (
+        [by_tid[tid] for tid in av_tids]
+        + [by_tid[tid] for tid in st_tids]
+        + rest
+    )

@@ -1,0 +1,13 @@
+"""Multiple granularity locking: resource hierarchy and protocol."""
+
+from .escalation import EscalatingMGL, EscalationStats
+from .hierarchy import HierarchyError, ResourceHierarchy
+from .protocol import MGLProtocol
+
+__all__ = [
+    "EscalatingMGL",
+    "EscalationStats",
+    "HierarchyError",
+    "MGLProtocol",
+    "ResourceHierarchy",
+]

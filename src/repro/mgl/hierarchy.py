@@ -1,0 +1,100 @@
+"""Resource hierarchies for multiple granularity locking.
+
+The paper's model "is upward compatible with the multiple granularity
+locking (MGL) protocol in a sense that it integrates without changes into
+a system that supports a resource hierarchy" (Section 2).  This module
+provides that hierarchy: a rooted tree (or forest) of named resources —
+classically database → area → file → record — with the path queries the
+MGL protocol needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..core.errors import ReproError
+
+
+class HierarchyError(ReproError):
+    """Invalid hierarchy construction or lookup."""
+
+
+class ResourceHierarchy:
+    """A forest of resource nodes identified by strings.
+
+    >>> h = ResourceHierarchy()
+    >>> h.add("db")
+    >>> h.add("table:accounts", parent="db")
+    >>> h.add("row:accounts:1", parent="table:accounts")
+    >>> h.path_to_root("row:accounts:1")
+    ['db', 'table:accounts', 'row:accounts:1']
+    """
+
+    def __init__(self) -> None:
+        self._parent: Dict[str, Optional[str]] = {}
+        self._children: Dict[str, List[str]] = {}
+
+    def add(self, rid: str, parent: Optional[str] = None) -> None:
+        """Register ``rid`` under ``parent`` (None makes it a root).
+
+        Raises :class:`HierarchyError` on duplicates or unknown parents.
+        """
+        if rid in self._parent:
+            raise HierarchyError("resource {!r} already exists".format(rid))
+        if parent is not None and parent not in self._parent:
+            raise HierarchyError(
+                "parent {!r} of {!r} is not registered".format(parent, rid)
+            )
+        self._parent[rid] = parent
+        self._children.setdefault(rid, [])
+        if parent is not None:
+            self._children[parent].append(rid)
+
+    def add_path(self, path: Iterable[str]) -> None:
+        """Register a root-to-leaf chain, skipping already-known nodes."""
+        previous: Optional[str] = None
+        for rid in path:
+            if rid not in self._parent:
+                self.add(rid, parent=previous)
+            previous = rid
+
+    def parent(self, rid: str) -> Optional[str]:
+        try:
+            return self._parent[rid]
+        except KeyError:
+            raise HierarchyError("unknown resource {!r}".format(rid)) from None
+
+    def children(self, rid: str) -> List[str]:
+        if rid not in self._children:
+            raise HierarchyError("unknown resource {!r}".format(rid))
+        return list(self._children[rid])
+
+    def path_to_root(self, rid: str) -> List[str]:
+        """Ancestors of ``rid`` from the root down to ``rid`` itself —
+        the order MGL acquires intention locks in."""
+        path: List[str] = []
+        cursor: Optional[str] = rid
+        while cursor is not None:
+            path.append(cursor)
+            cursor = self.parent(cursor)
+        path.reverse()
+        return path
+
+    def descendants(self, rid: str) -> List[str]:
+        """All strict descendants of ``rid`` (preorder)."""
+        result: List[str] = []
+        stack = list(reversed(self.children(rid)))
+        while stack:
+            node = stack.pop()
+            result.append(node)
+            stack.extend(reversed(self._children[node]))
+        return result
+
+    def is_leaf(self, rid: str) -> bool:
+        return not self.children(rid)
+
+    def __contains__(self, rid: str) -> bool:
+        return rid in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)

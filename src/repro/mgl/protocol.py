@@ -1,0 +1,92 @@
+"""The multiple granularity locking protocol of Gray [10, 11].
+
+To lock a node of the hierarchy in mode ``m``, a transaction must first
+hold the required intention mode on every ancestor, root first:
+
+* ``IS`` or ``S`` on a node requires at least ``IS`` on the parent;
+* ``IX``, ``SIX`` or ``X`` requires at least ``IX`` on the parent.
+
+:class:`MGLProtocol` performs those acquisitions through the
+:class:`~repro.txn.manager.TransactionManager`, one lock at a time — the
+sequential model means a transaction that blocks on an ancestor simply
+stays blocked there; re-issuing the same :meth:`lock` call after waking
+resumes where it stopped, because already-covered modes are immediate
+grants under the conversion rule.
+
+The protocol can also *verify* rather than acquire (``auto_intent=False``)
+for applications that manage intention locks themselves; a missing
+intention lock then raises :class:`ProtocolViolation`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.errors import ProtocolViolation
+from ..core.modes import LockMode, required_parent_mode, stronger_or_equal
+from ..txn.manager import TransactionManager
+from ..txn.transaction import Transaction
+from .hierarchy import ResourceHierarchy
+
+
+class MGLProtocol:
+    """Hierarchy-aware locking front end."""
+
+    def __init__(
+        self,
+        hierarchy: ResourceHierarchy,
+        transactions: TransactionManager,
+        auto_intent: bool = True,
+    ) -> None:
+        self.hierarchy = hierarchy
+        self.transactions = transactions
+        self.auto_intent = auto_intent
+
+    def lock(self, txn: Transaction, rid: str, mode: LockMode) -> bool:
+        """Lock ``rid`` in ``mode``, taking (or checking) intention locks
+        on all ancestors root-first.  Returns True when every lock on the
+        path was granted; False when the transaction blocked somewhere on
+        the path (call again after it wakes to resume).
+        """
+        plan = self.plan(rid, mode)
+        for step_rid, step_mode in plan:
+            if not self.auto_intent and step_rid != rid:
+                self._check_held(txn, step_rid, step_mode)
+                continue
+            if not self.transactions.lock(txn, step_rid, step_mode):
+                return False
+        return True
+
+    def plan(self, rid: str, mode: LockMode) -> List[tuple]:
+        """The ``(rid, mode)`` acquisition sequence for locking ``rid`` in
+        ``mode`` — ancestors root-first with their required intention
+        modes, then the target itself.
+
+        >>> # db -> table -> row, locking the row in X:
+        >>> # [('db', IX), ('table', IX), ('row', X)]
+        """
+        path = self.hierarchy.path_to_root(rid)
+        ancestor_mode = required_parent_mode(mode)
+        steps = [(ancestor, ancestor_mode) for ancestor in path[:-1]]
+        steps.append((rid, mode))
+        return steps
+
+    def _check_held(
+        self, txn: Transaction, rid: str, needed: LockMode
+    ) -> None:
+        held = self.transactions.locks.holding(txn.tid).get(rid, LockMode.NL)
+        if not stronger_or_equal(held, needed):
+            raise ProtocolViolation(
+                "T{} holds {} on {!r} but the MGL protocol requires at "
+                "least {}".format(txn.tid, held.name, rid, needed.name)
+            )
+
+    def lock_subtree_exclusive(self, txn: Transaction, rid: str) -> bool:
+        """Convenience: X on ``rid`` locks the whole subtree implicitly
+        (that is the point of granularity locking); equivalent to
+        ``lock(txn, rid, X)``."""
+        return self.lock(txn, rid, LockMode.X)
+
+    def reads_subtree(self, txn: Transaction, rid: str) -> bool:
+        """Convenience: S on ``rid`` read-locks the whole subtree."""
+        return self.lock(txn, rid, LockMode.S)

@@ -1,0 +1,65 @@
+"""A minimal discrete-event simulation engine.
+
+Events are ``(time, sequence, callback)`` entries in a heap; the engine
+pops them in time order and invokes the callbacks, which may schedule
+further events.  The sequence number makes simultaneous events fire in
+scheduling order, keeping every run fully deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+
+class Engine:
+    """Event calendar with a monotonically advancing clock."""
+
+    def __init__(self) -> None:
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._sequence = 0
+        self.now = 0.0
+        self._running = False
+        self._cancelled: set = set()
+
+    def schedule(
+        self, delay: float, callback: Callable[[], None]
+    ) -> Tuple[float, int]:
+        """Schedule ``callback`` to fire ``delay`` time units from now.
+
+        Returns an opaque handle usable with :meth:`cancel`.
+        """
+        if delay < 0:
+            raise ValueError("delay must be non-negative, got {}".format(delay))
+        self._sequence += 1
+        entry = (self.now + delay, self._sequence, callback)
+        heapq.heappush(self._queue, entry)
+        return (entry[0], entry[1])
+
+    def cancel(self, handle: Tuple[float, int]) -> None:
+        """Cancel a scheduled event (lazy: the entry is tombstoned)."""
+        self._cancelled.add(handle)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Dispatch events until the calendar drains or the clock would
+        pass ``until``.  Returns the final clock value."""
+        cancelled = self._cancelled
+        self._running = True
+        while self._queue:
+            time, sequence, callback = self._queue[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(self._queue)
+            if (time, sequence) in cancelled:
+                cancelled.discard((time, sequence))
+                continue
+            self.now = time
+            callback()
+        if until is not None and self.now < until:
+            self.now = until
+        self._running = False
+        return self.now
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)

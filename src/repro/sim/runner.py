@@ -1,0 +1,158 @@
+"""Experiment runner: strategy comparisons and parameter sweeps.
+
+Benchmarks and examples funnel through these helpers so every experiment
+is one call: identical workload spec, seed and duration per strategy,
+metrics out, text tables rendered by :mod:`repro.analysis.report`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..baselines.base import Strategy
+from .metrics import Metrics
+from .system import SimulatedSystem
+from .workload import WorkloadSpec
+
+#: Factory producing a fresh strategy per run (strategies keep state).
+StrategyFactory = Callable[[], Strategy]
+
+
+@dataclass
+class RunResult:
+    """One (strategy, configuration) simulation outcome."""
+
+    strategy: str
+    metrics: Metrics
+    seed: int
+    config: Dict[str, object] = field(default_factory=dict)
+
+
+def run_once(
+    spec: WorkloadSpec,
+    strategy: Strategy,
+    duration: float = 500.0,
+    terminals: int = 8,
+    seed: int = 0,
+    period: Optional[float] = 10.0,
+    oracle: bool = True,
+) -> RunResult:
+    """Simulate one strategy on one workload."""
+    system = SimulatedSystem(
+        spec,
+        strategy,
+        terminals=terminals,
+        seed=seed,
+        period=period,
+        oracle=oracle,
+    )
+    metrics = system.run(duration)
+    return RunResult(
+        strategy=strategy.name,
+        metrics=metrics,
+        seed=seed,
+        config={"terminals": terminals, "period": period},
+    )
+
+
+def compare_strategies(
+    spec: WorkloadSpec,
+    factories: Sequence[StrategyFactory],
+    duration: float = 500.0,
+    terminals: int = 8,
+    seeds: Sequence[int] = (0,),
+    period: Optional[float] = 10.0,
+    oracle: bool = True,
+) -> List[RunResult]:
+    """Run every strategy on identical workloads (same seeds) and return
+    one result per (strategy, seed)."""
+    results: List[RunResult] = []
+    for factory in factories:
+        for seed in seeds:
+            strategy = factory()
+            results.append(
+                run_once(
+                    spec,
+                    strategy,
+                    duration=duration,
+                    terminals=terminals,
+                    seed=seed,
+                    period=period,
+                    oracle=oracle,
+                )
+            )
+    return results
+
+
+def sweep_period(
+    spec: WorkloadSpec,
+    factory: StrategyFactory,
+    periods: Sequence[float],
+    duration: float = 500.0,
+    terminals: int = 8,
+    seed: int = 0,
+) -> List[RunResult]:
+    """Experiment A3: the detection-interval trade-off for a periodic
+    strategy — larger periods mean fewer passes but longer-lived
+    deadlocks."""
+    results: List[RunResult] = []
+    for period in periods:
+        result = run_once(
+            spec,
+            factory(),
+            duration=duration,
+            terminals=terminals,
+            seed=seed,
+            period=period,
+        )
+        result.config["period"] = period
+        results.append(result)
+    return results
+
+
+def aggregate_stats(
+    results: Sequence[RunResult],
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Mean, standard deviation and range per metric per strategy —
+    for multi-seed experiments that need error bars.
+
+    ``aggregate_stats(rs)["park-periodic"]["commits"]`` yields
+    ``{"mean": ..., "std": ..., "min": ..., "max": ...}``.
+    """
+    import math
+
+    grouped: Dict[str, List[Metrics]] = {}
+    for result in results:
+        grouped.setdefault(result.strategy, []).append(result.metrics)
+    stats: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for name, metrics_list in grouped.items():
+        keys = metrics_list[0].summary().keys()
+        stats[name] = {}
+        for key in keys:
+            values = [m.summary()[key] for m in metrics_list]
+            mean = sum(values) / len(values)
+            variance = sum((v - mean) ** 2 for v in values) / len(values)
+            stats[name][key] = {
+                "mean": mean,
+                "std": math.sqrt(variance),
+                "min": min(values),
+                "max": max(values),
+            }
+    return stats
+
+
+def aggregate(results: Sequence[RunResult]) -> Dict[str, Dict[str, float]]:
+    """Average the metric summaries of multi-seed runs per strategy."""
+    grouped: Dict[str, List[Metrics]] = {}
+    for result in results:
+        grouped.setdefault(result.strategy, []).append(result.metrics)
+    averaged: Dict[str, Dict[str, float]] = {}
+    for name, metrics_list in grouped.items():
+        keys = metrics_list[0].summary().keys()
+        averaged[name] = {
+            key: sum(m.summary()[key] for m in metrics_list)
+            / len(metrics_list)
+            for key in keys
+        }
+    return averaged

@@ -1,0 +1,222 @@
+"""Synthetic workload generation for the comparative experiments.
+
+The paper evaluates qualitatively; to turn its claims into measurements
+we use a closed-system workload in the style of Agrawal, Carey and
+Livny's concurrency-control performance model (the paper's reference
+[3]): a fixed number of terminals, each running transactions
+back-to-back with think time between them; each transaction touches a
+random set of resources, a fraction of which live in a small hot spot;
+each access is a read or a write, and — because this paper is about
+lock *conversions* — a configurable fraction of reads later upgrade to
+writes on the same resource (the ``IS/IX→SIX/X`` ladder that makes
+H/W-TWBG's holder-list edges appear).
+
+A generated transaction is a list of :class:`Access` steps; re-running a
+program after a deadlock restart replays exactly the same accesses, as a
+restarted transaction would re-execute the same code.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List
+
+from ..core.modes import LockMode
+
+
+@dataclass(frozen=True)
+class Access:
+    """One step of a transaction program: lock ``rid`` in ``mode`` and
+    then occupy the CPU/disk for ``work`` time units."""
+
+    rid: str
+    mode: LockMode
+    work: float
+
+
+@dataclass
+class WorkloadSpec:
+    """Knobs of the synthetic workload.
+
+    ``upgrade_fraction`` is the probability that a read access is later
+    followed by a write of the same resource — issued as a separate
+    access, which the scheduler treats as a lock conversion.  With
+    ``use_intents`` the workload requests record locks in the intent
+    style (IS/IX before S/X on a second-level resource), exercising the
+    full five-mode matrix; without it only S/X appear, matching the
+    restricted models of the Agrawal/Jiang/Elmagarmid baselines.
+    """
+
+    resources: int = 64
+    hotspot_resources: int = 8
+    hotspot_probability: float = 0.6
+    min_size: int = 3
+    max_size: int = 10
+    write_fraction: float = 0.4
+    upgrade_fraction: float = 0.25
+    use_intents: bool = False
+    intent_tables: int = 4
+    mean_work: float = 1.0
+    think_time: float = 2.0
+    restart_delay: float = 1.0
+
+    def validate(self) -> None:
+        if not 0 < self.hotspot_resources <= self.resources:
+            raise ValueError("hotspot must be a non-empty subset")
+        if self.min_size < 1 or self.max_size < self.min_size:
+            raise ValueError("bad transaction size bounds")
+        for name in (
+            "hotspot_probability",
+            "write_fraction",
+            "upgrade_fraction",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError("{} must be in [0, 1]".format(name))
+
+
+@dataclass
+class Program:
+    """A complete transaction program (re-runnable after restarts)."""
+
+    accesses: List[Access] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.accesses)
+
+    def total_work(self) -> float:
+        return sum(step.work for step in self.accesses)
+
+
+def low_contention() -> WorkloadSpec:
+    """Many resources, cool hot spot, few writes: deadlocks are rare —
+    the regime where detection cost dominates and long periods win."""
+    return WorkloadSpec(
+        resources=128,
+        hotspot_resources=16,
+        hotspot_probability=0.3,
+        min_size=2,
+        max_size=5,
+        write_fraction=0.2,
+        upgrade_fraction=0.05,
+    )
+
+
+def high_contention() -> WorkloadSpec:
+    """Small hot set, write-heavy: deadlocks are constant — the regime
+    where detection latency dominates and short periods/continuous win."""
+    return WorkloadSpec(
+        resources=24,
+        hotspot_resources=4,
+        hotspot_probability=0.7,
+        min_size=3,
+        max_size=8,
+        write_fraction=0.5,
+        upgrade_fraction=0.2,
+    )
+
+
+def conversion_heavy() -> WorkloadSpec:
+    """Read-then-upgrade dominated: the S→X ladder that exercises UPR,
+    Observation 3.1(3) deadlocks and TDR-2."""
+    return WorkloadSpec(
+        resources=32,
+        hotspot_resources=6,
+        min_size=2,
+        max_size=6,
+        write_fraction=0.15,
+        upgrade_fraction=0.6,
+    )
+
+
+def five_mode() -> WorkloadSpec:
+    """Intent locks on shared parents plus record S/X and upgrades: all
+    five modes in play (the paper's full matrix)."""
+    return WorkloadSpec(
+        resources=48,
+        hotspot_resources=8,
+        min_size=2,
+        max_size=6,
+        write_fraction=0.35,
+        upgrade_fraction=0.25,
+        use_intents=True,
+        intent_tables=4,
+    )
+
+
+#: Named workload presets for the CLI and experiment scripts.
+PRESETS = {
+    "low-contention": low_contention,
+    "high-contention": high_contention,
+    "conversion-heavy": conversion_heavy,
+    "five-mode": five_mode,
+}
+
+
+class WorkloadGenerator:
+    """Seeded generator of transaction programs."""
+
+    def __init__(self, spec: WorkloadSpec, seed: int = 0) -> None:
+        spec.validate()
+        self.spec = spec
+        self._random = random.Random(seed)
+
+    def _pick_resource(self) -> int:
+        spec = self.spec
+        if self._random.random() < spec.hotspot_probability:
+            return self._random.randrange(spec.hotspot_resources)
+        return self._random.randrange(
+            spec.hotspot_resources, max(spec.resources, spec.hotspot_resources + 1)
+        )
+
+    def _work(self) -> float:
+        # Exponentially distributed service demand, bounded away from 0.
+        return max(self._random.expovariate(1.0 / self.spec.mean_work), 0.05)
+
+    def next_program(self) -> Program:
+        """Generate one transaction program."""
+        spec = self.spec
+        size = self._random.randint(spec.min_size, spec.max_size)
+        chosen: List[int] = []
+        seen = set()
+        while len(chosen) < size:
+            index = self._pick_resource()
+            if index not in seen:
+                seen.add(index)
+                chosen.append(index)
+
+        accesses: List[Access] = []
+        upgrades: List[List[Access]] = []
+        for index in chosen:
+            rid = "R{}".format(index)
+            table = "T{}".format(index % spec.intent_tables)
+            is_write = self._random.random() < spec.write_fraction
+            if spec.use_intents:
+                intent = LockMode.IX if is_write else LockMode.IS
+                accesses.append(Access(table, intent, 0.0))
+            mode = LockMode.X if is_write else LockMode.S
+            accesses.append(Access(rid, mode, self._work()))
+            if not is_write and self._random.random() < spec.upgrade_fraction:
+                steps = []
+                if spec.use_intents:
+                    # The table intent must be upgraded too (IS -> IX),
+                    # one more conversion for the matrix to chew on.
+                    steps.append(Access(table, LockMode.IX, 0.0))
+                steps.append(Access(rid, LockMode.X, self._work()))
+                upgrades.append(steps)
+        # Upgrades run at the end of the transaction — re-requests of
+        # resources already held in S, i.e. lock conversions (the classic
+        # read-validate-then-update pattern).  Shuffling keeps the
+        # conversion order independent of the read order.
+        self._random.shuffle(upgrades)
+        for steps in upgrades:
+            accesses.extend(steps)
+        return Program(accesses=accesses)
+
+    def think_time(self) -> float:
+        return self._random.expovariate(1.0 / self.spec.think_time)
+
+    def restart_delay(self) -> float:
+        return self._random.expovariate(1.0 / self.spec.restart_delay)

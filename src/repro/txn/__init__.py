@@ -1,0 +1,29 @@
+"""Transaction layer: lifecycle objects, cost policies and the
+TransactionManager."""
+
+from .costs import (
+    CostPolicy,
+    age_cost,
+    combine,
+    default_cost,
+    locks_held_cost,
+    restart_fairness_cost,
+    unit_cost,
+    work_done_cost,
+)
+from .manager import TransactionManager
+from .transaction import Transaction, TxnState
+
+__all__ = [
+    "CostPolicy",
+    "Transaction",
+    "TransactionManager",
+    "TxnState",
+    "age_cost",
+    "combine",
+    "default_cost",
+    "locks_held_cost",
+    "restart_fairness_cost",
+    "unit_cost",
+    "work_done_cost",
+]

@@ -1,0 +1,70 @@
+"""Victim-cost policies (Section 5's cost-table metrics).
+
+The paper: "There can be several criteria for deciding a cost of each
+transaction, for example, number of locks it holds, starting time of it,
+the amount of CPU and I/O time which has been consumed and so on.  We
+assume that the cost of each transaction is determined by some
+combination of the above metrics."
+
+Each policy maps a :class:`~repro.txn.transaction.Transaction` (plus the
+current time) to a non-negative float; the
+:class:`~repro.txn.manager.TransactionManager` refreshes the detector's
+:class:`~repro.core.victim.CostTable` from the chosen policy before every
+detection pass.  TDR-2 delay penalties are added by the cost table on top
+of the refreshed base (see :meth:`TransactionManager.refresh_costs`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from .transaction import Transaction
+
+#: A cost policy: ``policy(transaction, now) -> float``.
+CostPolicy = Callable[[Transaction, float], float]
+
+
+def unit_cost(txn: Transaction, now: float) -> float:
+    """Every abort costs the same — victim selection degenerates to
+    tie-breaking (prefer TDR-2, then smaller tid)."""
+    return 1.0
+
+
+def locks_held_cost(txn: Transaction, now: float) -> float:
+    """Cost = number of locks currently held (+1 so empty transactions
+    are not free).  Aborts the transaction with least acquired state."""
+    return float(txn.locks_held) + 1.0
+
+
+def age_cost(txn: Transaction, now: float) -> float:
+    """Cost = time since the transaction started (+1).  Approximates the
+    work that would be wasted by an abort; favors wounding the young."""
+    return max(now - txn.start_time, 0.0) + 1.0
+
+
+def work_done_cost(txn: Transaction, now: float) -> float:
+    """Cost = accumulated CPU/IO work units (+1)."""
+    return txn.work_done + 1.0
+
+
+def restart_fairness_cost(txn: Transaction, now: float) -> float:
+    """Cost grows exponentially with the restart count, protecting
+    repeatedly aborted transactions from starvation (live-lock guard for
+    TDR-1, analogous to the TDR-2 delay penalty)."""
+    return float(2 ** min(txn.restarts, 20))
+
+
+def combine(policies: Sequence[CostPolicy]) -> CostPolicy:
+    """The paper's "some combination of the above metrics": a summed
+    composite of several policies."""
+
+    def combined(txn: Transaction, now: float) -> float:
+        return sum(policy(txn, now) for policy in policies)
+
+    return combined
+
+
+#: A sensible production default: locks held + work done + restart guard.
+default_cost = combine(
+    [locks_held_cost, work_done_cost, restart_fairness_cost]
+)

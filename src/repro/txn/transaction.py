@@ -1,0 +1,103 @@
+"""Transaction objects for the sequential transaction model (Section 2).
+
+A transaction is a sequence of database operations with the ACID
+properties, executing under strict two-phase locking: it locks every
+resource before accessing it and keeps all locks until it terminates.
+It requests **at most one lock at a time** — when a request cannot be
+granted the transaction is blocked until the lock is granted or the
+transaction is aborted (the paper's Axiom 1 rests on this).
+
+The object carries the bookkeeping the victim-selection cost metrics are
+built from: start time, number of locks, accumulated work, restart count.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.errors import TransactionStateError
+from ..core.modes import LockMode
+
+
+class TxnState(enum.Enum):
+    """Lifecycle states of a transaction."""
+
+    ACTIVE = "active"
+    BLOCKED = "blocked"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+    @property
+    def is_terminal(self) -> bool:
+        return self in (TxnState.COMMITTED, TxnState.ABORTED)
+
+
+@dataclass
+class Transaction:
+    """One transaction's identity and runtime bookkeeping.
+
+    Instances are created by
+    :class:`~repro.txn.manager.TransactionManager`; the integer ``tid``
+    is what the lock manager and the graphs speak.
+    """
+
+    tid: int
+    start_time: float = 0.0
+    state: TxnState = TxnState.ACTIVE
+    locks_held: int = 0
+    work_done: float = 0.0
+    restarts: int = 0
+    #: Request the transaction is currently blocked on, if any.
+    pending_rid: Optional[str] = None
+    pending_mode: Optional[LockMode] = None
+    abort_reason: Optional[str] = None
+
+    @property
+    def is_active(self) -> bool:
+        return self.state is TxnState.ACTIVE
+
+    @property
+    def is_blocked(self) -> bool:
+        return self.state is TxnState.BLOCKED
+
+    @property
+    def finished(self) -> bool:
+        return self.state.is_terminal
+
+    def require_active(self) -> None:
+        """Raise unless the transaction may issue a request right now."""
+        if self.state is not TxnState.ACTIVE:
+            raise TransactionStateError(
+                "transaction {} is {} and cannot issue requests".format(
+                    self.tid, self.state.value
+                )
+            )
+
+    def note_blocked(self, rid: str, mode: LockMode) -> None:
+        self.state = TxnState.BLOCKED
+        self.pending_rid = rid
+        self.pending_mode = mode
+
+    def note_granted(self) -> None:
+        self.state = TxnState.ACTIVE
+        self.pending_rid = None
+        self.pending_mode = None
+        self.locks_held += 1
+
+    def note_commit(self) -> None:
+        if self.state is TxnState.BLOCKED:
+            raise TransactionStateError(
+                "transaction {} cannot commit while blocked".format(self.tid)
+            )
+        self.state = TxnState.COMMITTED
+
+    def note_abort(self, reason: str) -> None:
+        self.state = TxnState.ABORTED
+        self.abort_reason = reason
+        self.pending_rid = None
+        self.pending_mode = None
+
+    def __str__(self) -> str:
+        return "T{}({})".format(self.tid, self.state.value)

@@ -1,0 +1,119 @@
+"""Definitions 1–3 and Lemma 4 of the appendix, executed literally."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.analysis.mds import (
+    definition_deadlocked,
+    is_deadlock_set,
+    minimal_deadlock_sets,
+)
+from repro.analysis.scenarios import build_chain, build_ring, build_upgrade_pair
+from repro.core.hw_twbg import build_graph
+from repro.lockmgr.lock_table import LockTable
+from tests.properties.test_invariants import apply_ops, ops_strategy
+
+
+class TestDefinition1:
+    def test_ring_is_a_deadlock_set(self):
+        table, tids = build_ring(4)
+        assert is_deadlock_set(table, set(tids))
+
+    def test_chain_is_not(self):
+        table, tids = build_chain(4)
+        # The chain's head is not even blocked; and the blocked suffix
+        # unblocks once the head's resources are released.
+        assert not is_deadlock_set(table, set(tids))
+        assert not is_deadlock_set(table, set(tids[1:]))
+
+    def test_superset_of_a_cycle_with_runnable_member_rejected(self):
+        table, tids = build_ring(3)
+        # Add an unblocked bystander: Definition 1 requires every member
+        # to have an outstanding request.
+        from repro.core.modes import LockMode
+        from repro.lockmgr import scheduler
+
+        scheduler.request(table, 99, "FREE", LockMode.S)
+        assert not is_deadlock_set(table, set(tids) | {99})
+
+    def test_empty_set_is_not(self):
+        table, _ = build_ring(3)
+        assert not is_deadlock_set(table, set())
+
+    def test_proper_subset_of_ring_is_not(self):
+        table, tids = build_ring(4)
+        assert not is_deadlock_set(table, set(tids[:-1]))
+
+    def test_conversion_deadlock_set(self):
+        table, tids = build_upgrade_pair()
+        assert is_deadlock_set(table, set(tids))
+
+
+class TestDefinitions2And3:
+    def test_ring_is_its_own_mds(self):
+        table, tids = build_ring(5)
+        assert minimal_deadlock_sets(table) == [frozenset(tids)]
+
+    def test_example_51_minimal_sets(self, example_51_table):
+        sets = minimal_deadlock_sets(example_51_table)
+        # The inner cycle {T1, T2} is the unique MDS: {T1, T2, T3} is a
+        # deadlock set too, but not minimal.
+        assert sets == [frozenset({1, 2})]
+
+    def test_definition_deadlocked_matches(self, example_51_table):
+        assert definition_deadlocked(example_51_table)
+        table, _ = build_chain(5)
+        assert not definition_deadlocked(table)
+
+    def test_enumeration_cap(self):
+        table = LockTable()
+        from repro.core.modes import LockMode
+        from repro.lockmgr import scheduler
+
+        scheduler.request(table, 1, "R", LockMode.X)
+        for tid in range(2, 20):
+            scheduler.request(table, tid, "R", LockMode.X)
+        with pytest.raises(ValueError):
+            minimal_deadlock_sets(table, max_blocked=10)
+
+
+class TestTheorem1AgainstTheDefinition:
+    """The strongest form of Theorem 1's check: H/W-TWBG cycles against
+    the literal Definition-3 oracle (not the wait-for-graph proxy)."""
+
+    @given(ops=ops_strategy)
+    @settings(
+        max_examples=50,
+        suppress_health_check=[HealthCheck.too_slow],
+        deadline=None,
+    )
+    def test_cycle_iff_definition_deadlock(self, ops):
+        table = apply_ops(ops)
+        if len(table.blocked_tids()) > 10:
+            return  # keep the exponential oracle tractable
+        has_cycle = build_graph(table.snapshot()).has_cycle()
+        assert has_cycle == definition_deadlocked(table, max_blocked=10)
+
+
+class TestLemma4:
+    def test_unique_edges_within_mds(self):
+        """Lemma 4: each MDS member has exactly one incoming and one
+        outgoing edge in the H/W-TWBG restricted to the MDS (after the
+        other transactions are removed, i.e. on the ring itself)."""
+        for size in (2, 3, 6):
+            table, tids = build_ring(size)
+            sets = minimal_deadlock_sets(table)
+            assert sets == [frozenset(tids)]
+            graph = build_graph(table.snapshot())
+            members = sets[0]
+            for tid in members:
+                incoming = [
+                    e for e in graph.predecessors(tid)
+                    if e.source in members
+                ]
+                outgoing = [
+                    e for e in graph.successors(tid)
+                    if e.target in members
+                ]
+                assert len(incoming) == 1
+                assert len(outgoing) == 1

@@ -1,0 +1,52 @@
+"""The queue-less grant policy (fairness foil)."""
+
+from repro.baselines.noqueue import NoQueueResource
+from repro.core.modes import LockMode
+
+
+class TestGrants:
+    def test_compatible_grant(self):
+        resource = NoQueueResource("R")
+        assert resource.request(1, LockMode.S)
+        assert resource.request(2, LockMode.S)
+        assert resource.holders == [1, 2]
+
+    def test_conflict_pends(self):
+        resource = NoQueueResource("R")
+        resource.request(1, LockMode.S)
+        assert not resource.request(2, LockMode.X)
+        assert resource.pending == [2]
+
+    def test_no_fifo_reader_overtakes_writer(self):
+        """The defining unfairness: a later reader is granted while an
+        earlier writer pends — impossible under the paper's scheduler."""
+        resource = NoQueueResource("R")
+        resource.request(1, LockMode.S)
+        assert not resource.request(2, LockMode.X)  # writer pends
+        assert resource.request(3, LockMode.S)  # later reader sails past
+        assert resource.holders == [1, 3]
+        assert resource.pending == [2]
+
+    def test_release_grants_any_compatible(self):
+        resource = NoQueueResource("R")
+        resource.request(1, LockMode.X)
+        resource.request(2, LockMode.S)
+        resource.request(3, LockMode.S)
+        granted = resource.release(1)
+        assert sorted(granted) == [2, 3]
+        assert resource.pending == []
+
+    def test_release_cascades(self):
+        resource = NoQueueResource("R")
+        resource.request(1, LockMode.X)
+        resource.request(2, LockMode.X)
+        resource.release(1)
+        assert resource.holders == [2]
+
+    def test_release_of_pending_request(self):
+        resource = NoQueueResource("R")
+        resource.request(1, LockMode.X)
+        resource.request(2, LockMode.X)
+        resource.release(2)  # gives up while pending
+        assert resource.pending == []
+        assert resource.holders == [1]

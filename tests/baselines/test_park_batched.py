@@ -1,0 +1,78 @@
+"""The batched Park strategy."""
+
+from repro.baselines import ParkBatchedStrategy
+from repro.baselines.wfg import has_deadlock
+from repro.core.modes import LockMode
+from repro.core.victim import CostTable
+from repro.lockmgr import scheduler
+from repro.lockmgr.lock_table import LockTable
+
+
+def build_cycle(table):
+    scheduler.request(table, 1, "A", LockMode.X)
+    scheduler.request(table, 2, "B", LockMode.X)
+    scheduler.request(table, 1, "B", LockMode.X)
+    scheduler.request(table, 2, "A", LockMode.X)
+
+
+class TestBatchedStrategy:
+    def test_resolves_at_threshold(self):
+        table = LockTable()
+        strategy = ParkBatchedStrategy(batch_size=2)
+        build_cycle(table)
+        first = strategy.on_block(table, 1, CostTable(), 0.0)
+        assert not first.acted
+        second = strategy.on_block(table, 2, CostTable(), 0.0)
+        assert second.victims
+        assert not has_deadlock(table)
+
+    def test_periodic_fallback_flush(self):
+        table = LockTable()
+        strategy = ParkBatchedStrategy(batch_size=100)
+        build_cycle(table)
+        strategy.on_block(table, 1, CostTable(), 0.0)
+        strategy.on_block(table, 2, CostTable(), 0.0)
+        assert has_deadlock(table)  # batch not full yet
+        outcome = strategy.periodic_pass(table, CostTable(), 1.0)
+        assert outcome.victims
+        assert not has_deadlock(table)
+
+    def test_empty_periodic_is_noop(self):
+        table = LockTable()
+        strategy = ParkBatchedStrategy()
+        outcome = strategy.periodic_pass(table, CostTable(), 0.0)
+        assert not outcome.acted
+
+    def test_name_includes_batch_size(self):
+        assert ParkBatchedStrategy(7).name == "park-batched(7)"
+
+
+class TestMetricsPercentiles:
+    def test_percentiles(self):
+        from repro.sim.metrics import Metrics
+
+        metrics = Metrics(response_times=[1.0, 2.0, 3.0, 4.0, 100.0])
+        assert metrics.response_percentile(0.0) == 1.0
+        assert metrics.response_percentile(0.5) == 3.0
+        assert metrics.p95_response_time == 100.0
+        assert metrics.max_response_time == 100.0
+
+    def test_empty(self):
+        from repro.sim.metrics import Metrics
+
+        assert Metrics().p95_response_time == 0.0
+        assert Metrics().max_response_time == 0.0
+
+    def test_bad_fraction(self):
+        import pytest
+
+        from repro.sim.metrics import Metrics
+
+        with pytest.raises(ValueError):
+            Metrics(response_times=[1.0]).response_percentile(1.5)
+
+    def test_summary_includes_p95(self):
+        from repro.sim.metrics import Metrics
+
+        summary = Metrics(duration=1.0, response_times=[2.0]).summary()
+        assert summary["p95_response"] == 2.0

@@ -1,0 +1,123 @@
+"""Timeout resolution and wound-wait / wait-die prevention."""
+
+from repro.baselines.prevention import WaitDieStrategy, WoundWaitStrategy
+from repro.baselines.timeout import TimeoutStrategy
+from repro.core.modes import LockMode
+from repro.core.victim import CostTable
+from repro.lockmgr import scheduler
+from repro.lockmgr.lock_table import LockTable
+
+
+def blocked_pair():
+    table = LockTable()
+    scheduler.request(table, 1, "R", LockMode.X)
+    scheduler.request(table, 2, "R", LockMode.X)
+    return table
+
+
+class TestTimeout:
+    def test_no_abort_before_deadline(self):
+        table = blocked_pair()
+        strategy = TimeoutStrategy(timeout=10.0)
+        strategy.on_block(table, 2, CostTable(), now=0.0)
+        outcome = strategy.on_tick(table, CostTable(), now=9.9)
+        assert not outcome.victims
+
+    def test_abort_after_deadline(self):
+        table = blocked_pair()
+        strategy = TimeoutStrategy(timeout=10.0)
+        strategy.on_block(table, 2, CostTable(), now=0.0)
+        outcome = strategy.on_tick(table, CostTable(), now=10.0)
+        assert outcome.victims == [2]
+
+    def test_false_positive_on_slow_waiter(self):
+        """A waiter that is NOT deadlocked still dies — the failure mode
+        the comparative benchmarks quantify."""
+        table = blocked_pair()  # no cycle: T2 merely waits
+        strategy = TimeoutStrategy(timeout=5.0)
+        strategy.on_block(table, 2, CostTable(), now=0.0)
+        assert strategy.on_tick(table, CostTable(), now=6.0).victims == [2]
+
+    def test_grant_stops_clock(self):
+        table = blocked_pair()
+        strategy = TimeoutStrategy(timeout=5.0)
+        strategy.on_block(table, 2, CostTable(), now=0.0)
+        scheduler.release_all(table, 1)  # T2 granted
+        strategy.on_grant(2)
+        assert not strategy.on_tick(table, CostTable(), now=50.0).victims
+
+    def test_implicit_unblock_noticed(self):
+        table = blocked_pair()
+        strategy = TimeoutStrategy(timeout=5.0)
+        strategy.on_block(table, 2, CostTable(), now=0.0)
+        scheduler.release_all(table, 1)
+        # Even without on_grant, the tick consults the table.
+        assert not strategy.on_tick(table, CostTable(), now=50.0).victims
+
+    def test_forget(self):
+        strategy = TimeoutStrategy(timeout=5.0)
+        strategy.on_block(blocked_pair(), 2, CostTable(), now=0.0)
+        strategy.forget(2)
+        assert not strategy._blocked_since
+
+    def test_name_includes_value(self):
+        assert TimeoutStrategy(7.5).name == "timeout(7.5)"
+
+
+class TestWaitDie:
+    def test_older_requester_waits(self):
+        strategy = WaitDieStrategy()
+        table = LockTable()
+        strategy._stamp(1)  # older
+        strategy._stamp(2)  # younger
+        assert strategy.wait_allowed(table, 1, [2], CostTable(), 0.0) is None
+
+    def test_younger_requester_dies(self):
+        strategy = WaitDieStrategy()
+        table = LockTable()
+        strategy._stamp(1)
+        strategy._stamp(2)
+        assert strategy.wait_allowed(table, 2, [1], CostTable(), 0.0) == [2]
+
+    def test_mixed_holders_die_on_any_older(self):
+        strategy = WaitDieStrategy()
+        table = LockTable()
+        for tid in (1, 2, 3):
+            strategy._stamp(tid)
+        # Requester 2 vs holders {1 (older), 3 (younger)}: dies.
+        assert strategy.wait_allowed(table, 2, [1, 3], CostTable(), 0.0) == [2]
+
+
+class TestWoundWait:
+    def test_older_wounds_younger_holders(self):
+        strategy = WoundWaitStrategy()
+        table = LockTable()
+        strategy._stamp(1)
+        strategy._stamp(2)
+        strategy._stamp(3)
+        assert strategy.wait_allowed(table, 1, [2, 3], CostTable(), 0.0) == [
+            2,
+            3,
+        ]
+
+    def test_younger_waits(self):
+        strategy = WoundWaitStrategy()
+        table = LockTable()
+        strategy._stamp(1)
+        strategy._stamp(2)
+        assert strategy.wait_allowed(table, 2, [1], CostTable(), 0.0) is None
+
+    def test_only_younger_holders_wounded(self):
+        strategy = WoundWaitStrategy()
+        table = LockTable()
+        for tid in (1, 2, 3):
+            strategy._stamp(tid)
+        assert strategy.wait_allowed(table, 2, [1, 3], CostTable(), 0.0) == [3]
+
+    def test_forget_clears_stamp(self):
+        strategy = WoundWaitStrategy()
+        strategy._stamp(1)
+        strategy.forget(1)
+        strategy._stamp(2)
+        # Re-stamped 1 is now *younger* than 2.
+        assert strategy._stamp(1) > strategy._stamp(2)

@@ -1,0 +1,89 @@
+"""The batched detection driver."""
+
+from repro.core.batched import BatchedDetector
+from repro.core.hw_twbg import build_graph
+from repro.core.modes import LockMode
+from repro.core.victim import CostTable
+from repro.lockmgr import scheduler
+from repro.lockmgr.lock_table import LockTable
+
+
+def block(table, detector, tid, rid, mode):
+    outcome = scheduler.request(table, tid, rid, mode)
+    if not outcome.granted:
+        return detector.on_block(tid)
+    return None
+
+
+class TestBatching:
+    def test_explicit_flush_resolves(self):
+        table = LockTable()
+        detector = BatchedDetector(table)
+        scheduler.request(table, 1, "A", LockMode.X)
+        scheduler.request(table, 2, "B", LockMode.X)
+        block(table, detector, 1, "B", LockMode.X)
+        block(table, detector, 2, "A", LockMode.X)
+        assert detector.pending == [1, 2]
+        result = detector.flush()
+        assert result.deadlock_found
+        assert not build_graph(table.snapshot()).has_cycle()
+        assert detector.pending == []
+        assert detector.flushes == 1
+
+    def test_no_flush_no_resolution(self):
+        table = LockTable()
+        detector = BatchedDetector(table)
+        scheduler.request(table, 1, "A", LockMode.X)
+        scheduler.request(table, 2, "B", LockMode.X)
+        block(table, detector, 1, "B", LockMode.X)
+        assert block(table, detector, 2, "A", LockMode.X) is None
+        assert build_graph(table.snapshot()).has_cycle()  # still there
+
+    def test_threshold_auto_flush(self):
+        table = LockTable()
+        detector = BatchedDetector(table, batch_size=2)
+        scheduler.request(table, 1, "A", LockMode.X)
+        scheduler.request(table, 2, "B", LockMode.X)
+        assert block(table, detector, 1, "B", LockMode.X) is None
+        result = block(table, detector, 2, "A", LockMode.X)
+        assert result is not None and result.deadlock_found
+        assert detector.flushes == 1
+
+    def test_flush_on_empty_batch_is_noop(self):
+        table = LockTable()
+        detector = BatchedDetector(table)
+        result = detector.flush()
+        assert not result.deadlock_found
+
+    def test_stale_roots_tolerated(self):
+        # A recorded blocker may have been granted (or finished) before
+        # the flush; the rooted walk just finds nothing from it.
+        table = LockTable()
+        detector = BatchedDetector(table)
+        scheduler.request(table, 1, "A", LockMode.X)
+        block(table, detector, 2, "A", LockMode.S)
+        scheduler.release_all(table, 1)  # grants T2
+        result = detector.flush()
+        assert not result.deadlock_found
+
+    def test_costs_respected(self):
+        table = LockTable()
+        detector = BatchedDetector(table, costs=CostTable({1: 9.0, 2: 1.0}))
+        scheduler.request(table, 1, "A", LockMode.X)
+        scheduler.request(table, 2, "B", LockMode.X)
+        block(table, detector, 1, "B", LockMode.X)
+        block(table, detector, 2, "A", LockMode.X)
+        assert detector.flush().aborted == [2]
+
+    def test_multiple_cycles_one_flush(self):
+        table = LockTable()
+        detector = BatchedDetector(table)
+        for base, (a, b) in enumerate([("A", "B"), ("C", "D")]):
+            t1, t2 = 10 * base + 1, 10 * base + 2
+            scheduler.request(table, t1, a, LockMode.X)
+            scheduler.request(table, t2, b, LockMode.X)
+            block(table, detector, t1, b, LockMode.X)
+            block(table, detector, t2, a, LockMode.X)
+        result = detector.flush()
+        assert result.stats.cycles_found == 2
+        assert len(result.aborted) == 2

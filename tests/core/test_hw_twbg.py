@@ -1,0 +1,211 @@
+"""H/W-TWBG: ECR rules, Figure 4.1, TRRPs and the appendix properties."""
+
+import pytest
+
+from repro.core.hw_twbg import H_LABEL, W_LABEL, build_graph, resource_edges
+from repro.core.modes import LockMode
+from repro.core.notation import parse_resource, parse_table
+from tests.conftest import EXAMPLE_41, EXAMPLE_51
+
+
+def graph_of(text):
+    return build_graph(parse_table(text))
+
+
+class TestECR1:
+    def test_gm_vs_bm_conflict(self):
+        # Earlier holder's granted mode conflicts with later's blocked
+        # mode -> later waits for earlier (edge earlier -> later).
+        state = parse_resource(
+            "R: Holder((T1, IX, NL) (T2, IS, S)) Queue()"
+        )
+        edges = {(e.source, e.target, e.label) for e in resource_edges(state)}
+        assert (1, 2, H_LABEL) in edges
+
+    def test_bm_vs_bm_conflict_points_forward_only(self):
+        # Two conflicting blocked conversions: only earlier -> later.
+        state = parse_resource(
+            "R: Holder((T1, S, X) (T2, S, X)) Queue()"
+        )
+        edges = {(e.source, e.target, e.label) for e in resource_edges(state)}
+        assert (1, 2, H_LABEL) in edges
+        # ... and the reverse edge also arises here because T2's granted
+        # S conflicts with T1's blocked X (the second ECR-1 clause).
+        assert (2, 1, H_LABEL) in edges
+
+    def test_later_gm_blocks_earlier_bm(self):
+        state = parse_resource(
+            "R: Holder((T1, IX, SIX) (T3, IX, NL)) Queue()"
+        )
+        edges = {(e.source, e.target, e.label) for e in resource_edges(state)}
+        assert (3, 1, H_LABEL) in edges
+        assert (1, 3, H_LABEL) not in edges
+
+    def test_unblocked_pairs_produce_no_edges(self):
+        state = parse_resource(
+            "R: Holder((T1, IS, NL) (T2, IX, NL)) Queue()"
+        )
+        assert resource_edges(state) == []
+
+
+class TestECR2:
+    def test_holder_to_first_conflicting_waiter_only(self):
+        state = parse_resource(
+            "R: Holder((T1, IS, NL)) Queue((T2, IX) (T3, X) (T4, X))"
+        )
+        edges = {(e.source, e.target, e.label) for e in resource_edges(state)}
+        # T2's IX is compatible with IS; the first conflict is T3.
+        assert (1, 3, H_LABEL) in edges
+        assert (1, 4, H_LABEL) not in edges
+
+    def test_blocked_mode_of_holder_counts(self):
+        state = parse_resource(
+            "R: Holder((T1, IX, SIX)) Queue((T2, IX))"
+        )
+        edges = {(e.source, e.target, e.label) for e in resource_edges(state)}
+        # IX is compatible with gm=IX but not with bm=SIX.
+        assert (1, 2, H_LABEL) in edges
+
+    def test_no_conflict_no_edge(self):
+        state = parse_resource(
+            "R: Holder((T4, IS, NL)) Queue((T5, IX) (T6, S) (T7, IX))"
+        )
+        assert resource_edges(state) == [
+            e for e in resource_edges(state) if e.label == W_LABEL
+        ]
+
+
+class TestECR3:
+    def test_adjacent_queue_edges(self):
+        state = parse_resource(
+            "R: Holder((T1, X, NL)) Queue((T2, S) (T3, S) (T4, X))"
+        )
+        w_edges = [
+            (e.source, e.target)
+            for e in resource_edges(state)
+            if e.label == W_LABEL
+        ]
+        assert w_edges == [(2, 3), (3, 4)]
+
+    def test_w_edge_carries_blocked_mode(self):
+        state = parse_resource("R: Holder((T1, X, NL)) Queue((T2, S) (T3, X))")
+        w_edge = [e for e in resource_edges(state) if e.label == W_LABEL][0]
+        assert w_edge.lock is LockMode.S  # the *leading* waiter's mode
+
+
+class TestFigure41:
+    """The exact H/W-TWBG of Example 4.1."""
+
+    EXPECTED = {
+        (1, 2, "H"),
+        (1, 5, "H"),
+        (2, 5, "H"),
+        (3, 1, "H"),
+        (3, 2, "H"),
+        (3, 6, "H"),
+        (5, 6, "W"),
+        (6, 7, "W"),
+        (3, 4, "W"),
+        (7, 8, "H"),
+        (8, 9, "W"),
+        (9, 3, "W"),
+    }
+
+    def test_edge_set_exact(self):
+        assert graph_of(EXAMPLE_41).edge_set() == self.EXPECTED
+
+    def test_t4_blocks_nothing(self):
+        # "Note that T4 does not block any request."
+        graph = graph_of(EXAMPLE_41)
+        assert graph.successors(4) == []
+
+    def test_four_cycles(self):
+        graph = graph_of(EXAMPLE_41)
+        assert len(graph.elementary_cycles()) == 4
+
+    def test_paper_cycle_trrps(self):
+        graph = graph_of(EXAMPLE_41)
+        trrps = graph.trrps([1, 2, 5, 6, 7, 8, 9, 3])
+        assert trrps == [[1, 2], [2, 5, 6, 7], [7, 8, 9, 3], [3, 1]]
+
+    def test_paper_cycle_junctions(self):
+        graph = graph_of(EXAMPLE_41)
+        assert set(graph.junctions([1, 2, 5, 6, 7, 8, 9, 3])) == {1, 2, 7, 3}
+
+    def test_figure_42_after_resolution_is_acyclic(self):
+        text = """
+        R1(SIX): Holder((T1, IX, SIX) (T2, IS, S) (T3, IX, NL) (T4, IS, NL)) Queue((T5, IX) (T6, S) (T7, IX))
+        R2(IX): Holder((T9, IX, NL) (T7, IS, NL)) Queue((T3, S) (T8, X) (T4, X))
+        """
+        assert not graph_of(text).has_cycle()
+
+
+class TestFigure52:
+    def test_two_cycles(self):
+        graph = graph_of(EXAMPLE_51)
+        cycles = graph.elementary_cycles()
+        assert sorted(map(sorted, cycles)) == [[1, 2], [1, 2, 3]]
+
+    def test_edges(self):
+        graph = graph_of(EXAMPLE_51)
+        assert graph.has_edge(1, 2, H_LABEL)
+        assert graph.has_edge(2, 3, W_LABEL)
+        assert graph.has_edge(2, 1, H_LABEL)
+        assert graph.has_edge(3, 1, H_LABEL)
+
+
+class TestAppendixProperties:
+    """Lemmas 1-3 on concrete graphs (the hypothesis suite covers random
+    ones)."""
+
+    def test_no_cycle_without_h_edge(self):
+        for cycle in graph_of(EXAMPLE_41).elementary_cycles():
+            labels = [
+                e.label for e in graph_of(EXAMPLE_41).cycle_edges(cycle)
+            ]
+            assert H_LABEL in labels
+
+    def test_every_cycle_at_least_two_trrps(self):
+        graph = graph_of(EXAMPLE_41)
+        for cycle in graph.elementary_cycles():
+            assert len(graph.trrps(cycle)) >= 2
+
+    def test_acyclic_state_has_no_deadlock(self):
+        graph = graph_of("R: Holder((T1, X, NL)) Queue((T2, S) (T3, S))")
+        assert not graph.has_cycle()
+        assert graph.find_cycle() is None
+
+
+class TestGraphQueries:
+    def test_vertices(self):
+        graph = graph_of(EXAMPLE_51)
+        assert graph.vertices == {1, 2, 3}
+
+    def test_predecessors(self):
+        graph = graph_of(EXAMPLE_51)
+        # T1 is waited for by T2 and T3.
+        sources = {e.source for e in graph.predecessors(1)}
+        assert sources == {2, 3}
+
+    def test_cycle_edges_raises_for_fake_cycle(self):
+        graph = graph_of(EXAMPLE_51)
+        with pytest.raises(ValueError):
+            graph.cycle_edges([1, 3])
+
+    def test_find_cycle_returns_real_cycle(self):
+        graph = graph_of(EXAMPLE_41)
+        cycle = graph.find_cycle()
+        assert cycle is not None
+        # Closing edge exists for every consecutive pair.
+        edges = graph.cycle_edges(cycle)
+        assert len(edges) == len(cycle)
+
+    def test_to_dot_contains_all_edges(self):
+        graph = graph_of(EXAMPLE_51)
+        dot = graph.to_dot()
+        assert "digraph" in dot
+        assert dot.count("->") == len(graph.edges)
+
+    def test_str_sorted_edges(self):
+        text = str(graph_of(EXAMPLE_51))
+        assert "T1 -H-> T2" in text

@@ -1,0 +1,215 @@
+"""Tables 1 and 2: every cell, plus the algebraic structure the
+algorithms rely on."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.modes import (
+    ALL_MODES,
+    BLOCKABLE_MODES,
+    REQUESTABLE_MODES,
+    LockMode,
+    compatible,
+    convert,
+    group_mode,
+    parse_mode,
+    required_parent_mode,
+    stronger_or_equal,
+    supremum,
+    total_mode,
+)
+
+NL, IS, IX, S, SIX, X = (
+    LockMode.NL,
+    LockMode.IS,
+    LockMode.IX,
+    LockMode.S,
+    LockMode.SIX,
+    LockMode.X,
+)
+
+modes = st.sampled_from(list(LockMode))
+
+
+class TestCompatibilityMatrix:
+    """Table 1, cell by cell (row = held, column = requested)."""
+
+    # Each tuple: (held, [requested -> expected]), columns NL IS IX SIX S X.
+    TABLE_1 = [
+        (NL, [True, True, True, True, True, True]),
+        (IS, [True, True, True, True, True, False]),
+        (IX, [True, True, True, False, False, False]),
+        (SIX, [True, True, False, False, False, False]),
+        (S, [True, True, False, False, True, False]),
+        (X, [True, False, False, False, False, False]),
+    ]
+    COLUMNS = [NL, IS, IX, SIX, S, X]
+
+    @pytest.mark.parametrize("held,row", TABLE_1)
+    def test_row(self, held, row):
+        for requested, expected in zip(self.COLUMNS, row):
+            assert compatible(held, requested) is expected, (
+                held,
+                requested,
+            )
+
+    def test_paper_examples(self):
+        # "Comp(S, IS) is true but Comp(IX, SIX) is false."
+        assert compatible(S, IS)
+        assert not compatible(IX, SIX)
+
+    def test_s_s_compatible_required_by_example_51(self):
+        # Example 5.1 has two concurrent S holders on R2; the scanned
+        # Table 1's (S, S)=false is an OCR artifact.
+        assert compatible(S, S)
+
+    @given(a=modes, b=modes)
+    def test_symmetry(self, a, b):
+        assert compatible(a, b) == compatible(b, a)
+
+    @given(a=modes)
+    def test_nl_compatible_with_everything(self, a):
+        assert compatible(NL, a)
+        assert compatible(a, NL)
+
+    @given(a=modes)
+    def test_x_conflicts_with_all_real_modes(self, a):
+        if a is not NL:
+            assert not compatible(X, a)
+
+
+class TestConversionMatrix:
+    """Table 2, cell by cell (row = granted, column = requested)."""
+
+    TABLE_2 = [
+        (NL, [NL, IS, IX, SIX, S, X]),
+        (IS, [IS, IS, IX, SIX, S, X]),
+        (IX, [IX, IX, IX, SIX, SIX, X]),
+        (SIX, [SIX, SIX, SIX, SIX, SIX, X]),
+        (S, [S, S, SIX, SIX, S, X]),
+        (X, [X, X, X, X, X, X]),
+    ]
+    COLUMNS = [NL, IS, IX, SIX, S, X]
+
+    @pytest.mark.parametrize("granted,row", TABLE_2)
+    def test_row(self, granted, row):
+        for requested, expected in zip(self.COLUMNS, row):
+            assert convert(granted, requested) is expected
+
+    def test_paper_example(self):
+        # Holding IX and re-requesting S means wanting SIX.
+        assert convert(IX, S) is SIX
+
+    @given(a=modes, b=modes)
+    def test_commutative(self, a, b):
+        assert convert(a, b) is convert(b, a)
+
+    @given(a=modes, b=modes, c=modes)
+    def test_associative(self, a, b, c):
+        assert convert(convert(a, b), c) is convert(a, convert(b, c))
+
+    @given(a=modes)
+    def test_idempotent(self, a):
+        assert convert(a, a) is a
+
+    @given(a=modes)
+    def test_nl_is_identity(self, a):
+        assert convert(NL, a) is a
+        assert convert(a, NL) is a
+
+    @given(a=modes, b=modes)
+    def test_join_is_upper_bound(self, a, b):
+        joined = convert(a, b)
+        assert stronger_or_equal(joined, a)
+        assert stronger_or_equal(joined, b)
+
+    @given(a=modes, b=modes, c=modes)
+    def test_conversion_preserves_conflicts(self, a, b, c):
+        # Converting upward can only add conflicts, never remove them:
+        # anything incompatible with a stays incompatible with Conv(a, b).
+        if not compatible(a, c):
+            assert not compatible(convert(a, b), c)
+
+
+class TestSupremumAndTotalMode:
+    def test_supremum_empty_is_nl(self):
+        assert supremum([]) is NL
+
+    def test_supremum_folds(self):
+        assert supremum([IS, IX, IS]) is IX
+        assert supremum([S, IX]) is SIX
+
+    def test_total_mode_includes_blocked_modes(self):
+        # (gm, bm) pairs: the blocked conversion target participates.
+        assert total_mode([(IS, S), (IX, NL)]) is SIX
+
+    def test_total_mode_of_example_31(self):
+        # R1 held by T1(IS) and T2(IX): total IX.
+        assert total_mode([(IS, NL), (IX, NL)]) is IX
+
+    def test_group_mode_ignores_blocked(self):
+        assert group_mode([IS, IX]) is IX
+
+    def test_total_vs_group_mode_difference(self):
+        # The distinguishing case from Section 2: a blocked upgrade makes
+        # the total stricter than the group mode.
+        entries = [(IS, S), (IS, NL)]
+        assert total_mode(entries) is S
+        assert group_mode([gm for gm, _ in entries]) is IS
+
+    @given(pairs=st.lists(st.tuples(modes, modes), max_size=6))
+    def test_total_mode_order_independent(self, pairs):
+        flattened = [m for pair in pairs for m in pair]
+        assert total_mode(pairs) is supremum(flattened)
+
+
+class TestHelpers:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [("IS", IS), ("ix", IX), (" six ", SIX), ("S", S), ("X", X), ("NL", NL)],
+    )
+    def test_parse_mode(self, text, expected):
+        assert parse_mode(text) is expected
+
+    def test_parse_mode_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_mode("Z")
+
+    @pytest.mark.parametrize(
+        "child,parent",
+        [(IS, IS), (S, IS), (IX, IX), (SIX, IX), (X, IX)],
+    )
+    def test_required_parent_mode(self, child, parent):
+        assert required_parent_mode(child) is parent
+
+    def test_required_parent_mode_rejects_nl(self):
+        with pytest.raises(ValueError):
+            required_parent_mode(NL)
+
+    def test_stronger_or_equal(self):
+        assert stronger_or_equal(X, S)
+        assert stronger_or_equal(SIX, IX)
+        assert stronger_or_equal(SIX, S)
+        assert not stronger_or_equal(S, IX)
+        assert not stronger_or_equal(IX, S)
+
+    @given(a=modes)
+    def test_everything_covers_nl(self, a):
+        assert stronger_or_equal(a, NL)
+
+    def test_mode_predicates(self):
+        assert IS.is_intention and IX.is_intention and SIX.is_intention
+        assert not S.is_intention and not X.is_intention
+        assert S.grants_read and SIX.grants_read and X.grants_read
+        assert not IS.grants_read
+        assert X.grants_write
+        assert not SIX.grants_write
+
+    def test_mode_collections(self):
+        assert len(ALL_MODES) == 6
+        assert NL not in REQUESTABLE_MODES
+        assert set(BLOCKABLE_MODES) == {IX, S, SIX, X}
+
+    def test_str(self):
+        assert str(SIX) == "SIX"

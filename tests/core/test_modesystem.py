@@ -1,0 +1,90 @@
+"""Mode-system validation: the algebra the proofs need."""
+
+from repro.core.modesystem import (
+    ModeSystem,
+    paper_system,
+    ulock_asymmetric_system,
+    ulock_symmetric_system,
+)
+
+
+class TestPaperSystem:
+    def test_valid(self):
+        assert paper_system().validate() == []
+
+    def test_queries_match_tables(self):
+        system = paper_system()
+        assert system.compatible("S", "IS")
+        assert not system.compatible("IX", "SIX")
+        assert system.convert("IX", "S") == "SIX"
+        assert system.covers("SIX", "S")
+        assert not system.covers("S", "IX")
+
+
+class TestULockSystems:
+    def test_symmetric_variant_valid(self):
+        assert ulock_symmetric_system().validate() == []
+
+    def test_symmetric_variant_semantics(self):
+        system = ulock_symmetric_system()
+        assert system.compatible("U", "S")
+        assert not system.compatible("U", "U")
+        assert system.convert("S", "U") == "U"
+
+    def test_asymmetric_variant_rejected(self):
+        problems = ulock_asymmetric_system().validate()
+        assert any("symmetric" in p for p in problems)
+        assert not ulock_asymmetric_system().is_valid
+
+
+class TestValidatorCatchesBreakage:
+    def _broken(self, **overrides) -> ModeSystem:
+        system = ulock_symmetric_system()
+        comp = dict(system.comp)
+        conv = dict(system.conv)
+        comp.update(overrides.get("comp", {}))
+        conv.update(overrides.get("conv", {}))
+        return ModeSystem(
+            "broken", system.modes, system.nl, comp, conv
+        )
+
+    def test_nl_conflict_rejected(self):
+        broken = self._broken(comp={("NL", "X"): False, ("X", "NL"): False})
+        assert any("NL must be compatible" in p for p in broken.validate())
+
+    def test_non_idempotent_conv_rejected(self):
+        broken = self._broken(conv={("S", "S"): "X"})
+        problems = broken.validate()
+        assert any("idempotent" in p for p in problems)
+
+    def test_non_commutative_conv_rejected(self):
+        broken = self._broken(conv={("S", "U"): "X"})
+        assert any("commutative" in p for p in broken.validate())
+
+    def test_conflict_loss_rejected(self):
+        # Make Conv(X, S) collapse to S: joining X with S would *lose*
+        # X's conflict with S — exactly what the total mode must never do.
+        broken = self._broken(
+            conv={("X", "S"): "S", ("S", "X"): "S"}
+        )
+        problems = broken.validate()
+        assert any(
+            "loses the conflict" in p or "upper bound" in p
+            for p in problems
+        )
+
+    def test_missing_entry_rejected(self):
+        system = ulock_symmetric_system()
+        comp = dict(system.comp)
+        del comp[("S", "U")]
+        broken = ModeSystem(
+            "broken", system.modes, system.nl, comp, dict(system.conv)
+        )
+        assert any("undefined" in p for p in broken.validate())
+
+    def test_identity_must_be_a_mode(self):
+        system = ulock_symmetric_system()
+        broken = ModeSystem(
+            "broken", system.modes, "ZZ", dict(system.comp), dict(system.conv)
+        )
+        assert any("is not a mode" in p for p in broken.validate())

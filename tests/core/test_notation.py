@@ -1,0 +1,123 @@
+"""The paper-notation parser and formatter."""
+
+import pytest
+
+from repro.core.errors import NotationError
+from repro.core.modes import LockMode
+from repro.core.notation import (
+    format_resource,
+    format_table,
+    load_table,
+    parse_resource,
+    parse_table,
+)
+from repro.lockmgr.lock_table import LockTable
+
+
+class TestParseResource:
+    def test_example_41_r1(self):
+        state = parse_resource(
+            "R1(SIX): Holder((T1, IX, SIX) (T2, IS, S) (T3, IX, NL) "
+            "(T4, IS, NL)) Queue((T5, IX) (T6, S) (T7, IX))"
+        )
+        assert state.rid == "R1"
+        assert state.total is LockMode.SIX
+        assert [h.tid for h in state.holders] == [1, 2, 3, 4]
+        assert [q.tid for q in state.queue] == [5, 6, 7]
+        assert state.holder_entry(1).blocked is LockMode.SIX
+
+    def test_short_queue_form_of_example_51(self):
+        state = parse_resource("R1(S): Holder((T1, S, NL)) Queue(T2(X) T3(S))")
+        assert [
+            (q.tid, q.blocked) for q in state.queue
+        ] == [(2, LockMode.X), (3, LockMode.S)]
+
+    def test_empty_holder_and_queue(self):
+        state = parse_resource("R9: Holder() Queue()")
+        assert state.is_free
+        assert state.total is LockMode.NL
+
+    def test_total_mode_optional(self):
+        state = parse_resource("R2: Holder((T7, IS, NL)) Queue((T8, X))")
+        assert state.total is LockMode.IS
+
+    def test_total_mode_mismatch_rejected(self):
+        with pytest.raises(NotationError):
+            parse_resource("R2(X): Holder((T7, IS, NL)) Queue((T8, X))")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(NotationError):
+            parse_resource("not a resource line at all")
+
+    def test_commas_between_entries_accepted(self):
+        state = parse_resource(
+            "R2(S): Holder((T2, S, NL), (T3, S, NL)) Queue((T1, X))"
+        )
+        assert [h.tid for h in state.holders] == [2, 3]
+
+
+class TestParseTable:
+    def test_two_resources(self, example_41_table):
+        # The fixture itself exercises parse_table via load_table.
+        assert len(example_41_table) == 2
+
+    def test_continuation_lines_joined(self):
+        text = """
+        R1(SIX): Holder((T1, IX, SIX) (T2, IS, S))
+                 Queue((T5, IX))
+        R2(IS): Holder((T7, IS, NL)) Queue((T8, X))
+        """
+        states = parse_table(text)
+        assert [s.rid for s in states] == ["R1", "R2"]
+        assert len(states[0].queue) == 1
+
+    def test_blank_lines_ignored(self):
+        states = parse_table("\n\nR1: Holder((T1, S, NL)) Queue()\n\n")
+        assert len(states) == 1
+
+
+class TestFormatting:
+    def test_round_trip(self):
+        text = "R1(SIX): Holder((T1, IS, S) (T2, IX, NL)) Queue((T3, S) (T4, X))"
+        state = parse_resource(text)
+        assert format_resource(state) == text
+
+    def test_format_table(self):
+        states = parse_table(
+            "R1: Holder((T1, S, NL)) Queue()\nR2: Holder() Queue((T1, X))"
+        )
+        rendered = format_table(states)
+        assert rendered.splitlines()[0].startswith("R1(S)")
+        assert rendered.splitlines()[1].startswith("R2(NL)")
+
+
+class TestLoadTable:
+    def test_indexes_populated(self, example_41_table):
+        table = example_41_table
+        assert table.held_by(7) == {"R2"}
+        assert table.blocked_at(7) == "R1"
+        assert table.blocked_in_queue(7)
+        assert table.blocked_at(1) == "R1"
+        assert not table.blocked_in_queue(1)  # blocked conversion
+        assert table.blocked_at(4) == "R2"
+
+    def test_unblocked_holder_not_indexed_as_blocked(self, example_41_table):
+        # T3 holds R1 unblocked (it waits at R2's queue instead).
+        assert example_41_table.blocked_at(3) == "R2"
+
+    def test_double_load_rejected(self):
+        table = LockTable()
+        load_table(table, "R1: Holder((T1, S, NL)) Queue()")
+        with pytest.raises(NotationError):
+            load_table(table, "R1: Holder((T2, S, NL)) Queue()")
+
+    def test_axiom_1_violation_rejected(self):
+        # A transaction queued at two resources contradicts Axiom 1 and
+        # must be refused at load time.
+        table = LockTable()
+        with pytest.raises(Exception):
+            load_table(
+                table,
+                "R1: Holder((T9, X, NL)) Queue((T1, X))\n"
+                "R2: Holder((T8, X, NL)) Queue((T1, X))",
+            )

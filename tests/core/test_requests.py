@@ -1,0 +1,146 @@
+"""ResourceState / HolderEntry / QueueEntry record behavior."""
+
+import pytest
+
+from repro.core.errors import LockTableError
+from repro.core.modes import LockMode
+from repro.core.requests import HolderEntry, QueueEntry, ResourceState
+
+NL, IS, IX, S, SIX, X = (
+    LockMode.NL,
+    LockMode.IS,
+    LockMode.IX,
+    LockMode.S,
+    LockMode.SIX,
+    LockMode.X,
+)
+
+
+def make_state() -> ResourceState:
+    state = ResourceState(rid="R1")
+    state.holders = [
+        HolderEntry(1, IX, SIX),
+        HolderEntry(2, IS, S),
+        HolderEntry(3, IX),
+        HolderEntry(4, IS),
+    ]
+    state.queue = [QueueEntry(5, IX), QueueEntry(6, S), QueueEntry(7, IX)]
+    state.recompute_total()
+    return state
+
+
+class TestHolderEntry:
+    def test_default_not_blocked(self):
+        assert not HolderEntry(1, S).is_blocked
+
+    def test_blocked(self):
+        assert HolderEntry(1, IS, S).is_blocked
+
+    def test_copy_is_independent(self):
+        entry = HolderEntry(1, IS, S)
+        clone = entry.copy()
+        clone.granted = X
+        assert entry.granted is IS
+
+    def test_str_matches_paper_notation(self):
+        assert str(HolderEntry(1, IX, SIX)) == "(T1, IX, SIX)"
+        assert str(HolderEntry(3, IX)) == "(T3, IX, NL)"
+
+
+class TestQueueEntry:
+    def test_str(self):
+        assert str(QueueEntry(5, IX)) == "(T5, IX)"
+
+    def test_copy(self):
+        entry = QueueEntry(5, IX)
+        clone = entry.copy()
+        clone.blocked = X
+        assert entry.blocked is IX
+
+
+class TestResourceState:
+    def test_total_mode_recompute(self):
+        state = make_state()
+        # Conv over (IX,SIX),(IS,S),(IX,NL),(IS,NL) = SIX.
+        assert state.total is SIX
+
+    def test_holder_entry_lookup(self):
+        state = make_state()
+        assert state.holder_entry(2).granted is IS
+        assert state.holder_entry(99) is None
+
+    def test_queue_entry_lookup(self):
+        state = make_state()
+        assert state.queue_entry(6).blocked is S
+        assert state.queue_entry(1) is None
+
+    def test_queue_position(self):
+        state = make_state()
+        assert state.queue_position(5) == 0
+        assert state.queue_position(7) == 2
+        assert state.queue_position(1) == -1
+
+    def test_is_held_by(self):
+        state = make_state()
+        assert state.is_held_by(4)
+        assert not state.is_held_by(5)
+
+    def test_blocked_and_unblocked_holders(self):
+        state = make_state()
+        assert [h.tid for h in state.blocked_holders()] == [1, 2]
+        assert [h.tid for h in state.unblocked_holders()] == [3, 4]
+
+    def test_waiting_tids_conversions_first(self):
+        state = make_state()
+        assert state.waiting_tids() == [1, 2, 5, 6, 7]
+
+    def test_is_free(self):
+        assert ResourceState(rid="R").is_free
+        assert not make_state().is_free
+
+    def test_remove_holder_recomputes_total(self):
+        state = make_state()
+        removed = state.remove_holder(1)
+        assert removed.blocked is SIX
+        # Remaining: (IS,S),(IX,NL),(IS,NL) -> SIX.
+        assert state.total is SIX
+        state.remove_holder(2)
+        # Remaining: (IX,NL),(IS,NL) -> IX.
+        assert state.total is IX
+
+    def test_remove_unknown_holder_raises(self):
+        with pytest.raises(LockTableError):
+            make_state().remove_holder(42)
+
+    def test_remove_from_queue(self):
+        state = make_state()
+        entry = state.remove_from_queue(6)
+        assert entry.tid == 6
+        assert [q.tid for q in state.queue] == [5, 7]
+
+    def test_remove_unknown_waiter_raises(self):
+        with pytest.raises(LockTableError):
+            make_state().remove_from_queue(42)
+
+    def test_raise_total(self):
+        state = ResourceState(rid="R")
+        state.raise_total(IS)
+        state.raise_total(IX)
+        assert state.total is IX
+
+    def test_copy_deep(self):
+        state = make_state()
+        clone = state.copy()
+        clone.holders[0].granted = X
+        clone.queue.pop()
+        assert state.holders[0].granted is IX
+        assert len(state.queue) == 3
+
+    def test_str_round_trips_paper_layout(self):
+        state = make_state()
+        text = str(state)
+        assert text.startswith("R1(SIX): Holder((T1, IX, SIX)")
+        assert text.endswith("Queue((T5, IX) (T6, S) (T7, IX))")
+
+    def test_iter_yields_holders(self):
+        assert [h.tid for h in make_state()] == [1, 2, 3, 4]

@@ -1,0 +1,81 @@
+"""Lock-table serialization round trips."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.errors import ReproError
+from repro.core.serialize import (
+    dumps,
+    loads,
+    table_from_dict,
+    table_to_dict,
+)
+from tests.properties.test_invariants import apply_ops, ops_strategy
+
+
+class TestRoundTrip:
+    def test_example_41(self, example_41_table):
+        clone = table_from_dict(table_to_dict(example_41_table))
+        assert str(clone) == str(example_41_table)
+
+    def test_indexes_rebuilt(self, example_41_table):
+        clone = table_from_dict(table_to_dict(example_41_table))
+        assert clone.blocked_at(7) == "R1"
+        assert not clone.blocked_in_queue(1)
+        assert clone.held_by(3) == {"R1"}
+
+    def test_json_round_trip(self, example_51_table):
+        clone = loads(dumps(example_51_table))
+        assert str(clone) == str(example_51_table)
+
+    def test_empty_table(self):
+        from repro.lockmgr.lock_table import LockTable
+
+        assert table_to_dict(LockTable()) == {"resources": []}
+        assert len(table_from_dict({"resources": []})) == 0
+
+    @given(ops=ops_strategy)
+    @settings(
+        max_examples=60,
+        suppress_health_check=[HealthCheck.too_slow],
+        deadline=None,
+    )
+    def test_random_tables_round_trip(self, ops):
+        table = apply_ops(ops)
+        clone = table_from_dict(table_to_dict(table))
+        assert str(clone) == str(table)
+        assert sorted(clone.blocked_tids()) == sorted(table.blocked_tids())
+
+    @given(ops=ops_strategy)
+    @settings(
+        max_examples=40,
+        suppress_health_check=[HealthCheck.too_slow],
+        deadline=None,
+    )
+    def test_rebuilt_tables_verify_clean(self, ops):
+        from repro.core.verify import verify_table
+
+        clone = table_from_dict(table_to_dict(apply_ops(ops)))
+        assert verify_table(clone) == []
+
+
+class TestValidation:
+    def test_corrupted_total_rejected(self, example_51_table):
+        data = table_to_dict(example_51_table)
+        data["resources"][0]["total"] = "X"
+        with pytest.raises(ReproError):
+            table_from_dict(data)
+
+    def test_missing_blocked_defaults_nl(self):
+        table = table_from_dict(
+            {
+                "resources": [
+                    {
+                        "rid": "R",
+                        "holders": [{"tid": 1, "granted": "S"}],
+                        "queue": [],
+                    }
+                ]
+            }
+        )
+        assert not table.existing("R").holder_entry(1).is_blocked

@@ -1,0 +1,87 @@
+"""Tracing of the detection walk — pins the paper's Example 5.1 path."""
+
+from repro.core.notation import load_table
+from repro.core.trace import format_trace, trace_detection
+from repro.core.victim import CostTable
+from repro.lockmgr.lock_table import LockTable
+from tests.conftest import EXAMPLE_41, EXAMPLE_51
+
+
+def run_51():
+    table = load_table(LockTable(), EXAMPLE_51)
+    return trace_detection(table, CostTable({1: 6.0, 2: 4.0, 3: 1.0}))
+
+
+class TestExample51Trace:
+    def test_cycle_order(self):
+        _, trace = run_51()
+        assert trace.cycles() == [[1, 2, 3], [1, 2]]
+
+    def test_walk_event_sequence(self):
+        """The exact Step-2 path of the paper's walkthrough: descend
+        T1->T2->T3, close the long cycle, resume at T1, rediscover the
+        short cycle past the dead T3."""
+        _, trace = run_51()
+        descents = [
+            (e.get("tid"), e.get("target")) for e in trace.of_kind("descend")
+        ]
+        assert descents == [(1, 2), (2, 3), (1, 2)]
+        closes = [
+            (e.get("tid"), e.get("closes"))
+            for e in trace.of_kind("cycle-found")
+        ]
+        assert closes == [(3, 1), (2, 1)]
+
+    def test_roots_visited_in_tid_order(self):
+        _, trace = run_51()
+        roots = [e.get("tid") for e in trace.of_kind("root")]
+        assert roots == [1, 2, 3]
+
+    def test_step3_events(self):
+        _, trace = run_51()
+        assert [e.get("tid") for e in trace.of_kind("abort")] == [2]
+        assert [e.get("tid") for e in trace.of_kind("spare")] == [3]
+
+    def test_result_consistent_with_untraced_run(self):
+        result, _ = run_51()
+        assert result.aborted == [2]
+        assert result.spared == [3]
+
+    def test_format_trace_readable(self):
+        _, trace = run_51()
+        text = format_trace(trace)
+        assert "walk from T1" in text
+        assert "CYCLE: edge T3 -> T1" in text
+        assert "resolve cycle [1, 2, 3] by: abort T3" in text
+        assert "Step 3: spare T3" in text
+
+
+class TestExample41Trace:
+    def test_single_resolution(self):
+        table = load_table(LockTable(), EXAMPLE_41)
+        result, trace = trace_detection(table)
+        assert len(trace.of_kind("victim")) == 1
+        chosen = trace.of_kind("victim")[0].get("chosen")
+        assert chosen.kind == "reposition"
+        assert not trace.of_kind("abort")
+
+    def test_examined_at_least_every_edge(self):
+        table = load_table(LockTable(), EXAMPLE_41)
+        result, trace = trace_detection(table)
+        assert len(trace.of_kind("examine")) >= result.stats.edges_total
+
+
+class TestRootedTrace:
+    def test_roots_parameter(self):
+        table = load_table(LockTable(), EXAMPLE_51)
+        _, trace = trace_detection(
+            table, CostTable({1: 6.0, 2: 4.0, 3: 1.0}), roots=[2]
+        )
+        assert [e.get("tid") for e in trace.of_kind("root")] == [2]
+
+    def test_event_payload_access(self):
+        _, trace = run_51()
+        event = trace.of_kind("descend")[0]
+        assert event.get("missing", "default") == "default"
+        assert "descend" in str(event)
+        assert len(trace) > 0

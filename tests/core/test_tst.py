@@ -1,0 +1,142 @@
+"""The RST/TST internal structures — Figure 5.1's encoding."""
+
+from repro.core.modes import LockMode
+from repro.core.notation import load_table
+from repro.core.tst import OFF_PATH, TST, TSTEdge, TSTEntry
+from repro.lockmgr import scheduler
+from repro.lockmgr.lock_table import LockTable
+from tests.conftest import EXAMPLE_41, EXAMPLE_51
+
+
+def build_tst(text) -> TST:
+    return TST(load_table(LockTable(), text))
+
+
+class TestEncoding:
+    def test_h_edges_carry_nl_lock(self):
+        tst = build_tst(EXAMPLE_51)
+        h_edges = [e for e in tst.entries[1].waited if not e.is_w]
+        assert h_edges and all(e.lock is LockMode.NL for e in h_edges)
+
+    def test_w_edge_carries_blocked_mode_and_successor(self):
+        tst = build_tst(EXAMPLE_51)
+        # T2 queued at R1 ahead of T3: W edge (X, T3).
+        w_edge = tst.entries[2].w_edge()
+        assert w_edge is not None
+        assert w_edge.lock is LockMode.X
+        assert w_edge.target == 3
+
+    def test_last_queue_member_targets_zero(self):
+        tst = build_tst(EXAMPLE_51)
+        w_edge = tst.entries[3].w_edge()
+        assert w_edge.target == 0
+
+    def test_w_edge_precedes_h_edges(self):
+        """The ordering rule Example 5.1 relies on: the W edge, if any,
+        sits at the front of the waited list."""
+        tst = build_tst(EXAMPLE_51)
+        for entry in tst.entries.values():
+            w_positions = [
+                i for i, e in enumerate(entry.waited) if e.is_w
+            ]
+            assert w_positions in ([], [0])
+
+    def test_pr_points_to_blocking_resource(self):
+        tst = build_tst(EXAMPLE_41)
+        assert tst.entries[7].pr == "R1"  # queued at R1
+        assert tst.entries[7].in_queue
+        assert tst.entries[1].pr == "R1"  # blocked conversion
+        assert not tst.entries[1].in_queue
+        assert tst.entries[8].pr == "R2"
+
+    def test_unblocked_holder_has_no_pr(self):
+        tst = build_tst("R: Holder((T1, X, NL)) Queue((T2, X))")
+        assert tst.entries[1].pr is None
+
+    def test_figure_51_edge_counts(self):
+        """Example 4.1's TST: every printed waited list is reproduced."""
+        tst = build_tst(EXAMPLE_41)
+        # Edge multiset equals the H/W-TWBG of Figure 4.1 plus the
+        # terminal W edges (target 0) of each queue's last member.
+        edges = {
+            (tid, e.target, e.label)
+            for tid, entry in tst.entries.items()
+            for e in entry.waited
+        }
+        assert (1, 2, "H") in edges
+        assert (3, 1, "H") in edges
+        assert (7, 8, "H") in edges
+        assert (5, 6, "W") in edges
+        assert (7, 0, "W") in edges  # last in R1's queue
+        assert (4, 0, "W") in edges  # last in R2's queue
+
+
+class TestWalkBookkeeping:
+    def test_reset_walk(self):
+        entry = TSTEntry(tid=1, waited=[TSTEdge(LockMode.NL, 2, "R")])
+        entry.ancestor = 7
+        entry.reset_walk()
+        assert entry.ancestor == OFF_PATH
+        assert entry.current == 0
+
+    def test_reset_walk_empty_list_is_nil(self):
+        entry = TSTEntry(tid=1)
+        entry.reset_walk()
+        assert entry.current is None
+
+    def test_advance_to_nil(self):
+        entry = TSTEntry(
+            tid=1,
+            waited=[TSTEdge(LockMode.NL, 2, "R"), TSTEdge(LockMode.NL, 3, "R")],
+        )
+        entry.reset_walk()
+        entry.advance()
+        assert entry.current == 1
+        entry.advance()
+        assert entry.current is None
+        entry.advance()  # idempotent at nil
+        assert entry.current is None
+
+    def test_kill(self):
+        entry = TSTEntry(tid=1, waited=[TSTEdge(LockMode.NL, 2, "R")])
+        entry.reset_walk()
+        entry.kill()
+        assert entry.current is None
+
+    def test_current_edge(self):
+        edge = TSTEdge(LockMode.S, 2, "R")
+        entry = TSTEntry(tid=1, waited=[edge])
+        entry.reset_walk()
+        assert entry.current_edge() is edge
+        entry.advance()
+        assert entry.current_edge() is None
+
+
+class TestRetargeting:
+    def test_retarget_after_reposition(self, example_41_table):
+        tst = TST(example_41_table)
+        scheduler.reposition_queue(example_41_table, "R2", [9, 3], [8])
+        tst.retarget_queue_edges("R2")
+        assert tst.entries[9].w_edge().target == 3
+        assert tst.entries[3].w_edge().target == 8
+        assert tst.entries[8].w_edge().target == 4
+        assert tst.entries[4].w_edge().target == 0
+
+    def test_retarget_keeps_current_indexes(self, example_41_table):
+        tst = TST(example_41_table)
+        before = {tid: e.current for tid, e in tst.entries.items()}
+        scheduler.reposition_queue(example_41_table, "R2", [9, 3], [8])
+        tst.retarget_queue_edges("R2")
+        after = {tid: e.current for tid, e in tst.entries.items()}
+        assert before == after
+
+
+class TestPresentation:
+    def test_str_lists_entries(self):
+        tst = build_tst(EXAMPLE_51)
+        text = str(tst)
+        assert text.splitlines()[0].startswith("T1:")
+
+    def test_tids_sorted(self):
+        tst = build_tst(EXAMPLE_41)
+        assert tst.tids() == sorted(tst.tids())

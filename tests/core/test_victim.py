@@ -1,0 +1,198 @@
+"""TDR candidates, cost table and victim selection (Section 4)."""
+
+import pytest
+
+from repro.core.hw_twbg import build_graph
+from repro.core.notation import load_table, parse_resource, parse_table
+from repro.core.victim import (
+    AbortCandidate,
+    CostTable,
+    RepositionCandidate,
+    candidates_for_cycle,
+    select_victim,
+    split_av_st,
+)
+from repro.lockmgr.lock_table import LockTable
+from tests.conftest import EXAMPLE_41, EXAMPLE_51
+
+
+def candidates_of(text, cycle, costs=None):
+    table = load_table(LockTable(), text)
+    graph = build_graph(table.snapshot())
+    edges = graph.cycle_edges(cycle)
+    return candidates_for_cycle(edges, table.existing, costs or CostTable())
+
+
+class TestCostTable:
+    def test_default_cost(self):
+        assert CostTable().cost(42) == 1.0
+        assert CostTable(default=5.0).cost(42) == 5.0
+
+    def test_explicit_costs(self):
+        table = CostTable({1: 6.0})
+        assert table.cost(1) == 6.0
+        assert 1 in table and 2 not in table
+
+    def test_delay_penalty_default_doubles(self):
+        table = CostTable({1: 4.0})
+        assert table.apply_delay_penalty(1) == 8.0
+        assert table.cost(1) == 8.0
+
+    def test_delay_penalty_floor(self):
+        table = CostTable({1: 0.25})
+        assert table.apply_delay_penalty(1) == 1.25
+
+    def test_custom_penalty(self):
+        table = CostTable({1: 4.0}, penalty=lambda c: 0.5)
+        assert table.apply_delay_penalty(1) == 4.5
+
+    def test_forget(self):
+        table = CostTable({1: 4.0})
+        table.forget(1)
+        assert table.cost(1) == 1.0
+
+    def test_set_cost(self):
+        table = CostTable()
+        table.set_cost(3, 9.0)
+        assert table.cost(3) == 9.0
+
+
+class TestSplitAvSt:
+    def test_example_41_split(self):
+        state = parse_resource(
+            "R2(IS): Holder((T7, IS, NL)) Queue((T8, X) (T9, IX) (T3, S) (T4, X))"
+        )
+        av, st = split_av_st(state, 3)
+        assert av == [9, 3]
+        assert st == [8]
+
+    def test_prefix_only(self):
+        state = parse_resource(
+            "R(S): Holder((T1, S, NL)) Queue((T2, X) (T3, S) (T4, X))"
+        )
+        av, st = split_av_st(state, 3)
+        # T4 sits beyond T3's request and is not examined.
+        assert av == [3] and st == [2]
+
+    def test_unknown_tid_raises(self):
+        state = parse_resource("R(S): Holder((T1, S, NL)) Queue((T2, X))")
+        with pytest.raises(ValueError):
+            split_av_st(state, 9)
+
+
+class TestExample41Candidates:
+    CYCLE = [1, 2, 5, 6, 7, 8, 9, 3]
+
+    def test_four_tdr1_and_one_tdr2(self):
+        candidates = candidates_of(EXAMPLE_41, self.CYCLE)
+        aborts = {c.tid for c in candidates if isinstance(c, AbortCandidate)}
+        repositions = [
+            c for c in candidates if isinstance(c, RepositionCandidate)
+        ]
+        assert aborts == {1, 2, 7, 3}
+        assert len(repositions) == 1
+        assert repositions[0].rid == "R2"
+        assert repositions[0].st == (8,)
+        assert repositions[0].av == (9, 3)
+
+    def test_tdr2_not_applicable_at_t7(self):
+        # T7's blocked mode IX is incompatible with R1's total SIX.
+        candidates = candidates_of(EXAMPLE_41, self.CYCLE)
+        repositions = [
+            c for c in candidates if isinstance(c, RepositionCandidate)
+        ]
+        assert all(c.junction != 7 for c in repositions)
+
+    def test_tdr2_cost_is_half_st_cost(self):
+        costs = CostTable({8: 10.0})
+        candidates = candidates_of(EXAMPLE_41, self.CYCLE, costs)
+        reposition = [
+            c for c in candidates if isinstance(c, RepositionCandidate)
+        ][0]
+        assert reposition.cost == 5.0
+
+    def test_unit_costs_select_tdr2(self):
+        candidates = candidates_of(EXAMPLE_41, self.CYCLE)
+        chosen = select_victim(candidates)
+        assert isinstance(chosen, RepositionCandidate)
+        assert chosen.cost == 0.5
+
+    def test_abort_rids_point_at_blocking_resource(self):
+        candidates = candidates_of(EXAMPLE_41, self.CYCLE)
+        rids = {
+            c.tid: c.rid for c in candidates if isinstance(c, AbortCandidate)
+        }
+        assert rids == {1: "R1", 2: "R1", 7: "R1", 3: "R2"}
+
+
+class TestExample51Candidates:
+    def test_long_cycle_candidates(self):
+        costs = CostTable({1: 6.0, 2: 4.0, 3: 1.0})
+        candidates = candidates_of(EXAMPLE_51, [1, 2, 3], costs)
+        aborts = {
+            c.tid: c.cost for c in candidates if isinstance(c, AbortCandidate)
+        }
+        assert aborts == {1: 6.0, 3: 1.0}
+        repositions = [
+            c for c in candidates if isinstance(c, RepositionCandidate)
+        ]
+        assert len(repositions) == 1
+        assert repositions[0].st == (2,)
+        assert repositions[0].cost == 2.0
+        assert isinstance(select_victim(candidates), AbortCandidate)
+        assert select_victim(candidates).tid == 3
+
+    def test_short_cycle_candidates(self):
+        costs = CostTable({1: 6.0, 2: 4.0})
+        candidates = candidates_of(EXAMPLE_51, [1, 2], costs)
+        aborts = {c.tid for c in candidates if isinstance(c, AbortCandidate)}
+        assert aborts == {1, 2}
+        assert select_victim(candidates).tid == 2
+
+
+class TestSelectVictim:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            select_victim([])
+
+    def test_min_cost_wins(self):
+        a = AbortCandidate(1, "R", 5.0)
+        b = AbortCandidate(2, "R", 2.0)
+        assert select_victim([a, b]) is b
+
+    def test_tie_prefers_reposition(self):
+        a = AbortCandidate(1, "R", 2.0)
+        b = RepositionCandidate(2, "R", (3,), (4,), 2.0)
+        assert select_victim([a, b]) is b
+
+    def test_tie_prefers_smaller_tid(self):
+        a = AbortCandidate(5, "R", 2.0)
+        b = AbortCandidate(3, "R", 2.0)
+        assert select_victim([a, b]) is b
+
+    def test_str_representations(self):
+        assert "abort T1" in str(AbortCandidate(1, "R", 5.0))
+        text = str(RepositionCandidate(2, "R9", (3,), (4, 5), 2.5))
+        assert "T4/T5" in text and "R9" in text
+
+
+class TestCandidateKinds:
+    def test_kind_properties(self):
+        assert AbortCandidate(1, "R", 1.0).kind == "abort"
+        assert RepositionCandidate(1, "R", (), (2,), 1.0).kind == "reposition"
+
+    def test_empty_st_never_offered(self):
+        # A queue whose examined prefix is fully compatible offers no
+        # reposition candidate (nothing to delay).
+        table = load_table(
+            LockTable(),
+            "R(S): Holder((T1, S, NL)) Queue((T2, X) (T3, S))\n"
+            "Q(S): Holder((T2, S, NL) (T3, S, NL)) Queue((T1, X))",
+        )
+        graph = build_graph(table.snapshot())
+        for cycle in graph.elementary_cycles():
+            for candidate in candidates_for_cycle(
+                graph.cycle_edges(cycle), table.existing, CostTable()
+            ):
+                if isinstance(candidate, RepositionCandidate):
+                    assert candidate.st

@@ -1,0 +1,163 @@
+"""The mini database: locking discipline, undo, rollback."""
+
+import pytest
+
+from repro.core.errors import ReproError, TransactionAborted, UnknownResourceError
+from repro.core.modes import LockMode
+from repro.db.database import Blocked, Database
+
+
+def make_db() -> Database:
+    db = Database()
+    db.create_table("accounts", {"alice": 100, "bob": 50})
+    return db
+
+
+class TestSchema:
+    def test_create_table_builds_hierarchy(self):
+        db = make_db()
+        assert "db.accounts" in db.hierarchy
+        assert "db.accounts[alice]" in db.hierarchy
+        assert db.hierarchy.parent("db.accounts") == "db"
+
+    def test_duplicate_table_rejected(self):
+        db = make_db()
+        with pytest.raises(ReproError):
+            db.create_table("accounts")
+
+    def test_unknown_table_rejected(self):
+        db = make_db()
+        txn = db.begin()
+        with pytest.raises(UnknownResourceError):
+            db.read(txn, "missing", "k")
+
+    def test_keys(self):
+        assert set(make_db().keys("accounts")) == {"alice", "bob"}
+
+
+class TestOperations:
+    def test_read_takes_is_path_and_s_record(self):
+        db = make_db()
+        txn = db.begin()
+        assert db.read(txn, "accounts", "alice") == 100
+        held = db.transactions.locks.holding(txn.tid)
+        assert held["db"] is LockMode.IS
+        assert held["db.accounts"] is LockMode.IS
+        assert held["db.accounts[alice]"] is LockMode.S
+
+    def test_read_missing_key_returns_none(self):
+        db = make_db()
+        assert db.read(db.begin(), "accounts", "carol") is None
+
+    def test_write_takes_ix_path_and_x_record(self):
+        db = make_db()
+        txn = db.begin()
+        db.write(txn, "accounts", "alice", 90)
+        held = db.transactions.locks.holding(txn.tid)
+        assert held["db.accounts"] is LockMode.IX
+        assert held["db.accounts[alice]"] is LockMode.X
+
+    def test_write_new_key_registers_resource(self):
+        db = make_db()
+        txn = db.begin()
+        db.write(txn, "accounts", "carol", 10)
+        assert "db.accounts[carol]" in db.hierarchy
+        assert db.read(txn, "accounts", "carol") == 10
+
+    def test_scan_takes_table_s(self):
+        db = make_db()
+        txn = db.begin()
+        rows = db.scan(txn, "accounts")
+        assert rows == {"alice": 100, "bob": 50}
+        assert db.transactions.locks.holding(txn.tid)[
+            "db.accounts"
+        ] is LockMode.S
+
+    def test_scan_for_update_takes_six(self):
+        db = make_db()
+        txn = db.begin()
+        db.scan_for_update(txn, "accounts")
+        assert db.transactions.locks.holding(txn.tid)[
+            "db.accounts"
+        ] is LockMode.SIX
+
+    def test_scan_then_update_is_conversion(self):
+        db = make_db()
+        txn = db.begin()
+        db.scan_for_update(txn, "accounts")
+        db.write(txn, "accounts", "alice", 90)  # table IX covered by SIX
+        db.commit(txn)
+        assert db.read(db.begin(), "accounts", "alice") == 90
+
+
+class TestIsolation:
+    def test_writer_blocks_reader_of_same_record(self):
+        db = make_db()
+        t1, t2 = db.begin(), db.begin()
+        db.write(t1, "accounts", "alice", 90)
+        with pytest.raises(Blocked):
+            db.read(t2, "accounts", "alice")
+
+    def test_readers_share(self):
+        db = make_db()
+        t1, t2 = db.begin(), db.begin()
+        assert db.read(t1, "accounts", "alice") == 100
+        assert db.read(t2, "accounts", "alice") == 100
+
+    def test_scan_blocks_writer(self):
+        db = make_db()
+        t1, t2 = db.begin(), db.begin()
+        db.scan(t1, "accounts")
+        with pytest.raises(Blocked):
+            db.write(t2, "accounts", "bob", 0)
+
+    def test_strict_2pl_holds_until_commit(self):
+        db = make_db()
+        t1, t2 = db.begin(), db.begin()
+        db.write(t1, "accounts", "alice", 90)
+        db.commit(t1)
+        assert db.read(t2, "accounts", "alice") == 90
+
+
+class TestUndo:
+    def test_abort_rolls_back_writes(self):
+        db = make_db()
+        txn = db.begin()
+        db.write(txn, "accounts", "alice", 0)
+        db.write(txn, "accounts", "carol", 5)
+        db.abort(txn)
+        fresh = db.begin()
+        assert db.read(fresh, "accounts", "alice") == 100
+        assert db.read(fresh, "accounts", "carol") is None
+
+    def test_rollback_order_is_reverse(self):
+        db = make_db()
+        txn = db.begin()
+        db.write(txn, "accounts", "alice", 1)
+        db.write(txn, "accounts", "alice", 2)
+        db.abort(txn)
+        assert db.read(db.begin(), "accounts", "alice") == 100
+
+    def test_commit_discards_undo(self):
+        db = make_db()
+        txn = db.begin()
+        db.write(txn, "accounts", "alice", 90)
+        db.commit(txn)
+        db.rollback(txn.tid)  # no-op after commit
+        assert db.read(db.begin(), "accounts", "alice") == 90
+
+    def test_victim_operation_raises_transaction_aborted(self):
+        db = make_db()
+        t1, t2 = db.begin(), db.begin()
+        db.write(t1, "accounts", "alice", 90)
+        db.write(t2, "accounts", "bob", 40)
+        with pytest.raises(Blocked):
+            db.write(t1, "accounts", "bob", 60)
+        with pytest.raises(Blocked):
+            db.write(t2, "accounts", "alice", 110)
+        result = db.transactions.run_detection()
+        assert result.deadlock_found
+        victim = db.transactions.transaction(result.aborted[0])
+        # The victim's next operation reports the abort and rolls back.
+        with pytest.raises(TransactionAborted):
+            db.read(victim, "accounts", "alice")

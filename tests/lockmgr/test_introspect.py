@@ -1,0 +1,71 @@
+"""Operator introspection: explain_block, summaries, reports."""
+
+from repro.core.modes import LockMode
+from repro.lockmgr import scheduler
+from repro.lockmgr.introspect import (
+    explain_block,
+    render_report,
+    wait_graph_summary,
+)
+from repro.lockmgr.lock_table import LockTable
+
+
+class TestExplainBlock:
+    def test_unblocked(self):
+        table = LockTable()
+        scheduler.request(table, 1, "R", LockMode.S)
+        explanation = explain_block(table, 1)
+        assert not explanation.blocked
+        assert "not blocked" in str(explanation)
+
+    def test_queued_waiter(self):
+        table = LockTable()
+        scheduler.request(table, 1, "R", LockMode.X)
+        scheduler.request(table, 2, "R", LockMode.S)
+        scheduler.request(table, 3, "R", LockMode.S)
+        explanation = explain_block(table, 3)
+        assert explanation.blocked
+        assert explanation.rid == "R"
+        assert not explanation.conversion
+        assert explanation.queue_position == 1
+        assert explanation.direct_blockers == [1, 2]
+        assert not explanation.on_deadlock_cycle
+
+    def test_blocked_conversion(self):
+        table = LockTable()
+        scheduler.request(table, 1, "R", LockMode.IS)
+        scheduler.request(table, 2, "R", LockMode.IX)
+        scheduler.request(table, 1, "R", LockMode.S)
+        explanation = explain_block(table, 1)
+        assert explanation.conversion
+        assert explanation.mode is LockMode.S
+        assert explanation.direct_blockers == [2]
+        assert "converting to S" in str(explanation)
+
+    def test_deadlocked_member(self, example_51_table):
+        explanation = explain_block(example_51_table, 1)
+        assert explanation.on_deadlock_cycle
+        assert 1 in explanation.cycle
+        assert "DEADLOCKED" in str(explanation)
+
+
+class TestSummaryAndReport:
+    def test_wait_graph_summary(self, example_51_table):
+        summary = wait_graph_summary(example_51_table)
+        # T1 blocks T2 and T3 (they wait on it): fan-out 1 (edge T1->T2),
+        # and T1 itself waits on two holders.
+        assert summary[1]["waits_on"] == 2
+        assert summary[1]["blocks"] == 1
+
+    def test_render_report_lists_everything(self, example_41_table):
+        report = render_report(example_41_table)
+        assert "R1(SIX)" in report
+        assert "T7 is blocked at R1" in report
+        assert "deadlock cycles:" in report
+        assert "[3, 6, 7, 8, 9]" in report
+
+    def test_render_report_clean_table(self):
+        table = LockTable()
+        scheduler.request(table, 1, "R", LockMode.S)
+        report = render_report(table)
+        assert "deadlock cycles: none" in report

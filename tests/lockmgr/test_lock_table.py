@@ -1,0 +1,102 @@
+"""LockTable bookkeeping and the Axiom-1 guarantee."""
+
+import pytest
+
+from repro.core.errors import LockTableError, UnknownResourceError
+from repro.core.modes import LockMode
+from repro.lockmgr import scheduler
+from repro.lockmgr.lock_table import LockTable
+
+
+class TestResourceAccess:
+    def test_resource_created_on_demand(self):
+        table = LockTable()
+        state = table.resource("R")
+        assert state.rid == "R"
+        assert "R" in table
+
+    def test_existing_raises_for_unknown(self):
+        with pytest.raises(UnknownResourceError):
+            LockTable().existing("missing")
+
+    def test_drop_if_free(self):
+        table = LockTable()
+        table.resource("R")
+        table.drop_if_free("R")
+        assert "R" not in table
+
+    def test_drop_keeps_populated(self):
+        table = LockTable()
+        scheduler.request(table, 1, "R", LockMode.S)
+        table.drop_if_free("R")
+        assert "R" in table
+
+    def test_len_and_ids(self):
+        table = LockTable()
+        scheduler.request(table, 1, "A", LockMode.S)
+        scheduler.request(table, 1, "B", LockMode.S)
+        assert len(table) == 2
+        assert table.resource_ids() == ["A", "B"]
+
+
+class TestIndexes:
+    def test_held_by_tracks_grants(self):
+        table = LockTable()
+        scheduler.request(table, 1, "A", LockMode.S)
+        scheduler.request(table, 1, "B", LockMode.IX)
+        assert table.held_by(1) == {"A", "B"}
+
+    def test_blocked_at_set_and_cleared(self):
+        table = LockTable()
+        scheduler.request(table, 1, "A", LockMode.X)
+        scheduler.request(table, 2, "A", LockMode.X)
+        assert table.blocked_at(2) == "A"
+        assert table.is_blocked(2)
+        scheduler.release_all(table, 1)
+        assert table.blocked_at(2) is None
+
+    def test_axiom_1_single_wait(self):
+        """No transaction may wait at two places at once."""
+        table = LockTable()
+        table.note_blocked(1, "A", in_queue=True)
+        with pytest.raises(LockTableError):
+            table.note_blocked(1, "B", in_queue=True)
+
+    def test_renoting_same_block_is_fine(self):
+        table = LockTable()
+        table.note_blocked(1, "A", in_queue=True)
+        table.note_blocked(1, "A", in_queue=False)
+        assert not table.blocked_in_queue(1)
+
+    def test_blocked_tids(self):
+        table = LockTable()
+        scheduler.request(table, 1, "A", LockMode.X)
+        scheduler.request(table, 2, "A", LockMode.X)
+        scheduler.request(table, 3, "A", LockMode.X)
+        assert sorted(table.blocked_tids()) == [2, 3]
+
+    def test_active_tids(self):
+        table = LockTable()
+        scheduler.request(table, 1, "A", LockMode.X)
+        scheduler.request(table, 2, "A", LockMode.X)
+        assert table.active_tids() == {1, 2}
+
+    def test_forget_holder_cleans_empty_sets(self):
+        table = LockTable()
+        scheduler.request(table, 1, "A", LockMode.S)
+        table.forget_holder(1, "A")
+        assert table.held_by(1) == set()
+
+
+class TestSnapshot:
+    def test_snapshot_is_deep(self):
+        table = LockTable()
+        scheduler.request(table, 1, "A", LockMode.S)
+        snap = table.snapshot()
+        snap[0].holders.clear()
+        assert table.existing("A").is_held_by(1)
+
+    def test_str_lists_resources(self):
+        table = LockTable()
+        scheduler.request(table, 1, "A", LockMode.S)
+        assert str(table).startswith("A(S)")

@@ -1,0 +1,124 @@
+"""Scheduler corner cases the main suite does not pin down."""
+
+import pytest
+
+from repro.core.errors import LockTableError
+from repro.core.modes import LockMode
+from repro.lockmgr import scheduler
+from repro.lockmgr.lock_table import LockTable
+
+NL, IS, IX, S, SIX, X = (
+    LockMode.NL,
+    LockMode.IS,
+    LockMode.IX,
+    LockMode.S,
+    LockMode.SIX,
+    LockMode.X,
+)
+
+
+class TestConversionVsQueue:
+    def test_sole_holder_converts_past_nonempty_queue(self):
+        """A conversion checks only other holders: the sole holder
+        upgrades even while a queue waits (conversion priority)."""
+        table = LockTable()
+        scheduler.request(table, 1, "R", S)
+        scheduler.request(table, 2, "R", X)  # queued
+        outcome = scheduler.request(table, 1, "R", X)
+        assert outcome.granted
+        assert table.existing("R").holder_entry(1).granted is X
+
+    def test_conversion_needs_total_update_visible_to_queue(self):
+        # After a granted conversion the raised total mode keeps blocking
+        # otherwise-compatible newcomers behind the queue.
+        table = LockTable()
+        scheduler.request(table, 1, "R", IS)
+        scheduler.request(table, 1, "R", X)  # sole holder: granted
+        assert not scheduler.request(table, 2, "R", IS).granted
+
+    def test_double_blocked_conversion_rejected(self):
+        table = LockTable()
+        scheduler.request(table, 1, "R", IS)
+        scheduler.request(table, 2, "R", IX)
+        scheduler.request(table, 1, "R", S)  # blocked conversion
+        with pytest.raises(LockTableError):
+            scheduler.request(table, 1, "R", X)  # still blocked
+
+
+class TestQueueGrantOrdering:
+    def test_grant_chain_respects_rising_total(self):
+        """Sweep grants a prefix whose modes are mutually compatible via
+        the rising total — S, S granted; IX behind them refused."""
+        table = LockTable()
+        scheduler.request(table, 1, "R", X)
+        scheduler.request(table, 2, "R", S)
+        scheduler.request(table, 3, "R", S)
+        scheduler.request(table, 4, "R", IX)
+        grants = scheduler.release_all(table, 1)
+        assert [g.tid for g in grants] == [2, 3]
+        assert [q.tid for q in table.existing("R").queue] == [4]
+
+    def test_intention_prefix_grants_through(self):
+        table = LockTable()
+        scheduler.request(table, 1, "R", X)
+        scheduler.request(table, 2, "R", IS)
+        scheduler.request(table, 3, "R", IX)
+        scheduler.request(table, 4, "R", S)  # S compat with IS+IX? S~IX no
+        grants = scheduler.release_all(table, 1)
+        assert [g.tid for g in grants] == [2, 3]
+        assert table.blocked_at(4) == "R"
+
+    def test_release_of_blocked_conversion_holder(self):
+        """Releasing a transaction whose conversion is blocked removes
+        both its granted lock and its pending upgrade."""
+        table = LockTable()
+        scheduler.request(table, 1, "R", IS)
+        scheduler.request(table, 2, "R", IX)
+        scheduler.request(table, 1, "R", S)  # blocked conversion
+        scheduler.release_all(table, 1)
+        state = table.existing("R")
+        assert [h.tid for h in state.holders] == [2]
+        assert table.blocked_at(1) is None
+
+    def test_sweep_grants_conversion_then_queue(self):
+        """One release can unblock a conversion AND queue members, in
+        that order."""
+        table = LockTable()
+        scheduler.request(table, 1, "R", IS)
+        scheduler.request(table, 2, "R", S)
+        scheduler.request(table, 1, "R", IX)  # blocked: IX vs S
+        scheduler.request(table, 3, "R", IS)  # queued: Comp(total=SIX, IS)?
+        # total = Conv(Conv(IS,IX), S) = SIX; IS compat SIX -> but queue
+        # grant also requires empty-queue-or... new requestor with empty
+        # queue and compatible total is granted immediately; verify:
+        assert table.existing("R").is_held_by(3) or table.blocked_at(3)
+        grants = scheduler.release_all(table, 2)
+        tids = [g.tid for g in grants]
+        assert tids[0] == 1  # conversion first
+        assert table.existing("R").holder_entry(1).granted is IX
+
+
+class TestIdempotenceAndIsolation:
+    def test_rerequest_weaker_mode_keeps_stronger(self):
+        table = LockTable()
+        scheduler.request(table, 1, "R", SIX)
+        outcome = scheduler.request(table, 1, "R", IS)
+        assert outcome.granted
+        assert outcome.mode is SIX
+
+    def test_distinct_resources_do_not_interact(self):
+        table = LockTable()
+        scheduler.request(table, 1, "A", X)
+        assert scheduler.request(table, 2, "B", X).granted
+
+    def test_unknown_resource_release_noop(self):
+        table = LockTable()
+        assert scheduler.release_all(table, 7) == []
+
+    def test_full_mode_ladder_single_holder(self):
+        """IS -> IX -> SIX -> X, all immediate for a sole holder."""
+        table = LockTable()
+        for mode in (IS, IX, S, X):
+            assert scheduler.request(table, 1, "R", mode).granted
+        assert table.existing("R").holder_entry(1).granted is X
+        assert table.existing("R").total is X

@@ -1,0 +1,119 @@
+"""Lock escalation over MGL."""
+
+import pytest
+
+from repro.core.modes import LockMode
+from repro.mgl.escalation import EscalatingMGL
+from repro.mgl.hierarchy import ResourceHierarchy
+from repro.txn.manager import TransactionManager
+from repro.txn.transaction import TxnState
+
+
+def build(threshold=3, rows=12):
+    hierarchy = ResourceHierarchy()
+    hierarchy.add("db")
+    hierarchy.add("t", parent="db")
+    for index in range(rows):
+        hierarchy.add("r{}".format(index), parent="t")
+    tm = TransactionManager()
+    return EscalatingMGL(hierarchy, tm, threshold=threshold), tm
+
+
+class TestEscalation:
+    def test_reader_escalates_to_table_s(self):
+        mgl, tm = build(threshold=3)
+        txn = tm.begin()
+        for index in range(4):
+            assert mgl.lock(txn, "r{}".format(index), LockMode.S)
+        held = tm.locks.holding(txn.tid)
+        assert held["t"] is LockMode.S
+        assert mgl.escalated_parents(txn.tid) == {"t"}
+        assert mgl.stats.granted == 1
+
+    def test_writer_escalates_to_table_x(self):
+        mgl, tm = build(threshold=2)
+        txn = tm.begin()
+        for index in range(3):
+            assert mgl.lock(txn, "r{}".format(index), LockMode.X)
+        assert tm.locks.holding(txn.tid)["t"] is LockMode.X
+
+    def test_below_threshold_no_escalation(self):
+        mgl, tm = build(threshold=10)
+        txn = tm.begin()
+        for index in range(5):
+            mgl.lock(txn, "r{}".format(index), LockMode.S)
+        assert tm.locks.holding(txn.tid)["t"] is LockMode.IS
+        assert mgl.stats.attempts == 0
+
+    def test_covered_requests_after_escalation_are_free(self):
+        mgl, tm = build(threshold=2)
+        txn = tm.begin()
+        for index in range(3):
+            mgl.lock(txn, "r{}".format(index), LockMode.S)
+        locks_before = len(tm.locks.holding(txn.tid))
+        assert mgl.lock(txn, "r9", LockMode.S)  # covered by table S
+        assert len(tm.locks.holding(txn.tid)) == locks_before
+
+    def test_mixed_modes_escalate_to_x(self):
+        mgl, tm = build(threshold=3)
+        txn = tm.begin()
+        mgl.lock(txn, "r0", LockMode.S)
+        mgl.lock(txn, "r1", LockMode.X)
+        mgl.lock(txn, "r2", LockMode.S)
+        mgl.lock(txn, "r3", LockMode.S)  # triggers escalation
+        assert tm.locks.holding(txn.tid)["t"] is LockMode.X
+
+    def test_escalation_blocks_on_other_reader(self):
+        mgl, tm = build(threshold=2)
+        writer, reader = tm.begin(), tm.begin()
+        assert mgl.lock(reader, "r9", LockMode.S)
+        for index in range(2):
+            assert mgl.lock(writer, "r{}".format(index), LockMode.X)
+        # Third write crosses the threshold; the X escalation conflicts
+        # with the reader's IS... IS is compatible with X? No: Comp(IS, X)
+        # is false, so the conversion blocks.
+        assert not mgl.lock(writer, "r2", LockMode.X)
+        assert writer.is_blocked
+        assert mgl.stats.blocked == 1
+        # Reader commits; writer resumes by re-calling lock().
+        tm.commit(reader)
+        assert writer.is_active
+        assert mgl.lock(writer, "r2", LockMode.X)
+        assert tm.locks.holding(writer.tid)["t"] is LockMode.X
+
+    def test_dueling_escalations_deadlock_and_resolve(self):
+        """Two readers escalate to S... then upgrade to X via new writes:
+        a conversion deadlock on the table lock, resolved by detection."""
+        mgl, tm = build(threshold=2)
+        a, b = tm.begin(), tm.begin()
+        mgl.lock(a, "r0", LockMode.S)
+        mgl.lock(a, "r1", LockMode.S)
+        mgl.lock(a, "r2", LockMode.S)  # a escalates to table S
+        mgl.lock(b, "r3", LockMode.S)
+        mgl.lock(b, "r4", LockMode.S)
+        mgl.lock(b, "r5", LockMode.S)  # b escalates to table S
+        # Both now write a fresh row: covered check fails (S does not
+        # cover X), so each converts its table S toward SIX (S + IX
+        # intent) on the MGL path — two incompatible conversions, the
+        # Observation-3.1(3) deadlock.
+        assert not mgl.lock(a, "r6", LockMode.X)
+        assert not mgl.lock(b, "r7", LockMode.X)
+        assert tm.deadlocked()
+        result = tm.run_detection()
+        assert len(result.aborted) == 1
+        survivor = a if b.state is TxnState.ABORTED else b
+        assert tm.locks.holding(survivor.tid)["t"] is LockMode.SIX
+
+    def test_forget_clears_bookkeeping(self):
+        mgl, tm = build(threshold=2)
+        txn = tm.begin()
+        mgl.lock(txn, "r0", LockMode.S)
+        mgl.lock(txn, "r1", LockMode.S)
+        mgl.lock(txn, "r2", LockMode.S)
+        tm.commit(txn)
+        mgl.forget(txn.tid)
+        assert mgl.escalated_parents(txn.tid) == set()
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            build(threshold=0)

@@ -1,0 +1,73 @@
+"""Resource hierarchy for MGL."""
+
+import pytest
+
+from repro.mgl.hierarchy import HierarchyError, ResourceHierarchy
+
+
+def sample() -> ResourceHierarchy:
+    h = ResourceHierarchy()
+    h.add("db")
+    h.add("t1", parent="db")
+    h.add("t2", parent="db")
+    h.add("r1", parent="t1")
+    h.add("r2", parent="t1")
+    return h
+
+
+class TestConstruction:
+    def test_add_and_contains(self):
+        h = sample()
+        assert "r1" in h and "db" in h
+        assert "zzz" not in h
+        assert len(h) == 5
+
+    def test_duplicate_rejected(self):
+        h = sample()
+        with pytest.raises(HierarchyError):
+            h.add("db")
+
+    def test_unknown_parent_rejected(self):
+        h = ResourceHierarchy()
+        with pytest.raises(HierarchyError):
+            h.add("x", parent="missing")
+
+    def test_add_path(self):
+        h = ResourceHierarchy()
+        h.add_path(["db", "t", "r"])
+        h.add_path(["db", "t", "r2"])  # shared prefix skipped
+        assert h.path_to_root("r2") == ["db", "t", "r2"]
+
+
+class TestQueries:
+    def test_parent(self):
+        h = sample()
+        assert h.parent("r1") == "t1"
+        assert h.parent("db") is None
+
+    def test_parent_of_unknown_raises(self):
+        with pytest.raises(HierarchyError):
+            sample().parent("nope")
+
+    def test_children(self):
+        h = sample()
+        assert h.children("db") == ["t1", "t2"]
+        assert h.children("r1") == []
+
+    def test_path_to_root(self):
+        assert sample().path_to_root("r2") == ["db", "t1", "r2"]
+        assert sample().path_to_root("db") == ["db"]
+
+    def test_descendants_preorder(self):
+        assert sample().descendants("db") == ["t1", "r1", "r2", "t2"]
+
+    def test_is_leaf(self):
+        h = sample()
+        assert h.is_leaf("r1")
+        assert not h.is_leaf("t1")
+
+    def test_forest_allowed(self):
+        h = ResourceHierarchy()
+        h.add("a")
+        h.add("b")
+        assert h.path_to_root("b") == ["b"]

@@ -1,0 +1,227 @@
+"""Property-based verification of the paper's theorems on random states.
+
+Random lock-table states are generated exclusively through real
+scheduler operations (requests and releases), so every tested state is
+reachable; the invariants checked are the paper's formal results:
+
+* Theorem 1 — H/W-TWBG has a cycle iff the full wait-for-graph oracle
+  sees a deadlock;
+* Lemmas 1–3 — every cycle contains an H edge and splits into ≥ 2 TRRPs;
+* Axiom 1 — a transaction waits in at most one place;
+* scheduler safety — granted modes are pairwise compatible, the cached
+  total mode is exact, blocked conversions form a prefix of the holder
+  list;
+* Theorem 4.1 — one periodic pass leaves the system deadlock-free, and
+  the invariants above still hold afterwards;
+* liveness — detect + finish drains any system.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.wfg import adjacency, find_cycle
+from repro.core.detection import detect_once
+from repro.core.errors import LockTableError
+from repro.core.hw_twbg import H_LABEL, build_graph
+from repro.core.modes import (
+    REQUESTABLE_MODES,
+    LockMode,
+    compatible,
+    total_mode,
+)
+from repro.lockmgr import scheduler
+from repro.lockmgr.lock_table import LockTable
+
+MODES = list(REQUESTABLE_MODES)
+
+
+def apply_ops(ops: List[Tuple[int, int, int, int]]) -> LockTable:
+    """Interpret integer tuples as scheduler operations.
+
+    ``(kind, tid, rid, mode)``: kind 0-3 = request (heavier weight),
+    kind 4 = finish.  Requests from blocked transactions are skipped —
+    the sequential model forbids them, so they cannot occur in a run.
+    """
+    table = LockTable()
+    for kind, tid, rid_index, mode_index in ops:
+        tid = tid + 1
+        if kind >= 4:
+            scheduler.release_all(table, tid)
+            continue
+        if table.is_blocked(tid):
+            continue
+        rid = "R{}".format(rid_index)
+        mode = MODES[mode_index % len(MODES)]
+        scheduler.request(table, tid, rid, mode)
+    return table
+
+
+ops_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=0, max_value=7),
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=0, max_value=4),
+    ),
+    max_size=60,
+)
+
+relaxed = settings(
+    max_examples=120, suppress_health_check=[HealthCheck.too_slow], deadline=None
+)
+
+
+def oracle_deadlocked(table: LockTable) -> bool:
+    return find_cycle(adjacency(table.snapshot())) is not None
+
+
+def assert_state_invariants(table: LockTable) -> None:
+    for state in table.resources():
+        # Cached total mode is exactly the recomputed one.
+        expected = total_mode(
+            (h.granted, h.blocked) for h in state.holders
+        )
+        assert state.total is expected
+
+        # Granted modes pairwise compatible (lock safety).
+        for i, first in enumerate(state.holders):
+            for second in state.holders[i + 1 :]:
+                assert compatible(first.granted, second.granted)
+
+        # Blocked conversions form a prefix of the holder list.
+        seen_unblocked = False
+        for holder in state.holders:
+            if holder.is_blocked:
+                assert not seen_unblocked
+            else:
+                seen_unblocked = True
+
+        # Queue entries carry requestable modes.
+        for waiter in state.queue:
+            assert waiter.blocked is not LockMode.NL
+
+    # Axiom 1: each transaction appears at most once as a waiter.
+    waiting_counts = {}
+    for state in table.resources():
+        for holder in state.holders:
+            if holder.is_blocked:
+                waiting_counts[holder.tid] = (
+                    waiting_counts.get(holder.tid, 0) + 1
+                )
+        for waiter in state.queue:
+            waiting_counts[waiter.tid] = waiting_counts.get(waiter.tid, 0) + 1
+    assert all(count == 1 for count in waiting_counts.values())
+
+    # Indexes agree with the states.
+    for tid, count in waiting_counts.items():
+        assert table.is_blocked(tid)
+
+
+class TestSchedulerInvariants:
+    @given(ops=ops_strategy)
+    @relaxed
+    def test_state_invariants_hold(self, ops):
+        table = apply_ops(ops)
+        assert_state_invariants(table)
+
+    @given(ops=ops_strategy)
+    @relaxed
+    def test_blocked_request_rejected(self, ops):
+        table = apply_ops(ops)
+        for tid in table.blocked_tids():
+            try:
+                scheduler.request(table, tid, "FRESH", LockMode.S)
+            except LockTableError:
+                continue
+            raise AssertionError("blocked transaction issued a request")
+
+
+class TestTheorem1:
+    @given(ops=ops_strategy)
+    @relaxed
+    def test_cycle_iff_deadlock(self, ops):
+        table = apply_ops(ops)
+        graph = build_graph(table.snapshot())
+        assert graph.has_cycle() == oracle_deadlocked(table)
+
+
+class TestAppendixLemmas:
+    @given(ops=ops_strategy)
+    @relaxed
+    def test_every_cycle_has_h_edge_and_two_trrps(self, ops):
+        table = apply_ops(ops)
+        graph = build_graph(table.snapshot())
+        for cycle in graph.elementary_cycles():
+            edges = graph.cycle_edges(cycle)
+            labels = [edge.label for edge in edges]
+            assert H_LABEL in labels  # Lemma 1
+            assert len(graph.trrps(cycle)) >= 2  # Lemmas 2-3
+
+
+class TestTheorem41:
+    @given(ops=ops_strategy)
+    @relaxed
+    def test_one_pass_resolves_everything(self, ops):
+        table = apply_ops(ops)
+        detect_once(table)
+        assert not build_graph(table.snapshot()).has_cycle()
+        assert not oracle_deadlocked(table)
+        assert_state_invariants(table)
+
+    @given(ops=ops_strategy)
+    @relaxed
+    def test_no_action_without_deadlock(self, ops):
+        table = apply_ops(ops)
+        was_deadlocked = oracle_deadlocked(table)
+        result = detect_once(table)
+        if not was_deadlocked:
+            assert not result.deadlock_found
+            assert result.aborted == []
+            assert result.repositions == []
+
+
+class TestLiveness:
+    @given(ops=ops_strategy, seed=st.integers(min_value=0, max_value=2**16))
+    @settings(
+        max_examples=60,
+        suppress_health_check=[HealthCheck.too_slow],
+        deadline=None,
+    )
+    def test_detect_and_finish_drains_system(self, ops, seed):
+        table = apply_ops(ops)
+        rng = random.Random(seed)
+        for _ in range(200):
+            tids = sorted(table.active_tids())
+            if not tids:
+                break
+            runnable = [tid for tid in tids if not table.is_blocked(tid)]
+            if runnable:
+                scheduler.release_all(table, rng.choice(runnable))
+            else:
+                result = detect_once(table)
+                assert result.deadlock_found  # all blocked => deadlock
+        assert not table.active_tids()
+
+
+class TestDeterminism:
+    @given(ops=ops_strategy)
+    @relaxed
+    def test_same_ops_same_state(self, ops):
+        first = apply_ops(ops)
+        second = apply_ops(ops)
+        assert str(first) == str(second)
+
+    @given(ops=ops_strategy)
+    @relaxed
+    def test_detection_deterministic(self, ops):
+        first = detect_once(apply_ops(ops))
+        second = detect_once(apply_ops(ops))
+        assert first.aborted == second.aborted
+        assert [r.rid for r in first.repositions] == [
+            r.rid for r in second.repositions
+        ]

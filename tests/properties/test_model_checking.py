@@ -1,0 +1,198 @@
+"""Exhaustive model checking on small configurations.
+
+Random testing samples the state space; this suite *enumerates* it.  For
+small configurations (3 transactions x 2 resources x {S, X}, and 3
+transactions x 1 resource x all five modes with conversions) we BFS over
+every reachable lock-table state via real scheduler operations and check
+the paper's theorems on each:
+
+* Theorem 1 (cycle ⟺ deadlock) on every reachable state;
+* every structural invariant (via the library's own verifier);
+* Theorem 4.1: a detection pass from every deadlocked state leaves a
+  reachable, deadlock-free, consistent state;
+* liveness: from every state, some operation sequence drains the system.
+
+State identity is the rendered table (holder/queue order included), so
+the exploration is exact, not up-to-isomorphism.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.baselines.wfg import has_deadlock
+from repro.core.detection import detect_once
+from repro.core.hw_twbg import build_graph
+from repro.core.modes import LockMode
+from repro.core.serialize import table_from_dict, table_to_dict
+from repro.core.verify import verify_table
+from repro.lockmgr import scheduler
+from repro.lockmgr.lock_table import LockTable
+
+
+def clone(table: LockTable) -> LockTable:
+    return table_from_dict(table_to_dict(table))
+
+
+def successors(
+    table: LockTable, tids, rids, modes
+) -> List[Tuple[str, LockTable]]:
+    """Every state reachable in one operation."""
+    result = []
+    for tid in tids:
+        if not table.is_blocked(tid):
+            for rid in rids:
+                for mode in modes:
+                    branch = clone(table)
+                    scheduler.request(branch, tid, rid, mode)
+                    result.append(
+                        ("T{} req {} {}".format(tid, rid, mode.name), branch)
+                    )
+        if tid in table.active_tids():
+            branch = clone(table)
+            scheduler.release_all(branch, tid)
+            result.append(("T{} finish".format(tid), branch))
+    return result
+
+
+def explore(tids, rids, modes, max_states=25000) -> Dict[str, LockTable]:
+    """BFS over all reachable states; returns key -> representative."""
+    start = LockTable()
+    seen: Dict[str, LockTable] = {str(start): start}
+    frontier = [start]
+    while frontier:
+        state = frontier.pop()
+        for _label, nxt in successors(state, tids, rids, modes):
+            key = str(nxt)
+            if key not in seen:
+                if len(seen) >= max_states:  # pragma: no cover - guard
+                    raise AssertionError("state space larger than expected")
+                seen[key] = nxt
+                frontier.append(nxt)
+    return seen
+
+
+class TestExhaustiveSX:
+    """3 transactions, 2 resources, S/X locks."""
+
+    @classmethod
+    def setup_class(cls):
+        cls.states = explore(
+            tids=(1, 2, 3), rids=("A", "B"), modes=(LockMode.S, LockMode.X)
+        )
+
+    def test_state_space_nontrivial(self):
+        assert len(self.states) > 300
+
+    def test_theorem_1_everywhere(self):
+        for state in self.states.values():
+            cyclic = build_graph(state.snapshot()).has_cycle()
+            assert cyclic == has_deadlock(state)
+
+    def test_invariants_everywhere(self):
+        for state in self.states.values():
+            assert verify_table(state) == []
+
+    def test_detection_resolves_every_deadlocked_state(self):
+        deadlocked = [
+            s for s in self.states.values()
+            if build_graph(s.snapshot()).has_cycle()
+        ]
+        assert deadlocked  # the space does contain deadlocks
+        for state in deadlocked:
+            branch = clone(state)
+            result = detect_once(branch)
+            assert result.deadlock_found
+            assert not build_graph(branch.snapshot()).has_cycle()
+            assert verify_table(branch) == []
+
+    def test_detection_never_acts_on_clean_states(self):
+        for state in self.states.values():
+            if build_graph(state.snapshot()).has_cycle():
+                continue
+            branch = clone(state)
+            result = detect_once(branch)
+            assert not result.deadlock_found
+            assert str(branch) == str(state)
+
+    def test_liveness_from_every_state(self):
+        """Detect-then-finish-everyone drains any reachable state."""
+        for state in self.states.values():
+            branch = clone(state)
+            for _ in range(10):
+                if not branch.active_tids():
+                    break
+                runnable = [
+                    tid
+                    for tid in sorted(branch.active_tids())
+                    if not branch.is_blocked(tid)
+                ]
+                if runnable:
+                    scheduler.release_all(branch, runnable[0])
+                else:
+                    assert detect_once(branch).deadlock_found
+            assert not branch.active_tids()
+
+
+class TestExhaustiveConversions:
+    """3 transactions, 1 resource, all five modes — the conversion-rich
+    corner where UPR and Observation 3.1 live."""
+
+    @classmethod
+    def setup_class(cls):
+        cls.states = explore(
+            tids=(1, 2, 3),
+            rids=("R",),
+            modes=(
+                LockMode.IS,
+                LockMode.IX,
+                LockMode.S,
+                LockMode.SIX,
+                LockMode.X,
+            ),
+        )
+
+    def test_state_space_nontrivial(self):
+        assert len(self.states) > 500
+
+    def test_theorem_1_with_conversions(self):
+        for state in self.states.values():
+            cyclic = build_graph(state.snapshot()).has_cycle()
+            assert cyclic == has_deadlock(state)
+
+    def test_invariants_with_conversions(self):
+        for state in self.states.values():
+            assert verify_table(state) == []
+
+    def test_blocked_prefix_everywhere(self):
+        for state in self.states.values():
+            for resource in state.resources():
+                seen_unblocked = False
+                for holder in resource.holders:
+                    if holder.is_blocked:
+                        assert not seen_unblocked
+                    else:
+                        seen_unblocked = True
+
+    def test_theorem_31_everywhere(self):
+        """Grantable blocked conversions never follow non-grantable ones
+        in any reachable holder list."""
+        for state in self.states.values():
+            for resource in state.resources():
+                hit_nongrantable = False
+                for holder in resource.blocked_holders():
+                    grantable = scheduler.conversion_grantable(
+                        resource, holder
+                    )
+                    if hit_nongrantable:
+                        assert not grantable
+                    if not grantable:
+                        hit_nongrantable = True
+
+    def test_every_deadlock_resolvable(self):
+        for state in self.states.values():
+            if not build_graph(state.snapshot()).has_cycle():
+                continue
+            branch = clone(state)
+            detect_once(branch)
+            assert not build_graph(branch.snapshot()).has_cycle()

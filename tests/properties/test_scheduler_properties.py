@@ -1,0 +1,120 @@
+"""Deeper scheduler properties: Theorem 3.1's consequences, sweep
+maximality, notation and serialization round trips on random reachable
+states."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.modes import compatible
+from repro.core.notation import format_table, parse_table
+from repro.lockmgr import scheduler
+from repro.lockmgr.lock_table import LockTable
+from tests.properties.test_invariants import apply_ops, ops_strategy
+
+relaxed = settings(
+    max_examples=100,
+    suppress_health_check=[HealthCheck.too_slow],
+    deadline=None,
+)
+
+
+def no_grant_left_behind(table: LockTable) -> None:
+    """After the scheduler settles, nothing grantable may remain:
+
+    * no blocked conversion is grantable (otherwise the sweep's
+      Theorem-3.1 early stop lost a grant);
+    * no queue front is compatible with its resource's total mode.
+    """
+    for state in table.resources():
+        for holder in state.blocked_holders():
+            assert not scheduler.conversion_grantable(state, holder), (
+                "grantable conversion left blocked at {}: T{}".format(
+                    state.rid, holder.tid
+                )
+            )
+        if state.queue:
+            front = state.queue[0]
+            assert not compatible(state.total, front.blocked), (
+                "grantable queue front left waiting at {}".format(state.rid)
+            )
+
+
+class TestSweepMaximality:
+    @given(ops=ops_strategy)
+    @relaxed
+    def test_no_grantable_request_left(self, ops):
+        no_grant_left_behind(apply_ops(ops))
+
+    @given(ops=ops_strategy, seed=st.integers(min_value=0, max_value=999))
+    @relaxed
+    def test_still_maximal_after_random_releases(self, ops, seed):
+        table = apply_ops(ops)
+        rng = random.Random(seed)
+        tids = sorted(table.active_tids())
+        for tid in rng.sample(tids, k=min(3, len(tids))):
+            scheduler.release_all(table, tid)
+            no_grant_left_behind(table)
+
+
+class TestTheorem31:
+    @given(ops=ops_strategy)
+    @relaxed
+    def test_prefix_grantability_is_monotone(self, ops):
+        """Theorem 3.1: within a holder list ordered by UPR, grantable
+        blocked conversions form a prefix *at sweep time*.  Verified
+        indirectly: simulate a sweep by full scan — once one conversion
+        is non-grantable, all later ones must be too."""
+        table = apply_ops(ops)
+        for state in table.resources():
+            seen_blocked_nongrantable = False
+            for holder in state.blocked_holders():
+                grantable = scheduler.conversion_grantable(state, holder)
+                if seen_blocked_nongrantable:
+                    assert not grantable, (
+                        "Theorem 3.1 violated at {}: T{} grantable after "
+                        "a non-grantable predecessor".format(
+                            state.rid, holder.tid
+                        )
+                    )
+                if not grantable:
+                    seen_blocked_nongrantable = True
+
+
+class TestRoundTrips:
+    @given(ops=ops_strategy)
+    @relaxed
+    def test_notation_round_trip(self, ops):
+        table = apply_ops(ops)
+        rendered = format_table(table.snapshot())
+        if not rendered:
+            return
+        reparsed = parse_table(rendered)
+        assert format_table(reparsed) == rendered
+
+    @given(ops=ops_strategy)
+    @relaxed
+    def test_release_is_idempotent(self, ops):
+        table = apply_ops(ops)
+        for tid in list(table.active_tids()):
+            scheduler.release_all(table, tid)
+            assert scheduler.release_all(table, tid) == []
+
+    @given(ops=ops_strategy)
+    @relaxed
+    def test_covered_rerequest_never_changes_state(self, ops):
+        """Re-requesting an already covered mode is a no-op grant."""
+        table = apply_ops(ops)
+        for state in list(table.resources()):
+            for holder in list(state.unblocked_holders()):
+                if table.is_blocked(holder.tid):
+                    continue
+                before = str(table)
+                outcome = scheduler.request(
+                    table, holder.tid, state.rid, holder.granted
+                )
+                assert outcome.granted
+                assert str(table) == before

@@ -1,0 +1,80 @@
+"""The discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Engine
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(3.0, lambda: fired.append("c"))
+        engine.schedule(1.0, lambda: fired.append("a"))
+        engine.schedule(2.0, lambda: fired.append("b"))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_schedule_order(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(1))
+        engine.schedule(1.0, lambda: fired.append(2))
+        engine.run()
+        assert fired == [1, 2]
+
+    def test_clock_advances(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(5.0, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [5.0]
+        assert engine.now == 5.0
+
+    def test_callbacks_can_schedule(self):
+        engine = Engine()
+        fired = []
+
+        def first():
+            fired.append("first")
+            engine.schedule(1.0, lambda: fired.append("second"))
+
+        engine.schedule(1.0, first)
+        engine.run()
+        assert fired == ["first", "second"]
+        assert engine.now == 2.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Engine().schedule(-1.0, lambda: None)
+
+
+class TestUntil:
+    def test_stops_before_late_events(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append("early"))
+        engine.schedule(10.0, lambda: fired.append("late"))
+        engine.run(until=5.0)
+        assert fired == ["early"]
+        assert engine.now == 5.0
+        assert engine.pending == 1
+
+    def test_resume_after_until(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(10.0, lambda: fired.append("late"))
+        engine.run(until=5.0)
+        engine.run()
+        assert fired == ["late"]
+
+
+class TestCancel:
+    def test_cancelled_event_skipped(self):
+        engine = Engine()
+        fired = []
+        handle = engine.schedule(1.0, lambda: fired.append("no"))
+        engine.schedule(2.0, lambda: fired.append("yes"))
+        engine.cancel(handle)
+        engine.run()
+        assert fired == ["yes"]

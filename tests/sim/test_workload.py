@@ -1,0 +1,144 @@
+"""Workload generation: determinism, shape, conversions."""
+
+import pytest
+
+from repro.core.modes import LockMode
+from repro.sim.workload import Access, WorkloadGenerator, WorkloadSpec
+
+
+def generate(spec=None, seed=0, count=50):
+    generator = WorkloadGenerator(spec or WorkloadSpec(), seed=seed)
+    return [generator.next_program() for _ in range(count)]
+
+
+class TestSpecValidation:
+    def test_default_valid(self):
+        WorkloadSpec().validate()
+
+    def test_bad_hotspot(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(hotspot_resources=0).validate()
+        with pytest.raises(ValueError):
+            WorkloadSpec(resources=4, hotspot_resources=9).validate()
+
+    def test_bad_sizes(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(min_size=0).validate()
+        with pytest.raises(ValueError):
+            WorkloadSpec(min_size=5, max_size=2).validate()
+
+    def test_bad_fractions(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(write_fraction=1.5).validate()
+
+
+class TestDeterminism:
+    def test_same_seed_same_programs(self):
+        first = generate(seed=7)
+        second = generate(seed=7)
+        assert [p.accesses for p in first] == [p.accesses for p in second]
+
+    def test_different_seed_differs(self):
+        assert [p.accesses for p in generate(seed=1)] != [
+            p.accesses for p in generate(seed=2)
+        ]
+
+
+class TestShape:
+    def test_sizes_within_bounds(self):
+        spec = WorkloadSpec(min_size=2, max_size=5, upgrade_fraction=0.0)
+        for program in generate(spec):
+            distinct = {a.rid for a in program.accesses}
+            assert 2 <= len(distinct) <= 5
+
+    def test_no_duplicate_base_resources(self):
+        spec = WorkloadSpec(upgrade_fraction=0.0, use_intents=False)
+        for program in generate(spec):
+            rids = [a.rid for a in program.accesses]
+            assert len(rids) == len(set(rids))
+
+    def test_work_positive(self):
+        for program in generate():
+            for access in program.accesses:
+                assert access.work >= 0.0
+            assert program.total_work() > 0.0
+
+    def test_modes_s_or_x_without_intents(self):
+        spec = WorkloadSpec(use_intents=False)
+        for program in generate(spec):
+            assert all(
+                a.mode in (LockMode.S, LockMode.X) for a in program.accesses
+            )
+
+
+class TestUpgrades:
+    def test_upgrade_follows_base_access(self):
+        spec = WorkloadSpec(upgrade_fraction=1.0, write_fraction=0.0)
+        for program in generate(spec):
+            seen = set()
+            for access in program.accesses:
+                if access.mode is LockMode.X:
+                    assert access.rid in seen  # conversion of a held lock
+                else:
+                    seen.add(access.rid)
+
+    def test_no_upgrades_when_disabled(self):
+        spec = WorkloadSpec(upgrade_fraction=0.0, write_fraction=0.0)
+        for program in generate(spec):
+            assert all(a.mode is LockMode.S for a in program.accesses)
+
+
+class TestIntents:
+    def test_intent_access_precedes_record(self):
+        spec = WorkloadSpec(use_intents=True, upgrade_fraction=0.0)
+        for program in generate(spec):
+            pending_intent = None
+            for access in program.accesses:
+                if access.rid.startswith("T") and access.mode in (
+                    LockMode.IS,
+                    LockMode.IX,
+                ):
+                    pending_intent = access.mode
+                elif access.rid.startswith("R"):
+                    assert pending_intent is not None
+
+    def test_upgrade_brings_table_ix(self):
+        spec = WorkloadSpec(
+            use_intents=True, upgrade_fraction=1.0, write_fraction=0.0
+        )
+        for program in generate(spec, count=20):
+            record_upgrades = [
+                a
+                for a in program.accesses
+                if a.mode is LockMode.X and a.rid.startswith("R")
+            ]
+            table_ix = [
+                a
+                for a in program.accesses
+                if a.mode is LockMode.IX and a.rid.startswith("T")
+            ]
+            if record_upgrades:
+                assert table_ix
+
+    def test_hotspot_bias(self):
+        spec = WorkloadSpec(
+            resources=100,
+            hotspot_resources=5,
+            hotspot_probability=0.9,
+            upgrade_fraction=0.0,
+        )
+        hits = total = 0
+        for program in generate(spec, count=200):
+            for access in program.accesses:
+                if access.rid.startswith("R"):
+                    total += 1
+                    if int(access.rid[1:]) < 5:
+                        hits += 1
+        assert hits / total > 0.6  # strongly biased toward the hot set
+
+
+class TestTimings:
+    def test_think_and_restart_positive(self):
+        generator = WorkloadGenerator(WorkloadSpec(), seed=3)
+        assert generator.think_time() > 0
+        assert generator.restart_delay() > 0

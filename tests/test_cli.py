@@ -1,0 +1,126 @@
+"""The command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main, parse_costs, read_table
+from tests.conftest import EXAMPLE_41, EXAMPLE_51
+
+
+@pytest.fixture
+def example_file(tmp_path):
+    path = tmp_path / "state.txt"
+    path.write_text(EXAMPLE_51)
+    return str(path)
+
+
+@pytest.fixture
+def example_json(tmp_path, example_51_table):
+    from repro.core.serialize import dumps
+
+    path = tmp_path / "state.json"
+    path.write_text(dumps(example_51_table))
+    return str(path)
+
+
+class TestInspect:
+    def test_report_printed(self, example_file, capsys):
+        assert main(["inspect", example_file]) == 0
+        out = capsys.readouterr().out
+        assert "DEADLOCKED" in out
+        assert "R1(S)" in out
+
+    def test_json_input(self, example_json, capsys):
+        assert main(["inspect", example_json]) == 0
+        assert "R2(S)" in capsys.readouterr().out
+
+
+class TestGraph:
+    def test_edges(self, example_file, capsys):
+        main(["graph", example_file])
+        out = capsys.readouterr().out
+        assert "T1 -H-> T2" in out
+
+    def test_dot(self, example_file, capsys):
+        main(["graph", example_file, "--dot"])
+        assert "digraph" in capsys.readouterr().out
+
+
+class TestDetect:
+    def test_paper_costs(self, example_file, capsys):
+        code = main(
+            ["detect", example_file, "--cost", "1=6", "--cost", "2=4",
+             "--cost", "3=1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1  # aborts happened
+        assert "aborted: [2]" in out
+        assert "spared: [3]" in out
+
+    def test_trace_flag(self, example_file, capsys):
+        main(["detect", example_file, "--trace"])
+        assert "walk from T1" in capsys.readouterr().out
+
+    def test_no_deadlock_exit_zero(self, tmp_path, capsys):
+        path = tmp_path / "clean.txt"
+        path.write_text("R1: Holder((T1, S, NL)) Queue((T2, X))")
+        assert main(["detect", str(path)]) == 0
+        assert "no deadlock" in capsys.readouterr().out
+
+    def test_tdr2_example_41(self, tmp_path, capsys):
+        path = tmp_path / "e41.txt"
+        path.write_text(EXAMPLE_41)
+        assert main(["detect", str(path)]) == 0  # abort-free
+        out = capsys.readouterr().out
+        assert "repositioned queues: R2" in out
+
+    def test_no_tdr2_flag(self, tmp_path, capsys):
+        path = tmp_path / "e41.txt"
+        path.write_text(EXAMPLE_41)
+        assert main(["detect", str(path), "--no-tdr2"]) == 1
+
+
+class TestSimulate:
+    def test_runs_and_prints_summary(self, capsys):
+        code = main(
+            ["simulate", "--strategy", "park-periodic", "--duration", "40",
+             "--terminals", "4", "--resources", "24"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "park-periodic" in out
+        assert "commits" in out
+
+    def test_compare_subset(self, capsys):
+        code = main(
+            ["compare", "--strategies", "park-periodic", "wfg",
+             "--duration", "40", "--terminals", "4", "--runs", "1",
+             "--resources", "24"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "park-periodic" in out and "wfg-continuous" in out
+
+    def test_simulate_with_preset(self, capsys):
+        code = main(
+            ["simulate", "--preset", "low-contention", "--duration", "30",
+             "--terminals", "3"]
+        )
+        assert code == 0
+        assert "commits" in capsys.readouterr().out
+
+
+class TestHelpers:
+    def test_parse_costs(self):
+        costs = parse_costs(["1=6", "T2=4.5"])
+        assert costs.cost(1) == 6.0
+        assert costs.cost(2) == 4.5
+
+    def test_read_table_notation(self, example_file):
+        table = read_table(example_file)
+        assert len(table) == 2
+
+    def test_read_table_json(self, example_json):
+        table = read_table(example_json)
+        assert table.blocked_at(1) == "R2"

@@ -1,0 +1,36 @@
+"""Docstring examples must stay executable — every module's doctests
+run as part of the suite."""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def all_modules():
+    names = []
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name.endswith("__main__"):
+            continue
+        names.append(info.name)
+    return sorted(names)
+
+
+@pytest.mark.parametrize("name", all_modules())
+def test_module_doctests(name):
+    module = importlib.import_module(name)
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0, "{} doctest failures in {}".format(
+        result.failed, name
+    )
+
+
+def test_some_doctests_exist():
+    attempted = 0
+    for name in all_modules():
+        module = importlib.import_module(name)
+        attempted += doctest.testmod(module, verbose=False).attempted
+    assert attempted >= 5  # the docs keep carrying runnable examples

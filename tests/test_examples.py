@@ -1,0 +1,75 @@
+"""Every example script must keep running clean (the fast ones run as
+tests; the two simulator-heavy studies are exercised with tiny inputs
+through their main functions)."""
+
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = [
+    "examples/quickstart.py",
+    "examples/paper_walkthrough.py",
+    "examples/mgl_inventory.py",
+    "examples/crash_recovery.py",
+    "examples/banking_transfers.py",
+]
+
+
+@pytest.mark.parametrize("path", EXAMPLES)
+def test_example_runs(path, capsys):
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip()  # every example narrates what it did
+
+
+def test_threaded_workers_example(capsys):
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "threaded_workers", "examples/threaded_workers.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.TXNS_PER_WORKER = 2  # keep the test quick
+    module.main()
+    assert "commits" in capsys.readouterr().out
+
+
+def test_detector_shootout_importable():
+    # The full shoot-out takes minutes; just verify the module loads and
+    # its strategy list is well-formed.
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "detector_shootout", "examples/detector_shootout.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert callable(module.main)
+
+
+def test_period_tuning_importable():
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "period_tuning", "examples/period_tuning.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert callable(module.main)
+
+
+def test_figure_generator_writes_artifacts(tmp_path, monkeypatch):
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "generate_figures", "tools/generate_figures.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    monkeypatch.setattr(module, "OUTPUT_DIR", str(tmp_path))
+    module.main()
+    names = {p.name for p in tmp_path.iterdir()}
+    assert "figure_4_1.dot" in names
+    assert "figure_5_2.txt" in names

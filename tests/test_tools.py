@@ -1,0 +1,49 @@
+"""The repository tools (figure generation is covered in
+test_examples; here: the results collector and API docs generator)."""
+
+import importlib.util
+import os
+
+
+def load_tool(name):
+    spec = importlib.util.spec_from_file_location(
+        name, os.path.join("tools", name + ".py")
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestCollectResults:
+    def test_collects_in_order(self, tmp_path, monkeypatch, capsys):
+        tool = load_tool("collect_results")
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "X1_foo.txt").write_text("x table")
+        (results / "T1_bar.txt").write_text("t table")
+        (results / "C2_baz.txt").write_text("c table")
+        monkeypatch.setattr(tool, "RESULTS_DIR", str(results))
+        monkeypatch.setattr(tool, "OUTPUT", str(tmp_path / "RESULTS.md"))
+        assert tool.main() == 0
+        text = (tmp_path / "RESULTS.md").read_text()
+        # Tables first, then complexity, then comparatives.
+        assert text.index("T1_bar") < text.index("C2_baz") < text.index(
+            "X1_foo"
+        )
+
+    def test_missing_dir_fails_cleanly(self, tmp_path, monkeypatch):
+        tool = load_tool("collect_results")
+        monkeypatch.setattr(tool, "RESULTS_DIR", str(tmp_path / "nope"))
+        assert tool.main() == 1
+
+
+class TestApiDocs:
+    def test_generates_reference(self, tmp_path, monkeypatch):
+        tool = load_tool("generate_api_docs")
+        monkeypatch.setattr(tool, "OUTPUT", str(tmp_path / "API.md"))
+        tool.main()
+        text = (tmp_path / "API.md").read_text()
+        assert "# API reference" in text
+        assert "repro.core.detection" in text
+        assert "PeriodicDetector" in text
+        assert "class `LockManager`" in text

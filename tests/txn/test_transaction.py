@@ -1,0 +1,62 @@
+"""Transaction lifecycle state machine."""
+
+import pytest
+
+from repro.core.errors import TransactionStateError
+from repro.core.modes import LockMode
+from repro.txn.transaction import Transaction, TxnState
+
+
+class TestStates:
+    def test_initial_state(self):
+        txn = Transaction(tid=1)
+        assert txn.is_active
+        assert not txn.is_blocked
+        assert not txn.finished
+
+    def test_block_and_grant(self):
+        txn = Transaction(tid=1)
+        txn.note_blocked("R", LockMode.X)
+        assert txn.is_blocked
+        assert txn.pending_rid == "R"
+        assert txn.pending_mode is LockMode.X
+        txn.note_granted()
+        assert txn.is_active
+        assert txn.pending_rid is None
+        assert txn.locks_held == 1
+
+    def test_commit(self):
+        txn = Transaction(tid=1)
+        txn.note_commit()
+        assert txn.state is TxnState.COMMITTED
+        assert txn.finished
+
+    def test_commit_while_blocked_rejected(self):
+        txn = Transaction(tid=1)
+        txn.note_blocked("R", LockMode.X)
+        with pytest.raises(TransactionStateError):
+            txn.note_commit()
+
+    def test_abort_records_reason(self):
+        txn = Transaction(tid=1)
+        txn.note_blocked("R", LockMode.X)
+        txn.note_abort("deadlock victim")
+        assert txn.state is TxnState.ABORTED
+        assert txn.abort_reason == "deadlock victim"
+        assert txn.pending_rid is None
+
+    def test_require_active(self):
+        txn = Transaction(tid=1)
+        txn.require_active()  # no raise
+        txn.note_blocked("R", LockMode.S)
+        with pytest.raises(TransactionStateError):
+            txn.require_active()
+
+    def test_terminal_states(self):
+        assert TxnState.COMMITTED.is_terminal
+        assert TxnState.ABORTED.is_terminal
+        assert not TxnState.ACTIVE.is_terminal
+        assert not TxnState.BLOCKED.is_terminal
+
+    def test_str(self):
+        assert str(Transaction(tid=3)) == "T3(active)"

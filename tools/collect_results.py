@@ -1,0 +1,71 @@
+"""Collect benchmark result tables into one appendix document.
+
+Gathers every ``benchmarks/results/*.txt`` artifact (written by the
+benchmark suite) into ``docs/RESULTS.md`` in experiment-id order, so a
+single file carries the full measured record of a benchmark run.
+
+Run:  pytest benchmarks/ --benchmark-only && python tools/collect_results.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+RESULTS_DIR = os.path.join(
+    os.path.dirname(__file__), "..", "benchmarks", "results"
+)
+OUTPUT = os.path.join(os.path.dirname(__file__), "..", "docs", "RESULTS.md")
+
+#: Render order: tables, examples/figures, complexity, comparatives,
+#: ablations, validation.
+ORDER_PREFIXES = ["T", "E", "F", "C", "X", "A", "V"]
+
+
+def sort_key(filename: str):
+    stem = filename[:-4]
+    for rank, prefix in enumerate(ORDER_PREFIXES):
+        if stem.startswith(prefix):
+            return (rank, stem)
+    return (len(ORDER_PREFIXES), stem)
+
+
+def main() -> int:
+    if not os.path.isdir(RESULTS_DIR):
+        print(
+            "no benchmarks/results directory — run "
+            "`pytest benchmarks/ --benchmark-only` first",
+            file=sys.stderr,
+        )
+        return 1
+    names = sorted(
+        (n for n in os.listdir(RESULTS_DIR) if n.endswith(".txt")),
+        key=sort_key,
+    )
+    lines = [
+        "# Measured results",
+        "",
+        "Every experiment table from the most recent benchmark run",
+        "(`pytest benchmarks/ --benchmark-only`), collected by",
+        "`tools/collect_results.py`.  See EXPERIMENTS.md for the",
+        "paper-vs-measured interpretation of each.",
+        "",
+    ]
+    for name in names:
+        with open(os.path.join(RESULTS_DIR, name)) as handle:
+            content = handle.read().rstrip()
+        lines.append("## {}".format(name[:-4]))
+        lines.append("")
+        lines.append("```")
+        lines.append(content)
+        lines.append("```")
+        lines.append("")
+    os.makedirs(os.path.dirname(OUTPUT), exist_ok=True)
+    with open(OUTPUT, "w") as handle:
+        handle.write("\n".join(lines))
+    print("wrote {} ({} experiments)".format(os.path.relpath(OUTPUT), len(names)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

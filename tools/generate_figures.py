@@ -1,0 +1,88 @@
+"""Regenerate the paper's figures as Graphviz/text artifacts.
+
+Writes into ``docs/figures/``:
+
+* ``figure_4_1.dot`` / ``.txt`` — the H/W-TWBG of Example 4.1;
+* ``figure_4_2.dot`` / ``.txt`` — after the TDR-2 resolution (acyclic);
+* ``figure_5_1.txt``            — the RST/TST encoding;
+* ``figure_5_2.dot`` / ``.txt`` — Example 5.1's two nested cycles.
+
+Run:  python tools/generate_figures.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), "..", "src")
+)
+
+from repro.core.detection import detect_once  # noqa: E402
+from repro.core.hw_twbg import build_graph  # noqa: E402
+from repro.core.notation import load_table  # noqa: E402
+from repro.core.tst import TST  # noqa: E402
+from repro.core.victim import CostTable  # noqa: E402
+from repro.lockmgr.lock_table import LockTable  # noqa: E402
+
+EXAMPLE_41 = """
+R1(SIX): Holder((T1, IX, SIX) (T2, IS, S) (T3, IX, NL) (T4, IS, NL)) Queue((T5, IX) (T6, S) (T7, IX))
+R2(IS): Holder((T7, IS, NL)) Queue((T8, X) (T9, IX) (T3, S) (T4, X))
+"""
+
+EXAMPLE_51 = """
+R1(S): Holder((T1, S, NL)) Queue((T2, X) (T3, S))
+R2(S): Holder((T2, S, NL) (T3, S, NL)) Queue((T1, X))
+"""
+
+OUTPUT_DIR = os.path.join(
+    os.path.dirname(__file__), "..", "docs", "figures"
+)
+
+
+def write(name: str, text: str) -> None:
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    path = os.path.join(OUTPUT_DIR, name)
+    with open(path, "w") as handle:
+        handle.write(text.rstrip() + "\n")
+    print("wrote", os.path.relpath(path))
+
+
+def main() -> None:
+    # Figure 4.1.
+    table = load_table(LockTable(), EXAMPLE_41)
+    graph = build_graph(table.snapshot())
+    write("figure_4_1.dot", graph.to_dot())
+    write(
+        "figure_4_1.txt",
+        "Figure 4.1 — H/W-TWBG for Example 4.1\n\n{}\n\ncycles: {}".format(
+            graph, graph.elementary_cycles()
+        ),
+    )
+    write("figure_5_1.txt", "Figure 5.1 — TST for Example 4.1\n\n" + str(TST(table)))
+
+    # Figure 4.2: after resolution.
+    detect_once(table, CostTable())
+    resolved = build_graph(table.snapshot())
+    write("figure_4_2.dot", resolved.to_dot())
+    write(
+        "figure_4_2.txt",
+        "Figure 4.2 — after TDR-2 repositioned T8 (no cycle)\n\n"
+        "{}\n\nlock table:\n{}".format(resolved, table),
+    )
+
+    # Figure 5.2.
+    table_51 = load_table(LockTable(), EXAMPLE_51)
+    graph_51 = build_graph(table_51.snapshot())
+    write("figure_5_2.dot", graph_51.to_dot())
+    write(
+        "figure_5_2.txt",
+        "Figure 5.2 — Example 5.1's deadlock\n\n{}\n\ncycles: {}".format(
+            graph_51, graph_51.elementary_cycles()
+        ),
+    )
+
+
+if __name__ == "__main__":
+    main()
