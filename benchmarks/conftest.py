@@ -35,3 +35,31 @@ def write_result(name: str, text: str) -> None:
 @pytest.fixture
 def record_result():
     return write_result
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--lock-backend",
+        choices=["local", "remote"],
+        default="local",
+        help="lock manager the service benchmark drives: the embedded "
+        "thread-safe manager (local) or a RemoteLockManager talking to "
+        "a loopback lock server (remote)",
+    )
+
+
+@pytest.fixture
+def lock_manager_factory(request):
+    """A zero-argument factory for a blocking lock manager, selected by
+    ``--lock-backend``.  Injected so the same closed-loop workload
+    (:func:`repro.sim.realtime.run_realtime`) measures either backend."""
+    backend = request.config.getoption("--lock-backend")
+    if backend == "local":
+        from repro.lockmgr.concurrent import ConcurrentLockManager
+
+        yield lambda: ConcurrentLockManager(period=0.05)
+        return
+    from repro.service import LoopbackServer, RemoteLockManager
+
+    with LoopbackServer(period=0.05) as server:
+        yield lambda: RemoteLockManager(server.host, server.port)

@@ -18,6 +18,13 @@ Commands
     print the metric summary.
 ``compare``
     The detector shoot-out: all strategies on identical workloads.
+``serve``
+    Run the lock manager as a network service
+    (:mod:`repro.service`): an asyncio TCP server with per-session
+    leases and a periodic detector task.
+``remote ACTION``
+    Introspect a running lock service: ``report``, ``graph``, ``dump``,
+    ``stats``, ``log`` or an explicit ``detect`` pass.
 
 States given as ``.json`` files must be :mod:`repro.core.serialize`
 dumps; anything else is parsed as the paper's notation, e.g.::
@@ -192,6 +199,101 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from .service.server import LockServer
+
+    server = LockServer(
+        costs=parse_costs(args.cost),
+        continuous=args.continuous,
+        period=None if args.period <= 0 else args.period,
+        lease=args.lease,
+    )
+
+    async def run() -> None:
+        await server.start(args.host, args.port)
+        print(
+            "lock service listening on {}:{} "
+            "(period={}, lease={}s)".format(
+                server.host,
+                server.port,
+                server.period if server.period is not None else "off",
+                server.lease,
+            ),
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.aclose()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_remote(args) -> int:
+    import asyncio
+
+    from .service.admin import render_stats
+    from .service.client import AsyncLockClient
+
+    async def run() -> int:
+        client = await AsyncLockClient.connect(args.host, args.port)
+        try:
+            if args.action == "report":
+                print((await client.inspect())["report"])
+            elif args.action == "graph":
+                payload = await client.graph(dot=args.dot)
+                print(payload["dot"] if args.dot else payload["text"])
+            elif args.action == "dump":
+                print((await client.dump())["text"])
+            elif args.action == "stats":
+                print(render_stats(await client.stats()))
+            elif args.action == "log":
+                payload = await client.log(limit=args.limit)
+                print("{} events total".format(payload["total"]))
+                for event in payload["events"]:
+                    print(event)
+            else:  # detect
+                result = await client.detect()
+                if not result.deadlock_found:
+                    print("no deadlock found")
+                else:
+                    print(
+                        "resolved {} cycle(s); abort-free: {}".format(
+                            len(result.resolutions), result.abort_free
+                        )
+                    )
+                print("aborted:", result.aborted or "-")
+                if result.repositions:
+                    print(
+                        "repositioned queues:",
+                        ", ".join(
+                            event.rid for event in result.repositions
+                        ),
+                    )
+        finally:
+            await client.close()
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except (ConnectionError, OSError) as exc:
+        print(
+            "cannot reach lock service at {}:{} ({})".format(
+                args.host, args.port, exc
+            ),
+            file=sys.stderr,
+        )
+        return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -271,6 +373,54 @@ def build_parser() -> argparse.ArgumentParser:
     compare_cmd.add_argument("--runs", type=int, default=2)
     add_sim_options(compare_cmd)
     compare_cmd.set_defaults(run=cmd_compare)
+
+    serve_cmd = commands.add_parser(
+        "serve", help="run the lock manager as a network service"
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument("--port", type=int, default=7411)
+    serve_cmd.add_argument(
+        "--period",
+        type=float,
+        default=0.5,
+        help="periodic detector cadence in seconds (<=0 disables it)",
+    )
+    serve_cmd.add_argument(
+        "--lease",
+        type=float,
+        default=5.0,
+        help="default session lease granted to clients",
+    )
+    serve_cmd.add_argument(
+        "--continuous",
+        action="store_true",
+        help="use the continuous companion detector",
+    )
+    serve_cmd.add_argument(
+        "--cost",
+        action="append",
+        default=[],
+        metavar="TID=COST",
+        help="victim cost for a transaction (repeatable)",
+    )
+    serve_cmd.set_defaults(run=cmd_serve)
+
+    remote_cmd = commands.add_parser(
+        "remote", help="introspect a running lock service"
+    )
+    remote_cmd.add_argument(
+        "action",
+        choices=["report", "graph", "dump", "stats", "log", "detect"],
+    )
+    remote_cmd.add_argument("--host", default="127.0.0.1")
+    remote_cmd.add_argument("--port", type=int, default=7411)
+    remote_cmd.add_argument(
+        "--dot", action="store_true", help="emit Graphviz (graph action)"
+    )
+    remote_cmd.add_argument(
+        "--limit", type=int, default=20, help="events to show (log action)"
+    )
+    remote_cmd.set_defaults(run=cmd_remote)
 
     return parser
 

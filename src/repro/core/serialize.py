@@ -14,6 +14,12 @@ format is intentionally boring JSON-ready data::
 ``loads``/``dumps`` wrap the dict functions with ``json``.  Round-trips
 are exact: ``table_from_dict(table_to_dict(t))`` reproduces every holder,
 queue entry, total mode and index (verified by property tests).
+
+Dumps carry a versioned envelope (``{"v": 1, ...}``) so snapshots that
+travel over the wire (:mod:`repro.service`) or live on disk stay
+forward-compatible: a reader meeting a version it does not understand
+raises a clear :class:`ReproError` instead of misparsing.  Envelopes
+without a ``"v"`` key are accepted as version 1 (pre-versioning dumps).
 """
 
 from __future__ import annotations
@@ -25,6 +31,24 @@ from ..lockmgr.lock_table import LockTable
 from .errors import ReproError
 from .modes import parse_mode
 from .requests import HolderEntry, QueueEntry
+
+#: Version stamped into every dump's envelope.
+FORMAT_VERSION = 1
+
+
+def check_version(data: Dict[str, Any], what: str = "dump") -> int:
+    """Validate the envelope version of ``data``.
+
+    Returns the (defaulted) version.  Raises :class:`ReproError` when the
+    envelope declares a version this reader does not understand.
+    """
+    version = data.get("v", FORMAT_VERSION)
+    if version != FORMAT_VERSION:
+        raise ReproError(
+            "unsupported {} version {!r} (this reader understands "
+            "version {})".format(what, version, FORMAT_VERSION)
+        )
+    return version
 
 
 def table_to_dict(table: LockTable) -> Dict[str, Any]:
@@ -49,15 +73,17 @@ def table_to_dict(table: LockTable) -> Dict[str, Any]:
                 ],
             }
         )
-    return {"resources": resources}
+    return {"v": FORMAT_VERSION, "resources": resources}
 
 
 def table_from_dict(data: Dict[str, Any]) -> LockTable:
     """Rebuild a lock table (including indexes) from a dump.
 
-    Raises :class:`ReproError` when the dump's recorded total mode does
-    not match the recomputed one — a corrupted or hand-edited dump.
+    Raises :class:`ReproError` when the dump's envelope declares an
+    unknown version, or when its recorded total mode does not match the
+    recomputed one — a corrupted or hand-edited dump.
     """
+    check_version(data, "lock-table dump")
     table = LockTable()
     for entry in data.get("resources", ()):
         state = table.resource(entry["rid"])

@@ -1,0 +1,116 @@
+"""Remote introspection payloads and the service's counter block.
+
+The lock server answers ``inspect``/``graph``/``stats``/``dump`` by
+serializing what the in-process introspection tools already compute:
+:func:`repro.lockmgr.introspect.render_report` for the operator report,
+the H/W-TWBG edge list for graph dumps, and
+:mod:`repro.core.serialize` for full lock-table snapshots.  The
+:class:`ServiceStats` block counts everything the service does, so a
+remote operator can watch grants, blocks, detector passes, abort-free
+resolutions and lease expiries without stopping the server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Dict
+
+from ..core.serialize import table_to_dict
+from ..lockmgr.introspect import render_report
+from ..lockmgr.manager import LockManager
+from .protocol import event_to_dict
+
+
+@dataclass
+class ServiceStats:
+    """Cumulative counters of one lock server's lifetime."""
+
+    requests: int = 0
+    grants: int = 0
+    blocks: int = 0
+    wait_timeouts: int = 0
+    commits: int = 0
+    aborts: int = 0
+    detector_passes: int = 0
+    deadlocks_resolved: int = 0
+    abort_free_resolutions: int = 0
+    victims_aborted: int = 0
+    sessions_opened: int = 0
+    sessions_closed: int = 0
+    lease_expiries: int = 0
+    rude_disconnects: int = 0
+    protocol_errors: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """All counters as a plain dict (the ``stats`` wire payload)."""
+        return {
+            field.name: getattr(self, field.name)
+            for field in fields(self)
+        }
+
+    def absorb_detection(self, result) -> None:
+        """Fold one detection pass's outcome into the counters."""
+        self.detector_passes += 1
+        self.deadlocks_resolved += len(result.resolutions)
+        if result.abort_free:
+            self.abort_free_resolutions += 1
+        self.victims_aborted += len(result.aborted)
+
+
+def render_stats(stats: Dict[str, Any]) -> str:
+    """One aligned text block of a ``stats`` payload (CLI output)."""
+    width = max(len(name) for name in stats)
+    return "\n".join(
+        "{:<{width}} : {}".format(name, value, width=width)
+        for name, value in stats.items()
+    )
+
+
+def inspect_payload(manager: LockManager) -> Dict[str, Any]:
+    """The ``inspect`` response: the operator report plus raw facts."""
+    table = manager.table
+    return {
+        "report": render_report(table),
+        "resources": len(table),
+        "blocked": sorted(table.blocked_tids()),
+    }
+
+
+def graph_payload(manager: LockManager, dot: bool = False) -> Dict[str, Any]:
+    """The ``graph`` response: H/W-TWBG edges, cycles, optional dot."""
+    graph = manager.graph()
+    payload: Dict[str, Any] = {
+        "edges": [
+            {
+                "source": edge.source,
+                "target": edge.target,
+                "label": edge.label,
+                "rid": edge.rid,
+                "lock": edge.lock.name,
+            }
+            for edge in graph.edges
+        ],
+        "cycles": graph.elementary_cycles(),
+        "text": str(graph),
+    }
+    if dot:
+        payload["dot"] = graph.to_dot()
+    return payload
+
+
+def dump_payload(manager: LockManager) -> Dict[str, Any]:
+    """The ``dump`` response: the versioned lock-table snapshot plus the
+    paper-notation rendering."""
+    return {
+        "table": table_to_dict(manager.table),
+        "text": str(manager.table),
+    }
+
+
+def log_payload(manager: LockManager, limit: int = 100) -> Dict[str, Any]:
+    """The tail of the manager's cumulative event log as wire events."""
+    tail = manager.log[-limit:] if limit else list(manager.log)
+    return {
+        "total": len(manager.log),
+        "events": [event_to_dict(event) for event in tail],
+    }

@@ -1,0 +1,382 @@
+"""Clients for the lock service.
+
+Two layers:
+
+* :class:`AsyncLockClient` — the asyncio client.  One TCP connection,
+  request/response frames correlated by id, so any number of
+  transactions can block in ``lock`` concurrently while heartbeats keep
+  the session lease alive on the same socket.
+* :class:`RemoteLockManager` — a *blocking* facade that mirrors the
+  :class:`~repro.lockmgr.concurrent.ConcurrentLockManager` API
+  (``acquire``/``commit``/``abort``/``detect``/``holding``/
+  ``deadlocked``/``snapshot``, context-manager lifetime), so code
+  written against the embedded thread-safe manager runs against a
+  remote server unchanged.  It owns a private event loop on a daemon
+  thread; every public call is thread-safe.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Dict, Optional
+
+from ..core.errors import TransactionAborted
+from ..core.modes import LockMode, parse_mode
+from .protocol import (
+    ProtocolError,
+    RemoteDetectionResult,
+    ServiceError,
+    encode_frame,
+    raise_for_error,
+    read_frame,
+    request,
+)
+
+
+class AsyncLockClient:
+    """Asyncio client for one :class:`~repro.service.server.LockServer`
+    session.  Build one with :meth:`connect`."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._next_id = 1
+        self._write_lock = asyncio.Lock()
+        self._reader_task: Optional[asyncio.Task] = None
+        self._heartbeat_task: Optional[asyncio.Task] = None
+        self._closed = False
+        self.session: Optional[str] = None
+        self.lease: Optional[float] = None
+        self.server_info: Dict[str, Any] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        lease: Optional[float] = None,
+        heartbeat: bool = True,
+    ) -> "AsyncLockClient":
+        """Open a connection, perform the hello handshake and (by
+        default) start the background heartbeat task."""
+        reader, writer = await asyncio.open_connection(host, port)
+        client = cls(reader, writer)
+        client._reader_task = asyncio.ensure_future(client._read_loop())
+        fields = {} if lease is None else {"lease": lease}
+        try:
+            response = await client._call("hello", **fields)
+        except BaseException:
+            await client._teardown()
+            raise
+        client.session = response["session"]
+        client.lease = float(response["lease"])
+        client.server_info = dict(response.get("server", {}))
+        if heartbeat:
+            client._heartbeat_task = asyncio.ensure_future(
+                client._heartbeat_loop()
+            )
+        return client
+
+    async def close(self) -> None:
+        """Say goodbye (clean detach) and drop the connection."""
+        if self._closed:
+            return
+        self._closed = True
+        self.suspend_heartbeat()
+        try:
+            await asyncio.wait_for(self._send_raw("goodbye"), timeout=2.0)
+        except (ServiceError, ConnectionError, OSError, asyncio.TimeoutError):
+            pass
+        await self._teardown()
+
+    async def _teardown(self) -> None:
+        self._closed = True
+        self.suspend_heartbeat()
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+        self._fail_pending(ConnectionError("connection closed"))
+
+    async def __aenter__(self) -> "AsyncLockClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    def suspend_heartbeat(self) -> None:
+        """Stop renewing the lease (tests use this to simulate a hung
+        client whose process still holds the TCP connection)."""
+        if self._heartbeat_task is not None:
+            self._heartbeat_task.cancel()
+            self._heartbeat_task = None
+
+    async def _heartbeat_loop(self) -> None:
+        interval = max(self.lease / 3.0, 0.02)
+        while True:
+            await asyncio.sleep(interval)
+            try:
+                await self._call("heartbeat")
+            except (ServiceError, ConnectionError, OSError):
+                return
+
+    # -- plumbing --------------------------------------------------------------
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                frame = await read_frame(self._reader)
+                if frame is None:
+                    break
+                future = self._pending.pop(frame.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(frame)
+        except (ProtocolError, ConnectionError, OSError) as exc:
+            self._fail_pending(exc)
+        else:
+            self._fail_pending(ConnectionError("server closed the connection"))
+
+    def _fail_pending(self, exc: Exception) -> None:
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(exc)
+        self._pending.clear()
+
+    async def _send_raw(self, op: str, **fields: Any) -> Dict[str, Any]:
+        request_id = self._next_id
+        self._next_id += 1
+        future = asyncio.get_event_loop().create_future()
+        self._pending[request_id] = future
+        message = request(request_id, op, **fields)
+        async with self._write_lock:
+            self._writer.write(encode_frame(message))
+            await self._writer.drain()
+        try:
+            response = await future
+        finally:
+            self._pending.pop(request_id, None)
+        return raise_for_error(response)
+
+    async def _call(self, op: str, **fields: Any) -> Dict[str, Any]:
+        if self._closed:
+            raise ConnectionError("client is closed")
+        return await self._send_raw(op, **fields)
+
+    # -- the locking surface ---------------------------------------------------
+
+    async def begin(self, tid: Optional[int] = None) -> int:
+        """Register a transaction with this session; with ``tid=None``
+        the server assigns a fresh id."""
+        fields = {} if tid is None else {"tid": tid}
+        response = await self._call("begin", **fields)
+        return int(response["tid"])
+
+    async def acquire(
+        self,
+        tid: int,
+        rid: str,
+        mode: "LockMode | str",
+        timeout: Optional[float] = None,
+        wait: bool = True,
+    ) -> bool:
+        """Acquire (or convert to) ``mode`` on ``rid`` for ``tid``.
+
+        True on grant.  False on timeout or — with ``wait=False`` — on
+        an immediate block; either way the request stays queued and a
+        retried call resumes the same wait.  Raises
+        :class:`TransactionAborted` when a detection pass chose ``tid``
+        as victim.
+        """
+        mode_name = mode.name if isinstance(mode, LockMode) else str(mode)
+        fields: Dict[str, Any] = {
+            "tid": tid,
+            "rid": rid,
+            "mode": mode_name,
+            "wait": wait,
+        }
+        if timeout is not None:
+            fields["timeout"] = timeout
+        response = await self._call("lock", **fields)
+        status = response["status"]
+        if status == "granted":
+            return True
+        if status in ("blocked", "timeout"):
+            return False
+        if status == "aborted":
+            raise TransactionAborted(tid)
+        raise ServiceError(
+            "bad-status", "unexpected lock status {!r}".format(status)
+        )
+
+    lock = acquire
+
+    async def commit(self, tid: int) -> None:
+        await self._call("commit", tid=tid)
+
+    async def abort(self, tid: int) -> None:
+        await self._call("abort", tid=tid)
+
+    # -- detection and introspection ----------------------------------------------
+
+    async def detect(self) -> RemoteDetectionResult:
+        """Ask the server for one periodic detection-resolution pass."""
+        return RemoteDetectionResult(await self._call("detect"))
+
+    async def heartbeat(self) -> float:
+        """Explicit lease renewal; returns the remaining lease time."""
+        return float((await self._call("heartbeat"))["remaining"])
+
+    async def inspect(self) -> Dict[str, Any]:
+        return await self._call("inspect")
+
+    async def graph(self, dot: bool = False) -> Dict[str, Any]:
+        return await self._call("graph", dot=dot)
+
+    async def stats(self) -> Dict[str, Any]:
+        return dict((await self._call("stats"))["stats"])
+
+    async def dump(self) -> Dict[str, Any]:
+        return await self._call("dump")
+
+    async def log(self, limit: int = 100) -> Dict[str, Any]:
+        return await self._call("log", limit=limit)
+
+    async def holding(self, tid: int) -> Dict[str, LockMode]:
+        response = await self._call("holding", tid=tid)
+        return {
+            rid: parse_mode(name)
+            for rid, name in response["holding"].items()
+        }
+
+    async def deadlocked(self) -> bool:
+        return bool((await self._call("deadlocked"))["deadlocked"])
+
+
+#: Slack added to the caller's lock timeout before the cross-thread wait
+#: on the network future gives up — the server enforces the real timeout.
+_NETWORK_SLACK = 30.0
+
+
+class RemoteLockManager:
+    """Blocking, thread-safe client mirroring ``ConcurrentLockManager``.
+
+    ``acquire`` blocks the calling thread until the server grants the
+    lock, the wait times out, or a detection pass on the server aborts
+    the transaction (raising :class:`TransactionAborted`) — exactly the
+    embedded facade's contract, so the simulator, the examples and
+    application code can swap managers by swapping a factory.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        lease: float = 5.0,
+        connect_timeout: float = 10.0,
+    ) -> None:
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever,
+            name="repro-remote-lockmgr",
+            daemon=True,
+        )
+        self._thread.start()
+        self._closed = False
+        try:
+            self._client: AsyncLockClient = self._run(
+                AsyncLockClient.connect(host, port, lease=lease),
+                timeout=connect_timeout,
+            )
+        except BaseException:
+            self._stop_loop()
+            raise
+
+    def _run(self, coro, timeout: Optional[float] = None):
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result(
+            timeout
+        )
+
+    # -- locking -----------------------------------------------------------
+
+    def begin(self, tid: Optional[int] = None) -> int:
+        return self._run(self._client.begin(tid))
+
+    def acquire(
+        self,
+        tid: int,
+        rid: str,
+        mode: LockMode,
+        timeout: Optional[float] = None,
+    ) -> bool:
+        outer = None if timeout is None else timeout + _NETWORK_SLACK
+        return self._run(
+            self._client.acquire(tid, rid, mode, timeout=timeout), outer
+        )
+
+    def commit(self, tid: int) -> None:
+        self._run(self._client.commit(tid))
+
+    def abort(self, tid: int) -> None:
+        self._run(self._client.abort(tid))
+
+    # -- detection ------------------------------------------------------------
+
+    def detect(self) -> RemoteDetectionResult:
+        return self._run(self._client.detect())
+
+    # -- introspection ----------------------------------------------------------
+
+    def holding(self, tid: int) -> Dict[str, LockMode]:
+        return self._run(self._client.holding(tid))
+
+    def deadlocked(self) -> bool:
+        return self._run(self._client.deadlocked())
+
+    def snapshot(self) -> list:
+        """The server's lock table rendered in paper notation."""
+        return self._run(self._client.dump())["text"].splitlines()
+
+    def dump(self) -> Dict[str, Any]:
+        """The server's full versioned lock-table snapshot."""
+        return self._run(self._client.dump())
+
+    def stats(self) -> Dict[str, Any]:
+        return self._run(self._client.stats())
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Detach cleanly and stop the client thread (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._run(self._client.close(), timeout=5.0)
+        except Exception:
+            pass
+        self._stop_loop()
+
+    def _stop_loop(self) -> None:
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=5.0)
+        if not self._thread.is_alive():
+            self._loop.close()
+
+    def __enter__(self) -> "RemoteLockManager":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,90 @@
+"""An embedded lock server for tests, benchmarks and examples.
+
+:class:`LoopbackServer` runs a :class:`~repro.service.server.LockServer`
+on a private event loop in a daemon thread, binds to an ephemeral
+loopback port and exposes ``host``/``port`` once ready — the pattern
+every in-process consumer needs: start, point clients at it, close.
+
+    with LoopbackServer(period=0.05) as server:
+        with RemoteLockManager(server.host, server.port) as manager:
+            manager.acquire(1, "R", LockMode.X)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Optional
+
+from .server import LockServer
+
+
+class LoopbackServer:
+    """Run a lock server on a background thread (see module docstring).
+
+    Keyword arguments are forwarded to
+    :class:`~repro.service.server.LockServer`.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", **server_kwargs) -> None:
+        self._host_arg = host
+        self._server_kwargs = server_kwargs
+        self._ready = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._startup_error: Optional[BaseException] = None
+        self.server: Optional[LockServer] = None
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+
+    def start(self) -> "LoopbackServer":
+        """Start the server thread; returns once the port is bound."""
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._thread_main, name="repro-lock-server", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=10.0)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if self.port is None:
+            raise RuntimeError("lock server failed to start in time")
+        return self
+
+    def _thread_main(self) -> None:
+        try:
+            asyncio.run(self._serve())
+        except BaseException as exc:  # surface startup failures
+            if not self._ready.is_set():
+                self._startup_error = exc
+                self._ready.set()
+
+    async def _serve(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self.server = LockServer(**self._server_kwargs)
+        await self.server.start(self._host_arg, 0)
+        self.host, self.port = self.server.host, self.server.port
+        self._ready.set()
+        await self._stop.wait()
+        await self.server.aclose()
+
+    def close(self) -> None:
+        """Stop the server and join its thread (idempotent)."""
+        if self._thread is None:
+            return
+        if self._loop is not None and self._stop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:  # loop already gone
+                pass
+        self._thread.join(timeout=10.0)
+        self._thread = None
+
+    def __enter__(self) -> "LoopbackServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,310 @@
+"""The lock service's wire protocol: length-prefixed JSON frames.
+
+Every frame is a 4-byte big-endian length followed by that many bytes of
+UTF-8 JSON.  Every message carries the versioned envelope of
+:mod:`repro.core.serialize` (``{"v": 1, ...}``); a peer meeting an
+unknown version answers with (or raises) a clear error instead of
+guessing.  Requests and responses are correlated by a client-chosen
+``id``, so one connection multiplexes any number of in-flight requests —
+a blocked ``lock`` does not stall the heartbeats or admin queries that
+share its socket.
+
+Requests::
+
+    {"v": 1, "id": 7, "op": "lock",
+     "tid": 3, "rid": "R1", "mode": "X", "wait": true, "timeout": 2.0}
+
+Responses::
+
+    {"v": 1, "id": 7, "ok": true, "status": "granted",
+     "event": {"type": "granted", "tid": 3, "rid": "R1", "mode": "X"}}
+    {"v": 1, "id": 7, "ok": false,
+     "error": {"code": "not-owner", "message": "..."}}
+
+Operations (see :mod:`repro.service.server` for semantics): ``hello``,
+``heartbeat``, ``begin``, ``lock``, ``commit``, ``abort``, ``detect``,
+``inspect``, ``graph``, ``stats``, ``dump``, ``holding``,
+``deadlocked``, ``goodbye``.
+
+Lock-manager events and detection results travel as plain dicts built by
+:func:`event_to_dict` / :func:`detection_to_dict` and are rebuilt into
+the :mod:`repro.lockmgr.events` dataclasses by :func:`event_from_dict`,
+so both ends of the wire speak the same event vocabulary as the
+in-process library.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any, Dict, List, Optional
+
+from ..core.errors import ReproError
+from ..core.modes import parse_mode
+from ..lockmgr.events import Aborted, Blocked, Granted, Repositioned
+
+#: Protocol version, stamped into every frame's envelope.
+WIRE_VERSION = 1
+
+#: Hard cap on one frame's payload — a garbled length prefix must not
+#: make the reader try to allocate gigabytes.
+MAX_FRAME = 8 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+class ProtocolError(ReproError):
+    """A malformed, oversized or version-incompatible wire frame."""
+
+
+class ServiceError(ReproError):
+    """An error response from the lock server.
+
+    ``code`` is the machine-readable error code from the wire (e.g.
+    ``"not-owner"``, ``"session-expired"``, ``"bad-request"``).
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__("{}: {}".format(code, message))
+        self.code = code
+        self.message = message
+
+
+# -- framing ---------------------------------------------------------------
+
+
+def encode_frame(message: Dict[str, Any]) -> bytes:
+    """Serialize one message to its length-prefixed wire form."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME:
+        raise ProtocolError(
+            "frame of {} bytes exceeds the {} byte limit".format(
+                len(payload), MAX_FRAME
+            )
+        )
+    return _HEADER.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> Dict[str, Any]:
+    """Parse and version-check one frame's payload."""
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError("undecodable frame: {}".format(exc)) from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            "frame must be a JSON object, got {}".format(
+                type(message).__name__
+            )
+        )
+    check_wire_version(message)
+    return message
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+) -> Optional[Dict[str, Any]]:
+    """Read one frame; None on clean EOF between frames.
+
+    Raises :class:`ProtocolError` on a truncated frame, an oversized
+    length prefix or an undecodable payload.
+    """
+    header = await reader.read(_HEADER.size)
+    if not header:
+        return None
+    while len(header) < _HEADER.size:
+        more = await reader.read(_HEADER.size - len(header))
+        if not more:
+            raise ProtocolError("connection closed inside a frame header")
+        header += more
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME:
+        raise ProtocolError(
+            "peer announced a {} byte frame (limit {})".format(
+                length, MAX_FRAME
+            )
+        )
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            "connection closed inside a frame body"
+        ) from exc
+    return decode_payload(payload)
+
+
+def check_wire_version(message: Dict[str, Any]) -> None:
+    """Reject messages from a different protocol version."""
+    version = message.get("v", WIRE_VERSION)
+    if version != WIRE_VERSION:
+        raise ProtocolError(
+            "unsupported wire version {!r} (this peer speaks version "
+            "{})".format(version, WIRE_VERSION)
+        )
+
+
+# -- message constructors --------------------------------------------------
+
+
+def request(request_id: int, op: str, **fields: Any) -> Dict[str, Any]:
+    """Build a request frame body."""
+    message = {"v": WIRE_VERSION, "id": request_id, "op": op}
+    message.update(fields)
+    return message
+
+
+def ok(request_id: Optional[int], **fields: Any) -> Dict[str, Any]:
+    """Build a success response frame body."""
+    message = {"v": WIRE_VERSION, "id": request_id, "ok": True}
+    message.update(fields)
+    return message
+
+
+def error(
+    request_id: Optional[int], code: str, message: str
+) -> Dict[str, Any]:
+    """Build an error response frame body."""
+    return {
+        "v": WIRE_VERSION,
+        "id": request_id,
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }
+
+
+def raise_for_error(response: Dict[str, Any]) -> Dict[str, Any]:
+    """Return ``response`` if it is a success, raise otherwise."""
+    if response.get("ok"):
+        return response
+    detail = response.get("error") or {}
+    raise ServiceError(
+        str(detail.get("code", "error")),
+        str(detail.get("message", "unspecified server error")),
+    )
+
+
+# -- event payloads --------------------------------------------------------
+
+
+def event_to_dict(event: object) -> Dict[str, Any]:
+    """One lock-manager event as a JSON-ready dict."""
+    if isinstance(event, Granted):
+        return {
+            "type": "granted",
+            "tid": event.tid,
+            "rid": event.rid,
+            "mode": event.mode.name,
+            "immediate": event.immediate,
+        }
+    if isinstance(event, Blocked):
+        return {
+            "type": "blocked",
+            "tid": event.tid,
+            "rid": event.rid,
+            "mode": event.mode.name,
+            "conversion": event.conversion,
+        }
+    if isinstance(event, Aborted):
+        return {"type": "aborted", "tid": event.tid, "reason": event.reason}
+    if isinstance(event, Repositioned):
+        return {
+            "type": "repositioned",
+            "rid": event.rid,
+            "delayed": list(event.delayed),
+        }
+    raise ProtocolError(
+        "unknown event type {}".format(type(event).__name__)
+    )
+
+
+def event_from_dict(data: Dict[str, Any]) -> object:
+    """Rebuild a lock-manager event from its wire dict."""
+    kind = data.get("type")
+    if kind == "granted":
+        return Granted(
+            tid=int(data["tid"]),
+            rid=data["rid"],
+            mode=parse_mode(data["mode"]),
+            immediate=bool(data.get("immediate", False)),
+        )
+    if kind == "blocked":
+        return Blocked(
+            tid=int(data["tid"]),
+            rid=data["rid"],
+            mode=parse_mode(data["mode"]),
+            conversion=bool(data.get("conversion", False)),
+        )
+    if kind == "aborted":
+        return Aborted(tid=int(data["tid"]), reason=data.get("reason", ""))
+    if kind == "repositioned":
+        return Repositioned(
+            rid=data["rid"], delayed=tuple(data.get("delayed", ()))
+        )
+    raise ProtocolError("unknown event type {!r}".format(kind))
+
+
+def detection_to_dict(result) -> Dict[str, Any]:
+    """A :class:`~repro.core.detection.DetectionResult` as a wire dict."""
+    return {
+        "deadlock_found": result.deadlock_found,
+        "abort_free": result.abort_free,
+        "aborted": list(result.aborted),
+        "spared": list(result.spared),
+        "grants": [event_to_dict(event) for event in result.grants],
+        "repositions": [
+            event_to_dict(event) for event in result.repositions
+        ],
+        "resolutions": [
+            {
+                "cycle": list(resolution.cycle),
+                "chosen": str(resolution.chosen),
+                "kind": (
+                    resolution.chosen.kind
+                    if resolution.chosen is not None
+                    else None
+                ),
+            }
+            for resolution in result.resolutions
+        ],
+        "stats": {
+            "transactions": result.stats.transactions,
+            "edges_examined": result.stats.edges_examined,
+            "cycles_found": result.stats.cycles_found,
+            "tdr1_applied": result.stats.tdr1_applied,
+            "tdr2_applied": result.stats.tdr2_applied,
+        },
+    }
+
+
+class RemoteDetectionResult:
+    """Client-side view of one detection pass, mirroring the attribute
+    surface of :class:`~repro.core.detection.DetectionResult` that
+    applications use (``deadlock_found``, ``abort_free``, ``aborted``,
+    ``spared``, ``grants``, ``repositions``, ``resolutions``)."""
+
+    def __init__(self, data: Dict[str, Any]) -> None:
+        self.deadlock_found: bool = bool(data.get("deadlock_found"))
+        self.abort_free: bool = bool(data.get("abort_free"))
+        self.aborted: List[int] = [int(t) for t in data.get("aborted", ())]
+        self.spared: List[int] = [int(t) for t in data.get("spared", ())]
+        self.grants = [
+            event_from_dict(event) for event in data.get("grants", ())
+        ]
+        self.repositions = [
+            event_from_dict(event) for event in data.get("repositions", ())
+        ]
+        self.resolutions: List[Dict[str, Any]] = list(
+            data.get("resolutions", ())
+        )
+        self.stats: Dict[str, int] = dict(data.get("stats", {}))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return (
+            "RemoteDetectionResult(deadlock_found={}, aborted={}, "
+            "repositions={})".format(
+                self.deadlock_found,
+                self.aborted,
+                [event.rid for event in self.repositions],
+            )
+        )

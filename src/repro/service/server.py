@@ -1,0 +1,610 @@
+"""The asyncio lock server: ``LockManager`` as a network service.
+
+Architecture
+------------
+
+* **Single writer.**  The :class:`~repro.lockmgr.manager.LockManager` is
+  single-threaded by design; the server funnels *every* access to it —
+  lock requests, commits, detection passes, introspection reads —
+  through one asyncio queue consumed by one writer task, so connection
+  handlers can run concurrently while the lock table sees a strictly
+  serial operation stream (the paper's sequential transaction model,
+  preserved over the network).
+* **Parked waiters.**  A blocking ``lock`` request does not answer until
+  the transaction is granted or aborted: the writer registers a future
+  keyed by transaction id, and after every operation it *pumps* the
+  parked futures against the manager (granted?  aborted?) — the network
+  analogue of the condition variables in
+  :class:`~repro.lockmgr.concurrent.ConcurrentLockManager`.  A wait with
+  a timeout answers ``timeout`` but leaves the request queued, so a
+  retried ``lock`` resumes the same queue position.
+* **Sessions and leases.**  Every connection is a session holding a
+  lease that each received frame (heartbeats included) renews.  A silent
+  client's lease expires: its transactions are aborted, its locks freed
+  and its connection closed — a crashed or hung client cannot wedge the
+  lock table.  A rude disconnect (no ``goodbye``) is cleaned up
+  immediately.
+* **Periodic detector.**  With ``period`` set, an asyncio task runs the
+  paper's periodic detection-resolution pass through the writer queue on
+  that cadence; ``continuous=True`` instead resolves on every block,
+  exactly as in the embedded manager.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Dict, List, Optional, Set
+
+from .. import __version__
+from ..core.errors import ReproError
+from ..core.modes import parse_mode
+from ..core.victim import CostTable
+from ..lockmgr.manager import LockManager
+from . import admin
+from .protocol import (
+    ProtocolError,
+    ServiceError,
+    WIRE_VERSION,
+    detection_to_dict,
+    encode_frame,
+    error,
+    event_to_dict,
+    ok,
+    read_frame,
+)
+
+#: Bounds on a client-requested lease, seconds.
+MIN_LEASE = 0.05
+MAX_LEASE = 3600.0
+
+
+class Session:
+    """One connection's service state: identity, owned transactions and
+    the lease that keeps them alive."""
+
+    def __init__(self, sid: str, lease: float, now: float) -> None:
+        self.sid = sid
+        self.lease = lease
+        self.deadline = now + lease
+        self.tids: Set[int] = set()
+        self.detached = False  # said goodbye
+        self.closed = False
+        self.transport: Optional[asyncio.StreamWriter] = None
+
+    def touch(self, now: float) -> None:
+        """Renew the lease (any received frame counts as a heartbeat)."""
+        self.deadline = now + self.lease
+
+    def expired(self, now: float) -> bool:
+        return now > self.deadline
+
+
+class LockServer:
+    """Serves a :class:`LockManager` over TCP (see module docstring).
+
+    Parameters mirror the embedded managers: ``costs`` feeds victim
+    selection, ``continuous`` switches to the companion detector,
+    ``period`` is the periodic detector cadence in seconds (None
+    disables the background task — deadlocks then resolve only on
+    explicit ``detect`` requests), ``lease`` is the default session
+    lease granted to clients that do not ask for one.
+    """
+
+    def __init__(
+        self,
+        costs: Optional[CostTable] = None,
+        continuous: bool = False,
+        period: Optional[float] = 0.5,
+        lease: float = 5.0,
+    ) -> None:
+        self.manager = LockManager(costs=costs, continuous=continuous)
+        self.continuous = continuous
+        self.period = period
+        self.lease = lease
+        self.stats = admin.ServiceStats()
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._ops: "asyncio.Queue" = asyncio.Queue()
+        self._waiters: Dict[int, asyncio.Future] = {}
+        self._sessions: Dict[str, Session] = {}
+        self._owners: Dict[int, Session] = {}
+        self._next_sid = 1
+        self._next_tid = 1
+        self._tasks: List[asyncio.Task] = []
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> "LockServer":
+        """Bind and start serving; ``port=0`` picks a free port (read it
+        back from :attr:`port`)."""
+        self._loop = asyncio.get_running_loop()
+        self._tasks.append(asyncio.ensure_future(self._writer_loop()))
+        self._tasks.append(asyncio.ensure_future(self._reaper_loop()))
+        if self.period is not None:
+            self._tasks.append(asyncio.ensure_future(self._detector_loop()))
+        self._server = await asyncio.start_server(
+            self._handle_connection, host, port
+        )
+        address = self._server.sockets[0].getsockname()
+        self.host, self.port = address[0], address[1]
+        return self
+
+    async def serve_forever(self) -> None:
+        await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        """Stop serving: close the listener, every session and task."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for session in list(self._sessions.values()):
+            self._close_session(session)
+        for task in self._tasks:
+            task.cancel()
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks.clear()
+
+    # -- the single-writer queue -------------------------------------------
+
+    async def _submit(self, fn: Callable[[], object]) -> object:
+        """Run ``fn`` on the writer task; returns (or raises) its result.
+        Every touch of the lock manager goes through here."""
+        future = self._loop.create_future()
+        await self._ops.put((fn, future))
+        return await future
+
+    async def _writer_loop(self) -> None:
+        while True:
+            fn, future = await self._ops.get()
+            try:
+                result = fn()
+            except Exception as exc:  # delivered to the submitter
+                if not future.done():
+                    future.set_exception(exc)
+                else:  # pragma: no cover - submitter went away
+                    pass
+            else:
+                if not future.done():
+                    future.set_result(result)
+            self._pump_waiters()
+
+    def _pump_waiters(self) -> None:
+        """Resolve parked ``lock`` waits against the manager's current
+        state.  Runs on the writer task after every operation."""
+        for tid, future in list(self._waiters.items()):
+            if future.done():
+                del self._waiters[tid]
+            elif self.manager.was_aborted(tid):
+                del self._waiters[tid]
+                future.set_result("aborted")
+            elif not self.manager.is_blocked(tid):
+                del self._waiters[tid]
+                future.set_result("granted")
+
+    # -- background tasks ------------------------------------------------------
+
+    async def _detector_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.period)
+            await self._submit(self._detect_step)
+
+    def _detect_step(self):
+        result = self.manager.detect()
+        self.stats.absorb_detection(result)
+        return result
+
+    async def _reaper_loop(self) -> None:
+        while True:
+            now = self._loop.time()
+            deadlines = [
+                s.deadline
+                for s in self._sessions.values()
+                if not s.closed
+            ]
+            # Sleep toward the earliest deadline, but never long enough
+            # that a freshly connected short-lease session could expire
+            # unnoticed for more than ~0.1s.
+            wake = min(deadlines) - now if deadlines else 0.1
+            await asyncio.sleep(min(max(wake, 0.02), 0.1))
+            now = self._loop.time()
+            for session in list(self._sessions.values()):
+                if not session.closed and session.expired(now):
+                    self.stats.lease_expiries += 1
+                    self._close_session(session)
+
+    # -- sessions -------------------------------------------------------------
+
+    def _open_session(self, frame: dict, transport) -> Session:
+        lease = frame.get("lease")
+        lease = self.lease if lease is None else float(lease)
+        lease = min(max(lease, MIN_LEASE), MAX_LEASE)
+        session = Session(
+            "S{}".format(self._next_sid), lease, self._loop.time()
+        )
+        self._next_sid += 1
+        session.transport = transport
+        self._sessions[session.sid] = session
+        self.stats.sessions_opened += 1
+        return session
+
+    def _close_session(self, session: Session) -> None:
+        """Tear one session down: abort its transactions (freeing their
+        locks and waking grantees), drop ownership, close the socket.
+
+        Deliberately synchronous: it runs to completion without yielding
+        to the event loop, so it cannot interleave with a writer-queue
+        operation and stays safe to call from shutdown paths where the
+        writer task may already be gone.
+        """
+        if session.closed:
+            return
+        session.closed = True
+        self._sessions.pop(session.sid, None)
+        self.stats.sessions_closed += 1
+        tids = sorted(session.tids)
+        if tids:
+            self.stats.aborts += len(tids)
+            self._sweep_session(session, tids)
+            self._pump_waiters()
+        if session.transport is not None:
+            session.transport.close()
+
+    def _sweep_session(self, session: Session, tids) -> None:
+        for tid in tids:
+            future = self._waiters.pop(tid, None)
+            if future is not None and not future.done():
+                future.set_result("aborted")
+            try:
+                self.manager.finish(tid)
+            except ReproError:  # pragma: no cover - defensive
+                pass
+            self._owners.pop(tid, None)
+        session.tids.clear()
+
+    def _claim(self, tid: int, session: Session) -> None:
+        owner = self._owners.get(tid)
+        if owner is None:
+            self._owners[tid] = session
+            session.tids.add(tid)
+        elif owner is not session:
+            raise ServiceError(
+                "not-owner",
+                "transaction {} belongs to session {}".format(
+                    tid, owner.sid
+                ),
+            )
+
+    def _release_claim(self, tid: int) -> None:
+        owner = self._owners.pop(tid, None)
+        if owner is not None:
+            owner.tids.discard(tid)
+
+    # -- connection handling -----------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        session: Optional[Session] = None
+        write_lock = asyncio.Lock()
+        tasks: Set[asyncio.Task] = set()
+
+        async def send(message: dict) -> None:
+            async with write_lock:
+                writer.write(encode_frame(message))
+                await writer.drain()
+
+        try:
+            first = await read_frame(reader)
+            if first is None:
+                return
+            if first.get("op") != "hello":
+                await send(
+                    error(
+                        first.get("id"),
+                        "handshake",
+                        "first frame must be a hello",
+                    )
+                )
+                return
+            session = self._open_session(first, writer)
+            await send(
+                ok(
+                    first.get("id"),
+                    session=session.sid,
+                    lease=session.lease,
+                    server={
+                        "version": __version__,
+                        "wire": WIRE_VERSION,
+                        "period": self.period,
+                        "continuous": self.continuous,
+                    },
+                )
+            )
+            while True:
+                frame = await read_frame(reader)
+                if frame is None:
+                    break
+                session.touch(self._loop.time())
+                if frame.get("op") == "goodbye":
+                    session.detached = True
+                    await send(ok(frame.get("id")))
+                    break
+                task = asyncio.ensure_future(
+                    self._dispatch(session, frame, send)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        except ProtocolError as exc:
+            self.stats.protocol_errors += 1
+            try:
+                await send(error(None, "protocol", str(exc)))
+            except (ConnectionError, RuntimeError):
+                pass
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            pass  # server shutdown; fall through to the cleanup below
+        finally:
+            for task in list(tasks):
+                task.cancel()
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            if session is not None and not session.closed:
+                if not session.detached:
+                    self.stats.rude_disconnects += 1
+                self._close_session(session)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    async def _dispatch(self, session: Session, frame: dict, send) -> None:
+        request_id = frame.get("id")
+        self.stats.requests += 1
+        try:
+            if session.closed:
+                raise ServiceError(
+                    "session-expired",
+                    "session {} is closed (lease expired?)".format(
+                        session.sid
+                    ),
+                )
+            handler = self._HANDLERS.get(frame.get("op"))
+            if handler is None:
+                raise ServiceError(
+                    "bad-op", "unknown operation {!r}".format(frame.get("op"))
+                )
+            await handler(self, session, frame, send)
+        except asyncio.CancelledError:
+            raise
+        except ServiceError as exc:
+            await self._safe_send(send, error(request_id, exc.code, exc.message))
+        except KeyError as exc:
+            await self._safe_send(
+                send,
+                error(
+                    request_id,
+                    "bad-request",
+                    "missing field {}".format(exc),
+                ),
+            )
+        except ReproError as exc:
+            await self._safe_send(send, error(request_id, "error", str(exc)))
+        except Exception as exc:  # pragma: no cover - last resort
+            await self._safe_send(
+                send, error(request_id, "internal", repr(exc))
+            )
+
+    @staticmethod
+    async def _safe_send(send, message: dict) -> None:
+        try:
+            await send(message)
+        except (ConnectionError, RuntimeError):
+            pass
+
+    # -- operations --------------------------------------------------------------
+
+    async def _op_heartbeat(self, session, frame, send) -> None:
+        # The lease was already renewed on frame receipt.
+        await send(
+            ok(
+                frame.get("id"),
+                lease=session.lease,
+                remaining=max(session.deadline - self._loop.time(), 0.0),
+            )
+        )
+
+    async def _op_begin(self, session, frame, send) -> None:
+        tid = frame.get("tid")
+
+        def step():
+            nonlocal tid
+            if tid is None:
+                while (
+                    self._next_tid in self._owners
+                    or self.manager.was_aborted(self._next_tid)
+                ):
+                    self._next_tid += 1
+                tid = self._next_tid
+                self._next_tid += 1
+            else:
+                tid = int(tid)
+            self._claim(tid, session)
+            return tid
+
+        await self._submit(step)
+        await send(ok(frame.get("id"), tid=tid))
+
+    async def _op_lock(self, session, frame, send) -> None:
+        tid = int(frame["tid"])
+        rid = str(frame["rid"])
+        mode = parse_mode(frame["mode"])
+        wait = bool(frame.get("wait", True))
+        timeout = frame.get("timeout")
+        future = self._loop.create_future()
+
+        def step():
+            self._claim(tid, session)
+            if self.manager.was_aborted(tid):
+                return "aborted", None
+            event = None
+            if not self.manager.is_blocked(tid):
+                outcome = self.manager.lock(tid, rid, mode)
+                event = event_to_dict(outcome.event)
+                if self.continuous and self.manager.last_detection:
+                    self.stats.absorb_detection(self.manager.last_detection)
+                if outcome.granted:
+                    self.stats.grants += 1
+                    return "granted", event
+                self.stats.blocks += 1
+                if self.manager.was_aborted(tid):
+                    return "aborted", event
+                if not self.manager.is_blocked(tid):
+                    # Continuous resolution granted us on the spot.
+                    self.stats.grants += 1
+                    return "granted", event
+            # Blocked (or resuming an earlier blocked request).  Park
+            # inside the writer step so no grant can slip between the
+            # check and the registration.
+            if wait:
+                if tid in self._waiters:
+                    raise ServiceError(
+                        "already-waiting",
+                        "transaction {} already has a parked "
+                        "request".format(tid),
+                    )
+                self._waiters[tid] = future
+                return "parked", event
+            return "blocked", event
+
+        status, event = await self._submit(step)
+        if status == "parked":
+            done, _ = await asyncio.wait(
+                [future],
+                timeout=None if timeout is None else float(timeout),
+            )
+            if done:
+                status = future.result()
+                if status == "granted":
+                    self.stats.grants += 1
+            else:
+                # Timed out: un-park, but leave the request queued so a
+                # retried lock resumes the same position.
+                if self._waiters.get(tid) is future:
+                    del self._waiters[tid]
+                if future.done():  # resolved in the race window
+                    status = future.result()
+                else:
+                    self.stats.wait_timeouts += 1
+                    status = "timeout"
+        await send(ok(frame.get("id"), status=status, event=event))
+
+    async def _op_commit(self, session, frame, send) -> None:
+        await self._finish(session, frame, send, aborting=False)
+
+    async def _op_abort(self, session, frame, send) -> None:
+        await self._finish(session, frame, send, aborting=True)
+
+    async def _finish(self, session, frame, send, aborting: bool) -> None:
+        tid = int(frame["tid"])
+
+        def step():
+            self._claim(tid, session)
+            grants = self.manager.finish(tid)
+            self._release_claim(tid)
+            if aborting:
+                self.stats.aborts += 1
+            else:
+                self.stats.commits += 1
+            return [event_to_dict(event) for event in grants]
+
+        grants = await self._submit(step)
+        await send(ok(frame.get("id"), tid=tid, grants=grants))
+
+    async def _op_detect(self, session, frame, send) -> None:
+        result = await self._submit(self._detect_step)
+        await send(ok(frame.get("id"), **detection_to_dict(result)))
+
+    async def _op_inspect(self, session, frame, send) -> None:
+        payload = await self._submit(
+            lambda: admin.inspect_payload(self.manager)
+        )
+        await send(ok(frame.get("id"), **payload))
+
+    async def _op_graph(self, session, frame, send) -> None:
+        dot = bool(frame.get("dot", False))
+        payload = await self._submit(
+            lambda: admin.graph_payload(self.manager, dot=dot)
+        )
+        await send(ok(frame.get("id"), **payload))
+
+    async def _op_dump(self, session, frame, send) -> None:
+        payload = await self._submit(
+            lambda: admin.dump_payload(self.manager)
+        )
+        await send(ok(frame.get("id"), **payload))
+
+    async def _op_log(self, session, frame, send) -> None:
+        limit = int(frame.get("limit", 100))
+        payload = await self._submit(
+            lambda: admin.log_payload(self.manager, limit=limit)
+        )
+        await send(ok(frame.get("id"), **payload))
+
+    async def _op_stats(self, session, frame, send) -> None:
+        def step():
+            payload = self.stats.as_dict()
+            payload["sessions"] = len(self._sessions)
+            payload["transactions"] = len(self._owners)
+            payload["resources"] = len(self.manager.table)
+            payload["parked_waiters"] = len(self._waiters)
+            return payload
+
+        payload = await self._submit(step)
+        await send(ok(frame.get("id"), stats=payload))
+
+    async def _op_holding(self, session, frame, send) -> None:
+        tid = int(frame["tid"])
+        held = await self._submit(lambda: self.manager.holding(tid))
+        await send(
+            ok(
+                frame.get("id"),
+                holding={rid: mode.name for rid, mode in held.items()},
+            )
+        )
+
+    async def _op_deadlocked(self, session, frame, send) -> None:
+        value = await self._submit(self.manager.deadlocked)
+        await send(ok(frame.get("id"), deadlocked=value))
+
+    _HANDLERS: Dict[
+        str, Callable[["LockServer", Session, dict, object], Awaitable[None]]
+    ] = {
+        "heartbeat": _op_heartbeat,
+        "begin": _op_begin,
+        "lock": _op_lock,
+        "commit": _op_commit,
+        "abort": _op_abort,
+        "detect": _op_detect,
+        "inspect": _op_inspect,
+        "graph": _op_graph,
+        "dump": _op_dump,
+        "log": _op_log,
+        "stats": _op_stats,
+        "holding": _op_holding,
+        "deadlocked": _op_deadlocked,
+    }
+
+
+async def serve(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    **kwargs,
+) -> LockServer:
+    """Create and start a :class:`LockServer` (convenience wrapper)."""
+    server = LockServer(**kwargs)
+    await server.start(host, port)
+    return server

@@ -2,6 +2,7 @@
 
 from .engine import Engine
 from .metrics import Metrics
+from .realtime import RealtimeMetrics, run_realtime
 from .runner import (
     RunResult,
     aggregate,
@@ -28,6 +29,7 @@ __all__ = [
     "Engine",
     "Metrics",
     "Program",
+    "RealtimeMetrics",
     "RunResult",
     "SimulatedSystem",
     "Terminal",
@@ -40,5 +42,6 @@ __all__ = [
     "low_contention",
     "compare_strategies",
     "run_once",
+    "run_realtime",
     "sweep_period",
 ]

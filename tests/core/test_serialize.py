@@ -5,6 +5,8 @@ from hypothesis import HealthCheck, given, settings
 
 from repro.core.errors import ReproError
 from repro.core.serialize import (
+    FORMAT_VERSION,
+    check_version,
     dumps,
     loads,
     table_from_dict,
@@ -31,7 +33,7 @@ class TestRoundTrip:
     def test_empty_table(self):
         from repro.lockmgr.lock_table import LockTable
 
-        assert table_to_dict(LockTable()) == {"resources": []}
+        assert table_to_dict(LockTable()) == {"v": 1, "resources": []}
         assert len(table_from_dict({"resources": []})) == 0
 
     @given(ops=ops_strategy)
@@ -57,6 +59,37 @@ class TestRoundTrip:
 
         clone = table_from_dict(table_to_dict(apply_ops(ops)))
         assert verify_table(clone) == []
+
+
+class TestVersionedEnvelope:
+    def test_dumps_carry_current_version(self, example_41_table):
+        assert table_to_dict(example_41_table)["v"] == FORMAT_VERSION
+        assert '"v": 1' in dumps(example_41_table)
+
+    def test_versioned_round_trip(self, example_41_table):
+        data = table_to_dict(example_41_table)
+        assert data["v"] == 1
+        clone = table_from_dict(data)
+        assert str(clone) == str(example_41_table)
+        # The round trip preserves the envelope too.
+        assert table_to_dict(clone) == data
+
+    def test_legacy_dump_without_version_accepted(self, example_51_table):
+        data = table_to_dict(example_51_table)
+        del data["v"]
+        clone = table_from_dict(data)
+        assert str(clone) == str(example_51_table)
+
+    @pytest.mark.parametrize("version", [0, 2, 99, "1", None])
+    def test_unknown_version_rejected(self, example_51_table, version):
+        data = table_to_dict(example_51_table)
+        data["v"] = version
+        with pytest.raises(ReproError, match="version"):
+            table_from_dict(data)
+
+    def test_check_version_names_the_artifact(self):
+        with pytest.raises(ReproError, match="wire frame"):
+            check_version({"v": 7}, "wire frame")
 
 
 class TestValidation:

@@ -64,6 +64,22 @@ class TestBasicBlocking:
         clm.commit(2)
         clm.close()
 
+    def test_reacquire_after_timeout_does_not_duplicate_request(self):
+        """Retrying a timed-out acquire resumes the *same* queued
+        request: the resource queue must never grow a second entry for
+        the transaction."""
+        with ConcurrentLockManager() as clm:
+            clm.acquire(1, "R", LockMode.X)
+            for _ in range(3):
+                assert not clm.acquire(2, "R", LockMode.S, timeout=0.02)
+                assert [
+                    q.tid
+                    for q in clm._manager.table.existing("R").queue
+                ] == [2]
+            clm.commit(1)
+            assert clm.acquire(2, "R", LockMode.S, timeout=5.0)
+            clm.commit(2)
+
     def test_timed_out_request_can_be_abandoned(self):
         with ConcurrentLockManager() as clm:
             clm.acquire(1, "R", LockMode.X)

@@ -1,0 +1,180 @@
+"""The wire protocol: framing, versioning, event payloads."""
+
+import asyncio
+import json
+import struct
+
+import pytest
+
+from repro.core.modes import LockMode
+from repro.lockmgr.events import Aborted, Blocked, Granted, Repositioned
+from repro.service.protocol import (
+    MAX_FRAME,
+    ProtocolError,
+    RemoteDetectionResult,
+    ServiceError,
+    WIRE_VERSION,
+    check_wire_version,
+    decode_payload,
+    encode_frame,
+    error,
+    event_from_dict,
+    event_to_dict,
+    ok,
+    raise_for_error,
+    read_frame,
+    request,
+)
+
+
+def read_bytes(data: bytes):
+    """Feed raw bytes to a StreamReader and read one frame from it."""
+
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_frame(reader)
+
+    return asyncio.run(go())
+
+
+class TestFraming:
+    def test_round_trip(self):
+        message = request(7, "lock", tid=3, rid="R1", mode="X")
+        assert read_bytes(encode_frame(message)) == message
+
+    def test_two_frames_back_to_back(self):
+        first = request(1, "hello")
+        second = request(2, "stats")
+        data = encode_frame(first) + encode_frame(second)
+
+        async def go():
+            reader = asyncio.StreamReader()
+            reader.feed_data(data)
+            reader.feed_eof()
+            return await read_frame(reader), await read_frame(reader)
+
+        assert asyncio.run(go()) == (first, second)
+
+    def test_clean_eof_returns_none(self):
+        assert read_bytes(b"") is None
+
+    def test_truncated_header_raises(self):
+        with pytest.raises(ProtocolError, match="header"):
+            read_bytes(b"\x00\x00")
+
+    def test_truncated_body_raises(self):
+        with pytest.raises(ProtocolError, match="body"):
+            read_bytes(struct.pack(">I", 100) + b'{"v": 1}')
+
+    def test_oversized_announcement_raises(self):
+        with pytest.raises(ProtocolError, match="limit"):
+            read_bytes(struct.pack(">I", MAX_FRAME + 1))
+
+    def test_garbage_payload_raises(self):
+        body = b"\xff\xfenot json"
+        with pytest.raises(ProtocolError, match="undecodable"):
+            read_bytes(struct.pack(">I", len(body)) + body)
+
+    def test_non_object_payload_raises(self):
+        body = json.dumps([1, 2, 3]).encode()
+        with pytest.raises(ProtocolError, match="JSON object"):
+            read_bytes(struct.pack(">I", len(body)) + body)
+
+    def test_encode_rejects_oversized_message(self):
+        message = {"v": WIRE_VERSION, "blob": "x" * (MAX_FRAME + 1)}
+        with pytest.raises(ProtocolError, match="exceeds"):
+            encode_frame(message)
+
+
+class TestVersioning:
+    def test_current_version_accepted(self):
+        check_wire_version({"v": WIRE_VERSION})
+
+    def test_missing_version_defaults_to_current(self):
+        check_wire_version({"op": "hello"})
+
+    @pytest.mark.parametrize("version", [0, 2, 99, "1", None])
+    def test_unknown_version_rejected(self, version):
+        with pytest.raises(ProtocolError, match="version"):
+            decode_payload(
+                json.dumps({"v": version, "op": "hello"}).encode()
+            )
+
+    def test_constructors_stamp_version(self):
+        assert request(1, "hello")["v"] == WIRE_VERSION
+        assert ok(1)["v"] == WIRE_VERSION
+        assert error(1, "code", "msg")["v"] == WIRE_VERSION
+
+
+class TestResponses:
+    def test_raise_for_error_passes_success(self):
+        response = ok(4, status="granted")
+        assert raise_for_error(response) is response
+
+    def test_raise_for_error_raises_with_code(self):
+        with pytest.raises(ServiceError, match="not-owner") as excinfo:
+            raise_for_error(error(4, "not-owner", "T1 is taken"))
+        assert excinfo.value.code == "not-owner"
+        assert excinfo.value.message == "T1 is taken"
+
+    def test_error_without_detail(self):
+        with pytest.raises(ServiceError, match="unspecified"):
+            raise_for_error({"v": 1, "id": 1, "ok": False})
+
+
+class TestEventPayloads:
+    @pytest.mark.parametrize(
+        "event",
+        [
+            Granted(tid=1, rid="R1", mode=LockMode.X, immediate=True),
+            Granted(tid=2, rid="R2", mode=LockMode.S, immediate=False),
+            Blocked(tid=3, rid="R1", mode=LockMode.IX, conversion=True),
+            Aborted(tid=4, reason="deadlock victim"),
+            Repositioned(rid="R2", delayed=(8, 9)),
+        ],
+    )
+    def test_round_trip(self, event):
+        data = event_to_dict(event)
+        json.dumps(data)  # must be JSON-ready
+        assert event_from_dict(data) == event
+
+    def test_unknown_event_object_raises(self):
+        with pytest.raises(ProtocolError, match="unknown event"):
+            event_to_dict(object())
+
+    def test_unknown_event_kind_raises(self):
+        with pytest.raises(ProtocolError, match="unknown event"):
+            event_from_dict({"type": "exploded"})
+
+
+class TestRemoteDetectionResult:
+    def test_from_wire_dict(self):
+        result = RemoteDetectionResult(
+            {
+                "deadlock_found": True,
+                "abort_free": True,
+                "aborted": [],
+                "spared": [3],
+                "grants": [
+                    {"type": "granted", "tid": 5, "rid": "R1", "mode": "IX"}
+                ],
+                "repositions": [
+                    {"type": "repositioned", "rid": "R2", "delayed": [8]}
+                ],
+                "resolutions": [{"cycle": [1, 2], "chosen": "TDR-2"}],
+                "stats": {"cycles_found": 1},
+            }
+        )
+        assert result.deadlock_found and result.abort_free
+        assert result.aborted == [] and result.spared == [3]
+        assert result.grants[0].mode is LockMode.IX
+        assert result.repositions[0].delayed == (8,)
+        assert result.stats["cycles_found"] == 1
+
+    def test_empty_payload(self):
+        result = RemoteDetectionResult({})
+        assert not result.deadlock_found
+        assert result.aborted == []
+        assert result.resolutions == []

@@ -111,6 +111,64 @@ class TestSimulate:
         assert "commits" in capsys.readouterr().out
 
 
+class TestServiceCommands:
+    @pytest.fixture
+    def running_service(self):
+        from repro.service import LoopbackServer
+
+        with LoopbackServer(period=None) as server:
+            yield server
+
+    def test_remote_stats(self, running_service, capsys):
+        code = main(
+            ["remote", "stats", "--port", str(running_service.port)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sessions_opened" in out
+        assert "detector_passes" in out
+
+    def test_remote_report_and_detect(self, running_service, capsys):
+        from repro.core.modes import LockMode
+        from repro.service import RemoteLockManager
+
+        port = running_service.port
+        with RemoteLockManager("127.0.0.1", port) as one:
+            with RemoteLockManager("127.0.0.1", port) as two:
+                assert one.acquire(1, "R1", LockMode.S)
+                assert two.acquire(2, "R2", LockMode.S)
+                # Timed-out requests stay queued: a live deadlock.
+                assert not one.acquire(1, "R2", LockMode.X, timeout=0.05)
+                assert not two.acquire(2, "R1", LockMode.X, timeout=0.05)
+                assert main(["remote", "report", "--port", str(port)]) == 0
+                assert "DEADLOCKED" in capsys.readouterr().out
+                assert main(["remote", "detect", "--port", str(port)]) == 0
+                out = capsys.readouterr().out
+                assert "resolved 1 cycle(s)" in out
+                assert "aborted:" in out
+
+    def test_remote_graph_dump_log(self, running_service, capsys):
+        port = str(running_service.port)
+        assert main(["remote", "dump", "--port", port]) == 0
+        assert main(["remote", "graph", "--port", port]) == 0
+        assert main(["remote", "log", "--port", port]) == 0
+        assert "events total" in capsys.readouterr().out
+
+    def test_remote_connection_refused(self, capsys):
+        code = main(["remote", "stats", "--port", "1"])
+        assert code == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_serve_parser_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve", "--period", "0"])
+        assert args.run.__name__ == "cmd_serve"
+        assert args.port == 7411
+        assert args.period == 0.0
+        assert args.lease == 5.0
+
+
 class TestHelpers:
     def test_parse_costs(self):
         costs = parse_costs(["1=6", "T2=4.5"])

@@ -23,6 +23,16 @@ def test_example_runs(path, capsys):
     assert out.strip()  # every example narrates what it did
 
 
+def test_lock_service_example(capsys):
+    """Three worker subprocesses weave Example 4.1 over TCP; one remote
+    detection pass resolves it abort-free and everybody commits."""
+    runpy.run_path("examples/lock_service.py", run_name="__main__")
+    out = capsys.readouterr().out
+    assert "abort-free:     True" in out
+    assert "aborted:        nobody" in out
+    assert "9 commits, 0 aborts" in out
+
+
 def test_threaded_workers_example(capsys):
     import importlib.util
 
