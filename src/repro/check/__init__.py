@@ -1,0 +1,63 @@
+"""repro.check — deterministic schedule exploration for the lock stack.
+
+A mini model checker for the interleaving-dependent layers that the
+sequential test suites cannot reach: the concurrent lock manager's
+block/wake/timeout paths and the lock service's parked waiters, lease
+reaping and frame-delivery races.
+
+The pieces:
+
+* :mod:`repro.check.schedule` — the virtual scheduler.  Every
+  nondeterministic choice in a run (who steps next, when the detector
+  fires, which fault to inject) is funnelled through one ``choose``
+  call, driven by a seeded RNG, a bounded-exhaustive enumerator or a
+  recorded decision list (replay).
+* :mod:`repro.check.oracles` — step oracles checked after **every**
+  transition: the structural table invariants
+  (:func:`repro.core.verify.verify_table`), Theorem 1 (H/W-TWBG cycle ⟺
+  stuck-transaction deadlock), UPR/Theorem 3.1, the detection-pass
+  contract (Theorem 4.1, TDR-2 abort-free) and the service-level
+  session/ownership invariants.
+* :mod:`repro.check.concurrent` / :mod:`repro.check.service` — the two
+  explorable backends: logical transactions over a
+  :class:`~repro.lockmgr.manager.LockManager`, and client sessions over
+  the real :class:`~repro.service.core.ServiceCore` under a virtual
+  clock with frame reordering, timed-out-retry, duplicate-commit,
+  lease-expiry and mid-run disconnect faults.
+* :mod:`repro.check.races` — scripted two-thread schedules over the
+  real :class:`~repro.lockmgr.concurrent.ConcurrentLockManager`,
+  sequenced by events rather than sleeps (the wakeup/timeout race).
+* :mod:`repro.check.artifact` — failing schedules persist as compact
+  seed+decision-list JSON artifacts that replay byte-for-byte and
+  shrink by prefix.
+* :mod:`repro.check.runner` — the explorer: ``python -m repro check``.
+"""
+
+from .artifact import Artifact, load_artifact, replay_artifact, save_artifact
+from .oracles import OracleFailure
+from .runner import CheckConfig, CheckReport, run_check
+from .schedule import (
+    RandomChooser,
+    ReplayChooser,
+    ReplayDivergence,
+    VirtualClock,
+    VirtualScheduler,
+    enumerate_schedules,
+)
+
+__all__ = [
+    "Artifact",
+    "CheckConfig",
+    "CheckReport",
+    "OracleFailure",
+    "RandomChooser",
+    "ReplayChooser",
+    "ReplayDivergence",
+    "VirtualClock",
+    "VirtualScheduler",
+    "enumerate_schedules",
+    "load_artifact",
+    "replay_artifact",
+    "run_check",
+    "save_artifact",
+]

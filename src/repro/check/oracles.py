@@ -1,0 +1,264 @@
+"""Step oracles: what must hold after every transition of a schedule.
+
+Each oracle inspects live state (never a copy the model could have
+forgotten to update) and returns a list of :class:`OracleFailure` —
+empty when the property holds.  The explorer runs the state oracles
+after *every* transition and the detection oracle after every detector
+pass, so a violated theorem is caught at the exact step that introduced
+it, with the decision trace pointing at the interleaving.
+
+The properties are the paper's formal results plus the service-layer
+bookkeeping the networked stack relies on:
+
+* **table** — every structural invariant of
+  :func:`repro.core.verify.verify_table` (total-mode cache, lock
+  safety, UPR blocked prefix, Axiom 1, index agreement);
+* **theorem-1** — the H/W-TWBG has a cycle iff the classic full
+  wait-for-graph oracle sees a deadlock;
+* **upr** (Theorem 3.1) — along any holder list, once one blocked
+  conversion is non-grantable, no later one is grantable;
+* **detection** (Theorem 4.1 / TDR-2) — a periodic pass leaves no
+  cycle, never acts on a deadlock-free table, and when every cycle was
+  resolved by queue repositioning the pass aborted nobody (the
+  abort-free guarantee);
+* **service** — sessions, ownership and parked waits agree with the
+  lock table: no orphaned transactions, no parked wait for a
+  granted/aborted transaction after a pump, closed sessions own
+  nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..baselines.wfg import has_deadlock
+from ..core.hw_twbg import build_graph
+from ..core.verify import verify_table
+from ..core.victim import AbortCandidate, RepositionCandidate
+from ..lockmgr import scheduler
+from ..lockmgr.lock_table import LockTable
+
+
+@dataclass(frozen=True)
+class OracleFailure:
+    """One violated property: which oracle, what it saw, and where."""
+
+    oracle: str
+    detail: str
+    step: Optional[int] = None
+    transition: Optional[str] = None
+
+    def __str__(self) -> str:
+        place = ""
+        if self.step is not None:
+            place = " at step {}".format(self.step)
+            if self.transition:
+                place += " ({})".format(self.transition)
+        return "[{}]{}: {}".format(self.oracle, place, self.detail)
+
+    def located(self, step: int, transition: str) -> "OracleFailure":
+        return OracleFailure(self.oracle, self.detail, step, transition)
+
+
+def check_table(table: LockTable) -> List[OracleFailure]:
+    """The library's own structural verifier, as an oracle."""
+    return [
+        OracleFailure("table", str(violation))
+        for violation in verify_table(table)
+    ]
+
+
+def check_theorem1(table: LockTable) -> List[OracleFailure]:
+    """H/W-TWBG cycle ⟺ wait-for-graph deadlock (Theorem 1)."""
+    cyclic = build_graph(table.snapshot()).has_cycle()
+    stuck = has_deadlock(table)
+    if cyclic != stuck:
+        return [
+            OracleFailure(
+                "theorem-1",
+                "H/W-TWBG {} a cycle but the WFG oracle says the system "
+                "is {}".format(
+                    "has" if cyclic else "lacks",
+                    "deadlocked" if stuck else "deadlock-free",
+                ),
+            )
+        ]
+    return []
+
+
+def check_upr(table: LockTable) -> List[OracleFailure]:
+    """Theorem 3.1: grantability is monotone along blocked conversions."""
+    failures: List[OracleFailure] = []
+    for state in table.resources():
+        hit_nongrantable = False
+        for holder in state.blocked_holders():
+            grantable = scheduler.conversion_grantable(state, holder)
+            if grantable and hit_nongrantable:
+                failures.append(
+                    OracleFailure(
+                        "upr",
+                        "{}: blocked conversion of T{} is grantable after "
+                        "a non-grantable one (UPR ordering broken)".format(
+                            state.rid, holder.tid
+                        ),
+                    )
+                )
+            if not grantable:
+                hit_nongrantable = True
+    return failures
+
+
+def check_state(table: LockTable) -> List[OracleFailure]:
+    """All per-state oracles: table invariants, Theorem 1, UPR."""
+    failures = check_table(table)
+    failures.extend(check_theorem1(table))
+    failures.extend(check_upr(table))
+    return failures
+
+
+def check_detection(
+    result, deadlocked_before: bool, table: LockTable
+) -> List[OracleFailure]:
+    """Contract of one periodic pass (Theorem 4.1, TDR-2 abort-free)."""
+    failures: List[OracleFailure] = []
+    if build_graph(table.snapshot()).has_cycle():
+        failures.append(
+            OracleFailure(
+                "detection",
+                "a cycle survived the periodic pass (Theorem 4.1)",
+            )
+        )
+    if not deadlocked_before and (
+        result.deadlock_found or result.aborted or result.repositions
+    ):
+        failures.append(
+            OracleFailure(
+                "detection",
+                "pass acted on a deadlock-free table (aborted={}, "
+                "repositions={})".format(
+                    result.aborted,
+                    [event.rid for event in result.repositions],
+                ),
+            )
+        )
+    if deadlocked_before and not result.deadlock_found:
+        failures.append(
+            OracleFailure(
+                "detection",
+                "table was deadlocked but the pass found no cycle",
+            )
+        )
+    chose_abort = any(
+        isinstance(resolution.chosen, AbortCandidate)
+        for resolution in result.resolutions
+    )
+    all_repositioned = result.resolutions and all(
+        isinstance(resolution.chosen, RepositionCandidate)
+        for resolution in result.resolutions
+    )
+    if all_repositioned and result.aborted:
+        failures.append(
+            OracleFailure(
+                "tdr2-abort-free",
+                "every cycle was resolved by TDR-2 yet transactions {} "
+                "were aborted".format(result.aborted),
+            )
+        )
+    if not chose_abort and not all_repositioned and result.aborted:
+        failures.append(
+            OracleFailure(
+                "tdr2-abort-free",
+                "no TDR-1 candidate was chosen but {} aborted".format(
+                    result.aborted
+                ),
+            )
+        )
+    if result.abort_free != (result.deadlock_found and not result.aborted):
+        failures.append(
+            OracleFailure(
+                "tdr2-abort-free",
+                "abort_free flag inconsistent with the pass outcome",
+            )
+        )
+    return failures
+
+
+def check_service(core) -> List[OracleFailure]:
+    """Service bookkeeping vs the lock table (run after a pump)."""
+    failures: List[OracleFailure] = []
+    for tid, session in core.owners.items():
+        if session.closed:
+            failures.append(
+                OracleFailure(
+                    "service",
+                    "T{} is owned by closed session {}".format(
+                        tid, session.sid
+                    ),
+                )
+            )
+        if tid not in session.tids:
+            failures.append(
+                OracleFailure(
+                    "service",
+                    "owner map lists T{} under {} but the session does "
+                    "not".format(tid, session.sid),
+                )
+            )
+    for session in core.sessions.values():
+        for tid in session.tids:
+            if core.owners.get(tid) is not session:
+                failures.append(
+                    OracleFailure(
+                        "service",
+                        "session {} claims T{} but the owner map "
+                        "disagrees".format(session.sid, tid),
+                    )
+                )
+    table = core.manager.table
+    owned = set(core.owners)
+    for tid in table.active_tids():
+        if tid not in owned and not core.manager.was_aborted(tid):
+            failures.append(
+                OracleFailure(
+                    "service",
+                    "T{} holds or waits in the lock table but no open "
+                    "session owns it (leaked by a disconnect?)".format(tid),
+                )
+            )
+    for tid, parked in core.waiters.items():
+        if parked.status is not None:
+            continue  # resolved, delivery pending
+        if core.manager.was_aborted(tid):
+            failures.append(
+                OracleFailure(
+                    "service",
+                    "T{} is parked but already aborted (pump missed "
+                    "it)".format(tid),
+                )
+            )
+        elif not core.manager.is_blocked(tid):
+            failures.append(
+                OracleFailure(
+                    "service",
+                    "T{} is parked but not blocked (pump missed the "
+                    "grant)".format(tid),
+                )
+            )
+    return failures
+
+
+@dataclass
+class OracleStats:
+    """How many times each oracle ran over a whole exploration."""
+
+    state_checks: int = 0
+    detection_checks: int = 0
+    service_checks: int = 0
+    failures: int = 0
+
+    def absorb(self, other: "OracleStats") -> None:
+        self.state_checks += other.state_checks
+        self.detection_checks += other.detection_checks
+        self.service_checks += other.service_checks
+        self.failures += other.failures

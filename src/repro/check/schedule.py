@@ -1,0 +1,184 @@
+"""The virtual scheduler: one funnel for every interleaving decision.
+
+A checked run never consults wall time, thread timing or an unseeded
+RNG.  Whenever the model has more than one enabled transition it calls
+:meth:`VirtualScheduler.choose`, which delegates to a pluggable
+*chooser* and records the decision.  The recorded trace — a list of
+``(label, index, options)`` steps — **is** the schedule: feeding it back
+through :class:`ReplayChooser` reproduces the run decision-for-decision,
+which is what makes failures replayable and shrinkable.
+
+Choosers:
+
+* :class:`RandomChooser` — seeded pseudo-random exploration;
+* :class:`ReplayChooser` — follow a recorded decision list, then (by
+  default) take the first enabled option when the list runs out — the
+  property that makes *prefix shrinking* sound: any prefix of a trace
+  is itself a complete, deterministic schedule;
+* :func:`enumerate_schedules` — bounded-exhaustive DFS over the whole
+  decision tree, used for the small-configuration sweeps.
+
+:class:`VirtualClock` is the companion time source: a callable
+compatible with ``loop.time``/``time.monotonic`` that only moves when a
+transition advances it, so lease expiry becomes a schedulable event.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterator, List, NamedTuple, Optional, Sequence, Tuple, TypeVar
+
+from ..core.errors import ReproError
+
+T = TypeVar("T")
+
+
+class TraceStep(NamedTuple):
+    """One recorded decision: which option (of how many) a label took."""
+
+    label: str
+    index: int
+    options: int
+
+
+class ReplayDivergence(ReproError):
+    """A replayed decision does not fit the current run (the model or
+    the workload changed under the artifact)."""
+
+
+class RandomChooser:
+    """Seeded pseudo-random decisions."""
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def choose(self, options: int, label: str) -> int:
+        return self._rng.randrange(options)
+
+
+class ReplayChooser:
+    """Follow a recorded decision list.
+
+    ``tail`` controls behaviour past the end of the list: ``"first"``
+    (default) deterministically takes option 0 — any prefix of a trace
+    is then a complete schedule, the basis of prefix shrinking —
+    while ``"error"`` raises, for strict byte-for-byte replays.
+    """
+
+    def __init__(self, decisions: Sequence[int], tail: str = "first") -> None:
+        if tail not in ("first", "error"):
+            raise ValueError("tail must be 'first' or 'error'")
+        self._decisions = list(decisions)
+        self._tail = tail
+        self._position = 0
+
+    def choose(self, options: int, label: str) -> int:
+        if self._position >= len(self._decisions):
+            if self._tail == "first":
+                return 0
+            raise ReplayDivergence(
+                "decision list exhausted at step {} ({})".format(
+                    self._position, label
+                )
+            )
+        index = self._decisions[self._position]
+        self._position += 1
+        if not 0 <= index < options:
+            raise ReplayDivergence(
+                "recorded decision {} out of range for {} options at "
+                "step {} ({})".format(
+                    index, options, self._position - 1, label
+                )
+            )
+        return index
+
+
+class VirtualScheduler:
+    """Owns every interleaving decision of one checked run."""
+
+    def __init__(self, chooser) -> None:
+        self._chooser = chooser
+        self.trace: List[TraceStep] = []
+
+    def choose(self, options: Sequence[T], label: str) -> T:
+        """Pick one of ``options`` (non-empty) and record the decision."""
+        if not options:
+            raise ReproError(
+                "scheduler asked to choose among zero options ({})".format(
+                    label
+                )
+            )
+        # The chooser is consulted even for forced single-option steps:
+        # one recorded decision per choose() call keeps replayed
+        # decision lists aligned with the run consuming them.
+        index = self._chooser.choose(len(options), label)
+        self.trace.append(TraceStep(label, index, len(options)))
+        return options[index]
+
+    def decisions(self) -> List[int]:
+        """The bare decision list (what artifacts persist)."""
+        return [step.index for step in self.trace]
+
+    def describe(self) -> List[str]:
+        """Human-readable trace lines (debugging aid)."""
+        return [
+            "{:4d}  {} [{}/{}]".format(i, step.label, step.index, step.options)
+            for i, step in enumerate(self.trace)
+        ]
+
+
+def enumerate_schedules(
+    run: Callable[[VirtualScheduler], T],
+    limit: int,
+    max_depth: Optional[int] = None,
+) -> Iterator[Tuple[VirtualScheduler, T]]:
+    """Bounded-exhaustive DFS over the decision tree of ``run``.
+
+    ``run(scheduler)`` executes one complete schedule.  The enumerator
+    replays ever-longer prefixes, bumping the deepest incrementable
+    decision after each run (the classic stateless-search loop), and
+    stops after ``limit`` schedules or when the tree (cut at
+    ``max_depth`` decisions) is exhausted.
+    """
+    prefix: List[int] = []
+    produced = 0
+    while produced < limit:
+        scheduler = VirtualScheduler(ReplayChooser(prefix, tail="first"))
+        outcome = run(scheduler)
+        yield scheduler, outcome
+        produced += 1
+        trace = scheduler.trace
+        if max_depth is not None:
+            trace = trace[:max_depth]
+        deepest = len(trace) - 1
+        while deepest >= 0 and trace[deepest].index + 1 >= trace[deepest].options:
+            deepest -= 1
+        if deepest < 0:
+            return  # decision tree exhausted
+        prefix = [step.index for step in trace[:deepest]]
+        prefix.append(trace[deepest].index + 1)
+
+
+class VirtualClock:
+    """A monotonic clock that moves only when told to.
+
+    Instances are callables returning the current virtual time, so they
+    drop into any ``clock=``/``loop.time``-shaped seam.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, delta: float) -> float:
+        if delta < 0:
+            raise ValueError("time cannot move backwards")
+        self.now += delta
+        return self.now
+
+    def advance_to(self, deadline: float) -> float:
+        self.now = max(self.now, deadline)
+        return self.now

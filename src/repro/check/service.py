@@ -1,0 +1,373 @@
+"""The service backend: client sessions over the real ``ServiceCore``.
+
+This model drives the exact code the network server runs — sessions,
+leases, ownership, parked waits, the pump — through the synchronous
+:class:`~repro.service.core.ServiceCore`, with the asyncio shell
+replaced by explicit, schedulable events:
+
+* **frame delivery** — which client's next request reaches the writer
+  first is a decision, so cross-session reordering (network delay) is
+  explored for free;
+* **wake delivery** — a parked ``lock`` resolution is *not* applied
+  when the pump resolves it but parked as a pending reply whose
+  delivery is its own transition (the reply frame in flight);
+* **timed-out retry** — a parked actor may give up
+  (:meth:`~repro.service.core.ServiceCore.cancel_wait`) and re-issue
+  the lock later, exercising the request-stays-queued resume path;
+* **duplicate frames** — a commit reply lost on the wire means the
+  client re-sends the commit; a duplicated lock frame for a parked
+  transaction must be rejected (``already-waiting``) without damage;
+* **lease expiry** — the virtual clock jumps past the earliest session
+  deadline and the reaper runs, aborting the session's transactions
+  mid-flight;
+* **disconnect** — a session drops rudely at an arbitrary point
+  (including mid-detection, between a pass choosing a victim and the
+  client learning of it).
+
+Fault transitions are budgeted per schedule so that adversarial
+scheduling stays finite: with budgets exhausted the system must drain,
+which turns the step budget into a genuine progress oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.hw_twbg import build_graph
+from ..service.core import ParkedWait, ServiceCore, Session
+from ..service.protocol import ServiceError
+from ..sim.workload import Program
+from .concurrent import ScheduleResult
+from .oracles import (
+    OracleFailure,
+    OracleStats,
+    check_detection,
+    check_service,
+    check_state,
+)
+from .schedule import VirtualClock, VirtualScheduler
+
+
+class _Client:
+    """One modelled client transaction: a program, a session, and the
+    client-side view of its in-flight request."""
+
+    __slots__ = (
+        "name", "program", "session", "tid", "pc", "parked",
+        "done", "restarts", "timeouts",
+    )
+
+    def __init__(self, name: str, program: Program) -> None:
+        self.name = name
+        self.program = program
+        self.session: Optional[Session] = None
+        self.tid: Optional[int] = None
+        self.pc = 0
+        self.parked: Optional[ParkedWait] = None
+        self.done = False
+        self.restarts = 0
+        self.timeouts = 0
+
+
+class ServiceModel:
+    """Explorable model of lock-service clients (see module docstring)."""
+
+    backend = "service"
+
+    def __init__(
+        self,
+        programs: List[Program],
+        sessions: int = 2,
+        continuous: bool = False,
+        faults: bool = True,
+        lease: float = 10.0,
+        max_steps: int = 600,
+        restart_limit: int = 2,
+        timeout_limit: int = 2,
+    ) -> None:
+        self.programs = programs
+        self.session_count = max(1, sessions)
+        self.continuous = continuous
+        self.faults = faults
+        self.lease = lease
+        self.max_steps = max_steps
+        self.restart_limit = restart_limit
+        self.timeout_limit = timeout_limit
+
+    def run(self, scheduler: VirtualScheduler) -> ScheduleResult:
+        clock = VirtualClock()
+        core = ServiceCore(
+            continuous=self.continuous, lease=self.lease, clock=clock
+        )
+        sessions = [
+            core.open_session() for _ in range(self.session_count)
+        ]
+        clients = [
+            _Client("c{}".format(i), program)
+            for i, program in enumerate(self.programs)
+        ]
+        for i, client in enumerate(clients):
+            client.session = sessions[i % len(sessions)]
+            client.tid = core.begin_step(client.session)
+
+        budgets = {
+            "expiry": 1 if self.faults else 0,
+            "disconnect": 1 if self.faults else 0,
+            "dup-commit": 1 if self.faults else 0,
+            "dup-lock": 1 if self.faults else 0,
+        }
+        last_commit: List[Tuple[Session, int]] = []
+        counters: Dict[str, int] = {
+            "grants": 0, "blocks": 0, "commits": 0, "aborts": 0,
+            "detects": 0, "restarts": 0, "timeouts": 0,
+            "expiries": 0, "disconnects": 0,
+        }
+        stats = OracleStats()
+        result = ScheduleResult(ok=True, steps=0, counters=counters,
+                                oracle_stats=stats)
+
+        def restart(client: _Client) -> None:
+            """Give a client a fresh transaction (or retire it)."""
+            counters["aborts"] += 1
+            client.parked = None
+            if client.restarts >= self.restart_limit:
+                client.done = True
+                return
+            client.restarts += 1
+            counters["restarts"] += 1
+            if client.session.closed:
+                client.session = core.open_session()
+                sessions.append(client.session)
+            client.tid = core.begin_step(client.session)
+            client.pc = 0
+
+        def deliver_lock(client: _Client) -> List[OracleFailure]:
+            access = client.program.accesses[client.pc]
+            client.session.touch(clock())
+            status, _event, parked = core.lock_step(
+                client.session, client.tid, access.rid, access.mode
+            )
+            if status == "granted":
+                counters["grants"] += 1
+                client.pc += 1
+            elif status == "parked":
+                counters["blocks"] += 1
+                client.parked = parked
+            elif status == "aborted":
+                core.finish_step(client.session, client.tid, aborting=True)
+                restart(client)
+            return []
+
+        def deliver_commit(client: _Client) -> List[OracleFailure]:
+            client.session.touch(clock())
+            core.finish_step(client.session, client.tid, aborting=False)
+            counters["commits"] += 1
+            last_commit.append((client.session, client.tid))
+            del last_commit[:-1]
+            client.done = True
+            return []
+
+        def deliver_wake(client: _Client) -> List[OracleFailure]:
+            status = client.parked.status
+            client.parked = None
+            if status == "granted":
+                client.pc += 1
+            else:  # aborted: acknowledge, then restart
+                if not client.session.closed:
+                    core.finish_step(
+                        client.session, client.tid, aborting=True
+                    )
+                restart(client)
+            return []
+
+        def client_timeout(client: _Client) -> List[OracleFailure]:
+            status = core.cancel_wait(client.tid, client.parked)
+            client.timeouts += 1
+            counters["timeouts"] += 1
+            if status == "timeout":
+                # Request still queued; the client will re-send the
+                # lock frame and resume the same queue position.
+                client.parked = None
+            elif status == "granted":
+                client.parked = None
+                client.pc += 1
+            else:
+                client.parked = None
+                if not client.session.closed:
+                    core.finish_step(
+                        client.session, client.tid, aborting=True
+                    )
+                restart(client)
+            return []
+
+        def reconnect(client: _Client) -> List[OracleFailure]:
+            restart(client)
+            return []
+
+        def abort_ack(client: _Client) -> List[OracleFailure]:
+            core.finish_step(client.session, client.tid, aborting=True)
+            restart(client)
+            return []
+
+        def detect() -> List[OracleFailure]:
+            deadlocked_before = build_graph(
+                core.manager.table.snapshot()
+            ).has_cycle()
+            detection = core.detect_step()
+            counters["detects"] += 1
+            stats.detection_checks += 1
+            return check_detection(
+                detection, deadlocked_before, core.manager.table
+            )
+
+        def expire() -> List[OracleFailure]:
+            deadline = core.next_deadline()
+            budgets["expiry"] -= 1
+            counters["expiries"] += 1
+            clock.advance_to(deadline + 0.01)
+            core.expire_sessions()
+            return []
+
+        def disconnect(session: Session) -> List[OracleFailure]:
+            budgets["disconnect"] -= 1
+            counters["disconnects"] += 1
+            core.close_session(session)
+            return []
+
+        def dup_commit() -> List[OracleFailure]:
+            session, tid = last_commit[0]
+            budgets["dup-commit"] -= 1
+            if not session.closed:
+                core.finish_step(session, tid, aborting=False)
+            return []
+
+        def dup_lock(client: _Client) -> List[OracleFailure]:
+            access = client.program.accesses[client.pc]
+            budgets["dup-lock"] -= 1
+            try:
+                core.lock_step(
+                    client.session, client.tid, access.rid, access.mode
+                )
+            except ServiceError:
+                return []  # already-waiting: the contract
+            return [
+                OracleFailure(
+                    "service",
+                    "duplicate lock frame for parked T{} was not "
+                    "rejected".format(client.tid),
+                )
+            ]
+
+        for step in range(self.max_steps):
+            transitions: List[
+                Tuple[str, Callable[[], List[OracleFailure]]]
+            ] = []
+            alive = 0
+            for client in clients:
+                if client.done:
+                    continue
+                alive += 1
+                name = client.name
+                if client.session.closed:
+                    transitions.append(
+                        ("reconnect:" + name,
+                         lambda c=client: reconnect(c))
+                    )
+                    continue
+                if client.parked is not None:
+                    if client.parked.status is not None:
+                        transitions.append(
+                            ("wake:" + name,
+                             lambda c=client: deliver_wake(c))
+                        )
+                    elif client.timeouts < self.timeout_limit:
+                        transitions.append(
+                            ("timeout:" + name,
+                             lambda c=client: client_timeout(c))
+                        )
+                    if (
+                        budgets["dup-lock"] > 0
+                        and client.parked.status is None
+                    ):
+                        transitions.append(
+                            ("dup-lock:" + name,
+                             lambda c=client: dup_lock(c))
+                        )
+                    continue
+                if core.manager.was_aborted(client.tid):
+                    # The abort beat the next frame to the server; the
+                    # lock/commit frame will answer "aborted".  Deliver
+                    # the abort acknowledgement directly.
+                    transitions.append(
+                        ("abort-ack:" + name,
+                         lambda c=client: abort_ack(c))
+                    )
+                    continue
+                if client.pc < client.program.size:
+                    transitions.append(
+                        ("lock:" + name, lambda c=client: deliver_lock(c))
+                    )
+                else:
+                    transitions.append(
+                        ("commit:" + name,
+                         lambda c=client: deliver_commit(c))
+                    )
+            if not self.continuous and core.waiters:
+                transitions.append(("detect", detect))
+            if budgets["expiry"] > 0 and core.next_deadline() is not None:
+                transitions.append(("expire-lease", expire))
+            if budgets["disconnect"] > 0:
+                for session in sessions:
+                    if not session.closed and session.tids:
+                        transitions.append(
+                            ("disconnect:" + session.sid,
+                             lambda s=session: disconnect(s))
+                        )
+                        break
+            if budgets["dup-commit"] > 0 and last_commit:
+                transitions.append(("dup-commit", dup_commit))
+
+            if alive == 0:
+                result.steps = step
+                return result
+            if not transitions:
+                result.ok = False
+                result.steps = step
+                result.failure = OracleFailure(
+                    "progress",
+                    "{} clients alive but no transition enabled".format(
+                        alive
+                    ),
+                    step=step,
+                )
+                return result
+
+            label, apply = scheduler.choose(
+                transitions, "service@{}".format(step)
+            )
+            failures = apply()
+            core.pump()
+            stats.state_checks += 1
+            stats.service_checks += 1
+            failures.extend(check_state(core.manager.table))
+            failures.extend(check_service(core))
+            if failures:
+                stats.failures += len(failures)
+                result.ok = False
+                result.steps = step + 1
+                result.failure = failures[0].located(step, label)
+                return result
+
+        if any(not client.done for client in clients):
+            result.ok = False
+            result.steps = self.max_steps
+            result.failure = OracleFailure(
+                "progress",
+                "schedule did not drain within {} steps".format(
+                    self.max_steps
+                ),
+                step=self.max_steps,
+            )
+        else:
+            result.steps = self.max_steps
+        return result

@@ -294,6 +294,44 @@ def cmd_remote(args) -> int:
         return 1
 
 
+def cmd_check(args) -> int:
+    from .check import CheckConfig, run_check
+    from .check.artifact import load_artifact, replay_artifact
+
+    if args.replay:
+        artifact = load_artifact(args.replay)
+        outcome = replay_artifact(artifact, tail=args.tail)
+        print(
+            "replaying {} schedule (seed {}, {} decisions)".format(
+                artifact.backend, artifact.seed, len(artifact.decisions)
+            )
+        )
+        if args.trace:
+            print("\n".join(outcome.trace))
+        print(outcome.result.summary())
+        if artifact.failure and not outcome.reproduced:
+            print("recorded failure did NOT reproduce")
+            return 1
+        return 0 if outcome.result.ok else 1
+
+    backends = args.backends or None
+    config = CheckConfig(
+        seed=args.seed,
+        schedules=args.schedules,
+        backends=tuple(backends) if backends else ("concurrent", "service"),
+        actors=args.actors,
+        preset=args.preset,
+        faults=not args.no_faults,
+        exhaustive=args.exhaustive,
+        max_failures=args.max_failures,
+        shrink=not args.no_shrink,
+        artifact_dir=args.artifact_dir,
+    )
+    report = run_check(config, log=lambda line: print(line, flush=True))
+    print("\n".join(report.summary_lines()))
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -421,6 +459,61 @@ def build_parser() -> argparse.ArgumentParser:
         "--limit", type=int, default=20, help="events to show (log action)"
     )
     remote_cmd.set_defaults(run=cmd_remote)
+
+    check_cmd = commands.add_parser(
+        "check",
+        help="explore schedules deterministically and check the "
+        "paper's theorems as step oracles",
+    )
+    check_cmd.add_argument("--seed", type=int, default=0)
+    check_cmd.add_argument(
+        "--schedules", type=int, default=200,
+        help="how many schedules to explore",
+    )
+    check_cmd.add_argument(
+        "--backends",
+        nargs="*",
+        choices=["concurrent", "service", "races"],
+        help="which models to explore (default: concurrent service)",
+    )
+    check_cmd.add_argument("--actors", type=int, default=3)
+    check_cmd.add_argument(
+        "--preset", choices=["tiny-hot", "tiny-five-mode"],
+        default="tiny-hot",
+    )
+    check_cmd.add_argument(
+        "--exhaustive", action="store_true",
+        help="bounded-exhaustive DFS instead of seeded-random",
+    )
+    check_cmd.add_argument(
+        "--no-faults", action="store_true",
+        help="disable service fault injection",
+    )
+    check_cmd.add_argument(
+        "--max-failures", type=int, default=1,
+        help="stop after this many failing schedules",
+    )
+    check_cmd.add_argument(
+        "--no-shrink", action="store_true",
+        help="keep failing traces at full length",
+    )
+    check_cmd.add_argument(
+        "--artifact-dir", default=None,
+        help="directory for failing-schedule artifacts",
+    )
+    check_cmd.add_argument(
+        "--replay", metavar="ARTIFACT",
+        help="replay a saved failing-schedule artifact instead",
+    )
+    check_cmd.add_argument(
+        "--tail", choices=["first", "error"], default="first",
+        help="replay behaviour past the decision list",
+    )
+    check_cmd.add_argument(
+        "--trace", action="store_true",
+        help="print the decision trace while replaying",
+    )
+    check_cmd.set_defaults(run=cmd_check)
 
     return parser
 

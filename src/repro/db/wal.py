@@ -21,10 +21,13 @@ serializable to JSON-lines for real files.  Recovery:
 1. **Analysis** — scan for transactions with ``begin`` but neither
    ``commit`` nor ``abort`` (the losers).
 2. **Redo** — replay every write in log order (repeating history,
-   including losers' writes — exactness over cleverness).
-3. **Undo** — walk losers' writes backwards restoring before-images,
-   then append their ``abort`` records (so a crash during recovery is
-   also recoverable).
+   including losers' writes — exactness over cleverness).  An ``abort``
+   record applies its transaction's undo *at that point in history*:
+   the in-memory rollback happened before anything logged later, so a
+   later committed write to the same key must not be clobbered.
+3. **Undo** — walk in-flight losers' writes backwards restoring
+   before-images, then append their ``abort`` records (so a crash
+   during recovery is also recoverable).
 """
 
 from __future__ import annotations
@@ -144,6 +147,14 @@ def analyze(log: WriteAheadLog) -> Tuple[Set[int], Set[int]]:
     return winners, begun - ended
 
 
+def _undo_write(tables: Dict[str, Dict[Any, Any]], record: LogRecord) -> None:
+    data = tables.setdefault(record.table, {})
+    if record.existed:
+        data[record.key] = record.before
+    else:
+        data.pop(record.key, None)
+
+
 def recover(
     log: WriteAheadLog,
 ) -> Dict[str, Dict[Any, Any]]:
@@ -152,32 +163,42 @@ def recover(
     Returns the recovered ``{table: {key: value}}`` state; appends abort
     records for the undone losers so the log records their fate.
 
-    Aborted transactions are undone exactly like in-flight losers: their
-    in-memory rollbacks wrote no compensation records, so only the
-    original before-images in the log can reverse them — which also
-    makes recovery idempotent (an abort record never turns a transaction
-    into a winner).
+    Aborted transactions wrote no compensation records, so only the
+    original before-images in the log can reverse them — but that undo
+    must be applied at the ``abort`` record's position in the replay,
+    not at the end: the in-memory rollback completed before anything
+    logged later, so the freed key may legitimately be rewritten (and
+    committed) afterwards.  In-flight losers hold their X locks to the
+    crash, so their writes are always the newest on their keys and are
+    undone last, newest first.  Applying aborts in replay order is also
+    what makes recovery idempotent: the abort records appended below
+    undo the same writes at the same point on a second pass.
     """
-    winners, losers = analyze(log)
+    _, losers = analyze(log)
 
     tables: Dict[str, Dict[Any, Any]] = {}
-    # Redo: repeat history (initial loads included).
+    # Writes not yet resolved by a commit or abort record, per tid.
+    pending: Dict[int, List[LogRecord]] = {}
+    # Redo: repeat history (initial loads included), applying each
+    # abort's rollback where it happened.
     for record in log.records():
         if record.kind == "create":
             tables.setdefault(record.table, {})
-        if record.kind not in ("write", "load"):
-            continue
-        tables.setdefault(record.table, {})[record.key] = record.after
+        elif record.kind == "load":
+            tables.setdefault(record.table, {})[record.key] = record.after
+        elif record.kind == "write":
+            tables.setdefault(record.table, {})[record.key] = record.after
+            pending.setdefault(record.tid, []).append(record)
+        elif record.kind == "commit":
+            pending.pop(record.tid, None)
+        elif record.kind == "abort":
+            for write in reversed(pending.pop(record.tid, [])):
+                _undo_write(tables, write)
 
-    # Undo every non-winner, newest write first.
-    for record in reversed(log.records()):
-        if record.kind != "write" or record.tid in winners:
-            continue
-        data = tables.setdefault(record.table, {})
-        if record.existed:
-            data[record.key] = record.before
-        else:
-            data.pop(record.key, None)
+    # Undo the in-flight losers, newest write first.
+    for tid in sorted(pending):
+        for write in reversed(pending[tid]):
+            _undo_write(tables, write)
 
     for tid in sorted(losers):
         log.log_abort(tid)

@@ -20,7 +20,7 @@ Strict 2PL is preserved: threads release everything at once via
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..core.detection import DetectionResult
 from ..core.errors import TransactionAborted
@@ -29,18 +29,37 @@ from ..core.victim import CostTable
 from .manager import LockManager
 
 
+def _default_wait(
+    condition: threading.Condition, timeout: Optional[float]
+) -> bool:
+    return condition.wait(timeout=timeout)
+
+
 class ConcurrentLockManager:
-    """Blocking, thread-safe lock acquisition with deadlock handling."""
+    """Blocking, thread-safe lock acquisition with deadlock handling.
+
+    ``wait_fn`` is the facade's single interleaving point: it is called
+    as ``wait_fn(condition, timeout)`` with the mutex held and must
+    behave like :meth:`threading.Condition.wait` (release the mutex
+    while waiting, return False on timeout).  The default is exactly
+    that; the deterministic schedule explorer (:mod:`repro.check`)
+    injects a controlled wait to pin down wakeup/timeout races that
+    wall-clock tests cannot reproduce reliably.
+    """
 
     def __init__(
         self,
         costs: Optional[CostTable] = None,
         continuous: bool = False,
         period: Optional[float] = None,
+        wait_fn: Optional[
+            Callable[[threading.Condition, Optional[float]], bool]
+        ] = None,
     ) -> None:
         self._manager = LockManager(costs=costs, continuous=continuous)
         self._mutex = threading.Lock()
         self._wakeups: Dict[int, threading.Condition] = {}
+        self._wait_fn = wait_fn if wait_fn is not None else _default_wait
         self._stop = threading.Event()
         self._detector_thread: Optional[threading.Thread] = None
         if period is not None:
@@ -88,12 +107,17 @@ class ConcurrentLockManager:
                 tid, threading.Condition(self._mutex)
             )
             while True:
-                if not condition.wait(timeout=timeout):
-                    return False  # timed out; request still queued
+                woken = self._wait_fn(condition, timeout)
+                # State first, wait result second: a wake-up racing the
+                # timeout must never report a timeout after the grant
+                # (the caller would believe it holds nothing while the
+                # lock table says it does) nor swallow an abort.
                 if self._manager.was_aborted(tid):
                     raise TransactionAborted(tid)
                 if not self._manager.is_blocked(tid):
                     return True
+                if not woken:
+                    return False  # timed out; request still queued
 
     def commit(self, tid: int) -> None:
         """Release everything ``tid`` holds and wake the grantees."""

@@ -22,6 +22,7 @@ mirror of :class:`~repro.lockmgr.concurrent.ConcurrentLockManager`.
 
 from .admin import ServiceStats, render_stats
 from .client import AsyncLockClient, RemoteLockManager
+from .core import ParkedWait, ServiceCore, Session
 from .loopback import LoopbackServer
 from .protocol import (
     MAX_FRAME,
@@ -37,11 +38,14 @@ __all__ = [
     "LockServer",
     "LoopbackServer",
     "MAX_FRAME",
+    "ParkedWait",
     "ProtocolError",
     "RemoteDetectionResult",
     "RemoteLockManager",
+    "ServiceCore",
     "ServiceError",
     "ServiceStats",
+    "Session",
     "WIRE_VERSION",
     "render_stats",
     "serve",

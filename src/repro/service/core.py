@@ -1,0 +1,331 @@
+"""The synchronous heart of the lock service.
+
+:class:`ServiceCore` is everything the network server does *between*
+sockets: sessions and leases, transaction ownership, parked ``lock``
+waits and the pump that resolves them, the periodic detection step and
+the service counters.  It is a plain, single-threaded state machine —
+the asyncio :class:`~repro.service.server.LockServer` drives it from its
+single-writer task, and the deterministic schedule explorer
+(:mod:`repro.check`) drives the very same code directly, one step at a
+time, under a virtual clock.
+
+Two injection points make the core controllable:
+
+* ``clock`` — a zero-argument callable returning the current time.
+  The server installs its event loop's clock; :mod:`repro.check`
+  installs a virtual clock so lease expiry becomes a schedulable
+  transition instead of a wall-time race.
+* :class:`ParkedWait` — a blocking ``lock`` that cannot be answered
+  immediately is parked as a core object, not an asyncio future.  The
+  server attaches a callback that completes the network future;
+  the explorer leaves the resolution sitting in :attr:`ParkedWait.status`
+  and delivers it as an explicit (reorderable, droppable) event.
+
+The caller contract is the server's single-writer rule: all methods
+must be invoked from one logical thread of control.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..core.errors import ReproError
+from ..core.modes import LockMode
+from ..core.victim import CostTable
+from ..lockmgr.manager import LockManager
+from .admin import ServiceStats
+from .protocol import ServiceError, event_to_dict
+
+#: Bounds on a client-requested lease, seconds.
+MIN_LEASE = 0.05
+MAX_LEASE = 3600.0
+
+
+class Session:
+    """One connection's service state: identity, owned transactions and
+    the lease that keeps them alive."""
+
+    def __init__(self, sid: str, lease: float, now: float) -> None:
+        self.sid = sid
+        self.lease = lease
+        self.deadline = now + lease
+        self.tids: Set[int] = set()
+        self.detached = False  # said goodbye
+        self.closed = False
+        #: Opaque handle with a ``close()`` method (the server stores the
+        #: asyncio stream writer; tests store fakes; may stay None).
+        self.transport = None
+
+    def touch(self, now: float) -> None:
+        """Renew the lease (any received frame counts as a heartbeat)."""
+        self.deadline = now + self.lease
+
+    def expired(self, now: float) -> bool:
+        return now > self.deadline
+
+
+class ParkedWait:
+    """A blocking ``lock`` request waiting for a grant or an abort.
+
+    ``status`` stays None until the pump resolves the wait with
+    ``"granted"`` or ``"aborted"``; an attached callback (if any) fires
+    exactly once at that moment.
+    """
+
+    __slots__ = ("tid", "status", "callback")
+
+    def __init__(
+        self, tid: int, callback: Optional[Callable[[str], None]] = None
+    ) -> None:
+        self.tid = tid
+        self.status: Optional[str] = None
+        self.callback = callback
+
+    def resolve(self, status: str) -> None:
+        if self.status is not None:
+            return
+        self.status = status
+        if self.callback is not None:
+            self.callback(status)
+
+
+class ServiceCore:
+    """Sessions, leases, ownership and parked waits over a
+    :class:`LockManager` (see module docstring)."""
+
+    def __init__(
+        self,
+        costs: Optional[CostTable] = None,
+        continuous: bool = False,
+        lease: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.manager = LockManager(costs=costs, continuous=continuous)
+        self.continuous = continuous
+        self.lease = lease
+        self.clock = clock
+        self.stats = ServiceStats()
+        self.sessions: Dict[str, Session] = {}
+        self.owners: Dict[int, Session] = {}
+        self.waiters: Dict[int, ParkedWait] = {}
+        self._next_sid = 1
+        self._next_tid = 1
+
+    # -- sessions ----------------------------------------------------------
+
+    def open_session(
+        self, lease: Optional[float] = None, transport=None
+    ) -> Session:
+        lease = self.lease if lease is None else float(lease)
+        lease = min(max(lease, MIN_LEASE), MAX_LEASE)
+        session = Session("S{}".format(self._next_sid), lease, self.clock())
+        self._next_sid += 1
+        session.transport = transport
+        self.sessions[session.sid] = session
+        self.stats.sessions_opened += 1
+        return session
+
+    def close_session(self, session: Session) -> None:
+        """Tear one session down: abort its transactions (freeing their
+        locks and waking grantees), drop ownership, close the transport.
+
+        Runs to completion without yielding, so it cannot interleave
+        with another core operation and stays safe to call from server
+        shutdown paths where the writer task may already be gone.
+        """
+        if session.closed:
+            return
+        session.closed = True
+        self.sessions.pop(session.sid, None)
+        self.stats.sessions_closed += 1
+        tids = sorted(session.tids)
+        if tids:
+            self.stats.aborts += len(tids)
+            self._sweep_session(session, tids)
+            self.pump()
+        if session.transport is not None:
+            session.transport.close()
+
+    def _sweep_session(self, session: Session, tids) -> None:
+        for tid in tids:
+            parked = self.waiters.pop(tid, None)
+            if parked is not None:
+                parked.resolve("aborted")
+            try:
+                self.manager.finish(tid)
+            except ReproError:  # pragma: no cover - defensive
+                pass
+            self.owners.pop(tid, None)
+        session.tids.clear()
+
+    def expire_sessions(self, now: Optional[float] = None) -> List[Session]:
+        """Close every session whose lease deadline has passed; returns
+        the sessions that were reaped."""
+        now = self.clock() if now is None else now
+        expired = [
+            session
+            for session in list(self.sessions.values())
+            if not session.closed and session.expired(now)
+        ]
+        for session in expired:
+            self.stats.lease_expiries += 1
+            self.close_session(session)
+        return expired
+
+    def next_deadline(self) -> Optional[float]:
+        """The earliest open-session lease deadline (None when idle)."""
+        deadlines = [
+            session.deadline
+            for session in self.sessions.values()
+            if not session.closed
+        ]
+        return min(deadlines) if deadlines else None
+
+    # -- ownership ------------------------------------------------------------
+
+    def claim(self, tid: int, session: Session) -> None:
+        owner = self.owners.get(tid)
+        if owner is None:
+            self.owners[tid] = session
+            session.tids.add(tid)
+        elif owner is not session:
+            raise ServiceError(
+                "not-owner",
+                "transaction {} belongs to session {}".format(
+                    tid, owner.sid
+                ),
+            )
+
+    def release_claim(self, tid: int) -> None:
+        owner = self.owners.pop(tid, None)
+        if owner is not None:
+            owner.tids.discard(tid)
+
+    # -- operation steps -------------------------------------------------------
+
+    def begin_step(self, session: Session, tid: Optional[int] = None) -> int:
+        if tid is None:
+            while (
+                self._next_tid in self.owners
+                or self.manager.was_aborted(self._next_tid)
+            ):
+                self._next_tid += 1
+            tid = self._next_tid
+            self._next_tid += 1
+        else:
+            tid = int(tid)
+        self.claim(tid, session)
+        return tid
+
+    def lock_step(
+        self,
+        session: Session,
+        tid: int,
+        rid: str,
+        mode: LockMode,
+        wait: bool = True,
+        callback: Optional[Callable[[str], None]] = None,
+    ) -> Tuple[str, Optional[dict], Optional[ParkedWait]]:
+        """One ``lock`` operation against the manager.
+
+        Returns ``(status, event, parked)`` where status is one of
+        ``granted``/``aborted``/``blocked``/``parked``.  With
+        ``wait=True`` a blocking request is parked (the returned
+        :class:`ParkedWait` resolves via :meth:`pump`); parking inside
+        the step means no grant can slip between the check and the
+        registration.
+        """
+        self.claim(tid, session)
+        if self.manager.was_aborted(tid):
+            return "aborted", None, None
+        event = None
+        if not self.manager.is_blocked(tid):
+            outcome = self.manager.lock(tid, rid, mode)
+            event = event_to_dict(outcome.event)
+            if self.continuous and self.manager.last_detection:
+                self.stats.absorb_detection(self.manager.last_detection)
+            if outcome.granted:
+                self.stats.grants += 1
+                return "granted", event, None
+            self.stats.blocks += 1
+            if self.manager.was_aborted(tid):
+                return "aborted", event, None
+            if not self.manager.is_blocked(tid):
+                # Continuous resolution granted us on the spot.
+                self.stats.grants += 1
+                return "granted", event, None
+        # Blocked (or resuming an earlier blocked request).
+        if wait:
+            if tid in self.waiters:
+                raise ServiceError(
+                    "already-waiting",
+                    "transaction {} already has a parked "
+                    "request".format(tid),
+                )
+            parked = ParkedWait(tid, callback)
+            self.waiters[tid] = parked
+            return "parked", event, parked
+        return "blocked", event, None
+
+    def cancel_wait(self, tid: int, parked: ParkedWait) -> str:
+        """Give up on a parked wait (client-side timeout).
+
+        The request stays queued in the lock table, so a retried
+        ``lock`` resumes the same position.  If the wait was resolved in
+        the race window before cancellation reached the writer, the
+        resolution wins: its status is returned instead of ``timeout``.
+        """
+        if parked.status is not None:
+            return parked.status
+        if self.waiters.get(tid) is parked:
+            del self.waiters[tid]
+        self.stats.wait_timeouts += 1
+        return "timeout"
+
+    def finish_step(
+        self, session: Session, tid: int, aborting: bool
+    ) -> List[dict]:
+        self.claim(tid, session)
+        grants = self.manager.finish(tid)
+        self.release_claim(tid)
+        if aborting:
+            self.stats.aborts += 1
+        else:
+            self.stats.commits += 1
+        return [event_to_dict(event) for event in grants]
+
+    def detect_step(self):
+        """One periodic detection-resolution pass plus stats."""
+        result = self.manager.detect()
+        self.stats.absorb_detection(result)
+        return result
+
+    def pump(self) -> List[ParkedWait]:
+        """Resolve parked ``lock`` waits against the manager's current
+        state; returns the waits resolved by this call.  The server runs
+        this after every writer operation."""
+        resolved: List[ParkedWait] = []
+        for tid, parked in list(self.waiters.items()):
+            if parked.status is not None:
+                del self.waiters[tid]
+            elif self.manager.was_aborted(tid):
+                del self.waiters[tid]
+                parked.resolve("aborted")
+                resolved.append(parked)
+            elif not self.manager.is_blocked(tid):
+                del self.waiters[tid]
+                parked.resolve("granted")
+                self.stats.grants += 1
+                resolved.append(parked)
+        return resolved
+
+    # -- introspection ---------------------------------------------------------
+
+    def stats_payload(self) -> Dict[str, int]:
+        payload = self.stats.as_dict()
+        payload["sessions"] = len(self.sessions)
+        payload["transactions"] = len(self.owners)
+        payload["resources"] = len(self.manager.table)
+        payload["parked_waiters"] = len(self.waiters)
+        return payload

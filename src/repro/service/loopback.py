@@ -71,6 +71,23 @@ class LoopbackServer:
         await self._stop.wait()
         await self.server.aclose()
 
+    def submit(self, fn, timeout: float = 10.0):
+        """Run ``fn()`` on the server's single-writer task from any
+        thread and return its result.
+
+        This is the sanctioned way for tests and tools to look at (or
+        poke) the live server state — the callable runs serialized with
+        every other lock-table operation, so e.g.
+        ``submit(lambda: verify_table(server.server.manager.table))``
+        observes a consistent snapshot.
+        """
+        if self._loop is None or self.server is None:
+            raise RuntimeError("loopback server is not running")
+        handle = asyncio.run_coroutine_threadsafe(
+            self.server._submit(fn), self._loop
+        )
+        return handle.result(timeout=timeout)
+
     def close(self) -> None:
         """Stop the server and join its thread (idempotent)."""
         if self._thread is None:

@@ -3,6 +3,13 @@
 Architecture
 ------------
 
+* **Synchronous core.**  Everything the service *is* — sessions and
+  leases, transaction ownership, parked waits and their pump, the
+  detection step, the counters — lives in the synchronous
+  :class:`~repro.service.core.ServiceCore`.  This module is the network
+  shell around it: sockets, frames, tasks.  The split is what lets the
+  deterministic schedule explorer (:mod:`repro.check`) drive the exact
+  service logic one transition at a time under a virtual clock.
 * **Single writer.**  The :class:`~repro.lockmgr.manager.LockManager` is
   single-threaded by design; the server funnels *every* access to it —
   lock requests, commits, detection passes, introspection reads —
@@ -11,13 +18,13 @@ Architecture
   serial operation stream (the paper's sequential transaction model,
   preserved over the network).
 * **Parked waiters.**  A blocking ``lock`` request does not answer until
-  the transaction is granted or aborted: the writer registers a future
-  keyed by transaction id, and after every operation it *pumps* the
-  parked futures against the manager (granted?  aborted?) — the network
-  analogue of the condition variables in
-  :class:`~repro.lockmgr.concurrent.ConcurrentLockManager`.  A wait with
-  a timeout answers ``timeout`` but leaves the request queued, so a
-  retried ``lock`` resumes the same queue position.
+  the transaction is granted or aborted: the writer parks a
+  :class:`~repro.service.core.ParkedWait` keyed by transaction id, and
+  after every operation the core *pumps* the parked waits against the
+  manager (granted?  aborted?) — the network analogue of the condition
+  variables in :class:`~repro.lockmgr.concurrent.ConcurrentLockManager`.
+  A wait with a timeout answers ``timeout`` but leaves the request
+  queued, so a retried ``lock`` resumes the same queue position.
 * **Sessions and leases.**  Every connection is a session holding a
   lease that each received frame (heartbeats included) renews.  A silent
   client's lease expires: its transactions are aborted, its locks freed
@@ -39,8 +46,8 @@ from .. import __version__
 from ..core.errors import ReproError
 from ..core.modes import parse_mode
 from ..core.victim import CostTable
-from ..lockmgr.manager import LockManager
 from . import admin
+from .core import MAX_LEASE, MIN_LEASE, ParkedWait, ServiceCore, Session
 from .protocol import (
     ProtocolError,
     ServiceError,
@@ -48,39 +55,22 @@ from .protocol import (
     detection_to_dict,
     encode_frame,
     error,
-    event_to_dict,
     ok,
     read_frame,
 )
 
-#: Bounds on a client-requested lease, seconds.
-MIN_LEASE = 0.05
-MAX_LEASE = 3600.0
-
-
-class Session:
-    """One connection's service state: identity, owned transactions and
-    the lease that keeps them alive."""
-
-    def __init__(self, sid: str, lease: float, now: float) -> None:
-        self.sid = sid
-        self.lease = lease
-        self.deadline = now + lease
-        self.tids: Set[int] = set()
-        self.detached = False  # said goodbye
-        self.closed = False
-        self.transport: Optional[asyncio.StreamWriter] = None
-
-    def touch(self, now: float) -> None:
-        """Renew the lease (any received frame counts as a heartbeat)."""
-        self.deadline = now + self.lease
-
-    def expired(self, now: float) -> bool:
-        return now > self.deadline
+__all__ = [
+    "LockServer",
+    "Session",
+    "ServiceCore",
+    "serve",
+    "MIN_LEASE",
+    "MAX_LEASE",
+]
 
 
 class LockServer:
-    """Serves a :class:`LockManager` over TCP (see module docstring).
+    """Serves a :class:`ServiceCore` over TCP (see module docstring).
 
     Parameters mirror the embedded managers: ``costs`` feeds victim
     selection, ``continuous`` switches to the companion detector,
@@ -97,22 +87,40 @@ class LockServer:
         period: Optional[float] = 0.5,
         lease: float = 5.0,
     ) -> None:
-        self.manager = LockManager(costs=costs, continuous=continuous)
+        self.core = ServiceCore(
+            costs=costs, continuous=continuous, lease=lease
+        )
         self.continuous = continuous
         self.period = period
         self.lease = lease
-        self.stats = admin.ServiceStats()
         self.host: Optional[str] = None
         self.port: Optional[int] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._ops: "asyncio.Queue" = asyncio.Queue()
-        self._waiters: Dict[int, asyncio.Future] = {}
-        self._sessions: Dict[str, Session] = {}
-        self._owners: Dict[int, Session] = {}
-        self._next_sid = 1
-        self._next_tid = 1
         self._tasks: List[asyncio.Task] = []
+
+    # -- core views --------------------------------------------------------
+
+    @property
+    def manager(self):
+        return self.core.manager
+
+    @property
+    def stats(self):
+        return self.core.stats
+
+    @property
+    def _sessions(self) -> Dict[str, Session]:
+        return self.core.sessions
+
+    @property
+    def _owners(self) -> Dict[int, Session]:
+        return self.core.owners
+
+    @property
+    def _waiters(self) -> Dict[int, ParkedWait]:
+        return self.core.waiters
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -122,6 +130,7 @@ class LockServer:
         """Bind and start serving; ``port=0`` picks a free port (read it
         back from :attr:`port`)."""
         self._loop = asyncio.get_running_loop()
+        self.core.clock = self._loop.time
         self._tasks.append(asyncio.ensure_future(self._writer_loop()))
         self._tasks.append(asyncio.ensure_future(self._reaper_loop()))
         if self.period is not None:
@@ -141,8 +150,8 @@ class LockServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
-        for session in list(self._sessions.values()):
-            self._close_session(session)
+        for session in list(self.core.sessions.values()):
+            self.core.close_session(session)
         for task in self._tasks:
             task.cancel()
         await asyncio.gather(*self._tasks, return_exceptions=True)
@@ -152,7 +161,7 @@ class LockServer:
 
     async def _submit(self, fn: Callable[[], object]) -> object:
         """Run ``fn`` on the writer task; returns (or raises) its result.
-        Every touch of the lock manager goes through here."""
+        Every touch of the core goes through here."""
         future = self._loop.create_future()
         await self._ops.put((fn, future))
         return await future
@@ -170,118 +179,25 @@ class LockServer:
             else:
                 if not future.done():
                     future.set_result(result)
-            self._pump_waiters()
-
-    def _pump_waiters(self) -> None:
-        """Resolve parked ``lock`` waits against the manager's current
-        state.  Runs on the writer task after every operation."""
-        for tid, future in list(self._waiters.items()):
-            if future.done():
-                del self._waiters[tid]
-            elif self.manager.was_aborted(tid):
-                del self._waiters[tid]
-                future.set_result("aborted")
-            elif not self.manager.is_blocked(tid):
-                del self._waiters[tid]
-                future.set_result("granted")
+            self.core.pump()
 
     # -- background tasks ------------------------------------------------------
 
     async def _detector_loop(self) -> None:
         while True:
             await asyncio.sleep(self.period)
-            await self._submit(self._detect_step)
-
-    def _detect_step(self):
-        result = self.manager.detect()
-        self.stats.absorb_detection(result)
-        return result
+            await self._submit(self.core.detect_step)
 
     async def _reaper_loop(self) -> None:
         while True:
             now = self._loop.time()
-            deadlines = [
-                s.deadline
-                for s in self._sessions.values()
-                if not s.closed
-            ]
+            deadline = self.core.next_deadline()
             # Sleep toward the earliest deadline, but never long enough
             # that a freshly connected short-lease session could expire
             # unnoticed for more than ~0.1s.
-            wake = min(deadlines) - now if deadlines else 0.1
+            wake = deadline - now if deadline is not None else 0.1
             await asyncio.sleep(min(max(wake, 0.02), 0.1))
-            now = self._loop.time()
-            for session in list(self._sessions.values()):
-                if not session.closed and session.expired(now):
-                    self.stats.lease_expiries += 1
-                    self._close_session(session)
-
-    # -- sessions -------------------------------------------------------------
-
-    def _open_session(self, frame: dict, transport) -> Session:
-        lease = frame.get("lease")
-        lease = self.lease if lease is None else float(lease)
-        lease = min(max(lease, MIN_LEASE), MAX_LEASE)
-        session = Session(
-            "S{}".format(self._next_sid), lease, self._loop.time()
-        )
-        self._next_sid += 1
-        session.transport = transport
-        self._sessions[session.sid] = session
-        self.stats.sessions_opened += 1
-        return session
-
-    def _close_session(self, session: Session) -> None:
-        """Tear one session down: abort its transactions (freeing their
-        locks and waking grantees), drop ownership, close the socket.
-
-        Deliberately synchronous: it runs to completion without yielding
-        to the event loop, so it cannot interleave with a writer-queue
-        operation and stays safe to call from shutdown paths where the
-        writer task may already be gone.
-        """
-        if session.closed:
-            return
-        session.closed = True
-        self._sessions.pop(session.sid, None)
-        self.stats.sessions_closed += 1
-        tids = sorted(session.tids)
-        if tids:
-            self.stats.aborts += len(tids)
-            self._sweep_session(session, tids)
-            self._pump_waiters()
-        if session.transport is not None:
-            session.transport.close()
-
-    def _sweep_session(self, session: Session, tids) -> None:
-        for tid in tids:
-            future = self._waiters.pop(tid, None)
-            if future is not None and not future.done():
-                future.set_result("aborted")
-            try:
-                self.manager.finish(tid)
-            except ReproError:  # pragma: no cover - defensive
-                pass
-            self._owners.pop(tid, None)
-        session.tids.clear()
-
-    def _claim(self, tid: int, session: Session) -> None:
-        owner = self._owners.get(tid)
-        if owner is None:
-            self._owners[tid] = session
-            session.tids.add(tid)
-        elif owner is not session:
-            raise ServiceError(
-                "not-owner",
-                "transaction {} belongs to session {}".format(
-                    tid, owner.sid
-                ),
-            )
-
-    def _release_claim(self, tid: int) -> None:
-        owner = self._owners.pop(tid, None)
-        if owner is not None:
-            owner.tids.discard(tid)
+            await self._submit(self.core.expire_sessions)
 
     # -- connection handling -----------------------------------------------------
 
@@ -308,7 +224,9 @@ class LockServer:
                     )
                 )
                 return
-            session = self._open_session(first, writer)
+            session = self.core.open_session(
+                lease=first.get("lease"), transport=writer
+            )
             await send(
                 ok(
                     first.get("id"),
@@ -354,7 +272,7 @@ class LockServer:
             if session is not None and not session.closed:
                 if not session.detached:
                     self.stats.rude_disconnects += 1
-                self._close_session(session)
+                self.core.close_session(session)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -418,24 +336,9 @@ class LockServer:
         )
 
     async def _op_begin(self, session, frame, send) -> None:
-        tid = frame.get("tid")
-
-        def step():
-            nonlocal tid
-            if tid is None:
-                while (
-                    self._next_tid in self._owners
-                    or self.manager.was_aborted(self._next_tid)
-                ):
-                    self._next_tid += 1
-                tid = self._next_tid
-                self._next_tid += 1
-            else:
-                tid = int(tid)
-            self._claim(tid, session)
-            return tid
-
-        await self._submit(step)
+        tid = await self._submit(
+            lambda: self.core.begin_step(session, frame.get("tid"))
+        )
         await send(ok(frame.get("id"), tid=tid))
 
     async def _op_lock(self, session, frame, send) -> None:
@@ -446,41 +349,16 @@ class LockServer:
         timeout = frame.get("timeout")
         future = self._loop.create_future()
 
-        def step():
-            self._claim(tid, session)
-            if self.manager.was_aborted(tid):
-                return "aborted", None
-            event = None
-            if not self.manager.is_blocked(tid):
-                outcome = self.manager.lock(tid, rid, mode)
-                event = event_to_dict(outcome.event)
-                if self.continuous and self.manager.last_detection:
-                    self.stats.absorb_detection(self.manager.last_detection)
-                if outcome.granted:
-                    self.stats.grants += 1
-                    return "granted", event
-                self.stats.blocks += 1
-                if self.manager.was_aborted(tid):
-                    return "aborted", event
-                if not self.manager.is_blocked(tid):
-                    # Continuous resolution granted us on the spot.
-                    self.stats.grants += 1
-                    return "granted", event
-            # Blocked (or resuming an earlier blocked request).  Park
-            # inside the writer step so no grant can slip between the
-            # check and the registration.
-            if wait:
-                if tid in self._waiters:
-                    raise ServiceError(
-                        "already-waiting",
-                        "transaction {} already has a parked "
-                        "request".format(tid),
-                    )
-                self._waiters[tid] = future
-                return "parked", event
-            return "blocked", event
+        def resolve(status: str) -> None:
+            if not future.done():
+                future.set_result(status)
 
-        status, event = await self._submit(step)
+        def step():
+            return self.core.lock_step(
+                session, tid, rid, mode, wait=wait, callback=resolve
+            )
+
+        status, event, parked = await self._submit(step)
         if status == "parked":
             done, _ = await asyncio.wait(
                 [future],
@@ -488,18 +366,13 @@ class LockServer:
             )
             if done:
                 status = future.result()
-                if status == "granted":
-                    self.stats.grants += 1
             else:
-                # Timed out: un-park, but leave the request queued so a
-                # retried lock resumes the same position.
-                if self._waiters.get(tid) is future:
-                    del self._waiters[tid]
-                if future.done():  # resolved in the race window
-                    status = future.result()
-                else:
-                    self.stats.wait_timeouts += 1
-                    status = "timeout"
+                # Timed out: un-park on the writer (the resolution wins
+                # if it got there first), but leave the request queued
+                # so a retried lock resumes the same position.
+                status = await self._submit(
+                    lambda: self.core.cancel_wait(tid, parked)
+                )
         await send(ok(frame.get("id"), status=status, event=event))
 
     async def _op_commit(self, session, frame, send) -> None:
@@ -510,22 +383,13 @@ class LockServer:
 
     async def _finish(self, session, frame, send, aborting: bool) -> None:
         tid = int(frame["tid"])
-
-        def step():
-            self._claim(tid, session)
-            grants = self.manager.finish(tid)
-            self._release_claim(tid)
-            if aborting:
-                self.stats.aborts += 1
-            else:
-                self.stats.commits += 1
-            return [event_to_dict(event) for event in grants]
-
-        grants = await self._submit(step)
+        grants = await self._submit(
+            lambda: self.core.finish_step(session, tid, aborting)
+        )
         await send(ok(frame.get("id"), tid=tid, grants=grants))
 
     async def _op_detect(self, session, frame, send) -> None:
-        result = await self._submit(self._detect_step)
+        result = await self._submit(self.core.detect_step)
         await send(ok(frame.get("id"), **detection_to_dict(result)))
 
     async def _op_inspect(self, session, frame, send) -> None:
@@ -555,15 +419,7 @@ class LockServer:
         await send(ok(frame.get("id"), **payload))
 
     async def _op_stats(self, session, frame, send) -> None:
-        def step():
-            payload = self.stats.as_dict()
-            payload["sessions"] = len(self._sessions)
-            payload["transactions"] = len(self._owners)
-            payload["resources"] = len(self.manager.table)
-            payload["parked_waiters"] = len(self._waiters)
-            return payload
-
-        payload = await self._submit(step)
+        payload = await self._submit(self.core.stats_payload)
         await send(ok(frame.get("id"), stats=payload))
 
     async def _op_holding(self, session, frame, send) -> None:

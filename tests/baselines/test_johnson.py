@@ -93,7 +93,7 @@ class TestRandomizedCrossCheck:
             max_size=15,
         )
     )
-    @settings(max_examples=80, deadline=None)
+    @settings(max_examples=80)
     def test_circuits_are_real_and_elementary(self, edges):
         adj = adjacency_of_edges(edges)
         for circuit in elementary_circuits(adj):
@@ -110,7 +110,7 @@ class TestRandomizedCrossCheck:
             max_size=12,
         )
     )
-    @settings(max_examples=80, deadline=None)
+    @settings(max_examples=80)
     def test_cycle_existence_agrees_with_dfs(self, edges):
         adj = adjacency_of_edges(edges)
         from repro.baselines.wfg import find_cycle

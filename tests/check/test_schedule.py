@@ -1,0 +1,130 @@
+"""The virtual scheduler: choosers, recording, enumeration, the clock."""
+
+import pytest
+
+from repro.check.schedule import (
+    RandomChooser,
+    ReplayChooser,
+    ReplayDivergence,
+    VirtualClock,
+    VirtualScheduler,
+    enumerate_schedules,
+)
+from repro.core.errors import ReproError
+
+
+class TestVirtualScheduler:
+    def test_single_option_steps_are_recorded_and_consumed(self):
+        """Forced steps still go through the chooser: one recorded
+        decision per choose() call is what keeps a replayed decision
+        list aligned with the run consuming it."""
+        scheduler = VirtualScheduler(ReplayChooser([0, 1]))
+        assert scheduler.choose(["only"], "forced") == "only"
+        assert scheduler.choose(["a", "b"], "free") == "b"
+        assert scheduler.decisions() == [0, 1]
+
+    def test_zero_options_is_an_error(self):
+        scheduler = VirtualScheduler(RandomChooser(0))
+        with pytest.raises(ReproError):
+            scheduler.choose([], "empty")
+
+    def test_trace_records_label_index_and_arity(self):
+        scheduler = VirtualScheduler(ReplayChooser([1]))
+        scheduler.choose(["a", "b", "c"], "pick")
+        step = scheduler.trace[0]
+        assert (step.label, step.index, step.options) == ("pick", 1, 3)
+        assert "pick" in scheduler.describe()[0]
+
+    def test_same_seed_same_decisions(self):
+        def run(seed):
+            scheduler = VirtualScheduler(RandomChooser(seed))
+            for i in range(50):
+                scheduler.choose(list(range(1 + i % 4)), "s{}".format(i))
+            return scheduler.decisions()
+
+        assert run(42) == run(42)
+        assert run(42) != run(43)
+
+
+class TestReplayChooser:
+    def test_follows_decisions_then_takes_first(self):
+        scheduler = VirtualScheduler(ReplayChooser([2, 1]))
+        assert scheduler.choose("abc", "x") == "c"
+        assert scheduler.choose("abc", "x") == "b"
+        assert scheduler.choose("abc", "x") == "a"  # tail="first"
+
+    def test_error_tail_raises_past_the_end(self):
+        scheduler = VirtualScheduler(ReplayChooser([0], tail="error"))
+        scheduler.choose("ab", "x")
+        with pytest.raises(ReplayDivergence):
+            scheduler.choose("ab", "x")
+
+    def test_out_of_range_decision_diverges(self):
+        scheduler = VirtualScheduler(ReplayChooser([5]))
+        with pytest.raises(ReplayDivergence):
+            scheduler.choose("ab", "x")
+
+    def test_bad_tail_rejected(self):
+        with pytest.raises(ValueError):
+            ReplayChooser([], tail="loop")
+
+
+class TestEnumeration:
+    @staticmethod
+    def binary_tree_run(depth):
+        """A run with `depth` binary decisions; returns the leaf path."""
+
+        def run(scheduler):
+            return tuple(
+                scheduler.choose([0, 1], "d{}".format(i))
+                for i in range(depth)
+            )
+
+        return run
+
+    def test_enumerates_every_leaf_exactly_once(self):
+        leaves = [
+            outcome
+            for _, outcome in enumerate_schedules(
+                self.binary_tree_run(3), limit=100
+            )
+        ]
+        assert len(leaves) == 8
+        assert len(set(leaves)) == 8
+
+    def test_limit_caps_the_walk(self):
+        leaves = list(
+            enumerate_schedules(self.binary_tree_run(4), limit=5)
+        )
+        assert len(leaves) == 5
+
+    def test_max_depth_cuts_the_tree(self):
+        # Only the first two decisions are explored; the rest always
+        # take the first branch.
+        leaves = [
+            outcome
+            for _, outcome in enumerate_schedules(
+                self.binary_tree_run(4), limit=100, max_depth=2
+            )
+        ]
+        assert len(leaves) == 4
+        assert all(leaf[2:] == (0, 0) for leaf in leaves)
+
+
+class TestVirtualClock:
+    def test_starts_at_zero_and_advances(self):
+        clock = VirtualClock()
+        assert clock() == 0.0
+        clock.advance(1.5)
+        assert clock() == 1.5
+
+    def test_advance_to_never_goes_backwards(self):
+        clock = VirtualClock(start=10.0)
+        clock.advance_to(5.0)
+        assert clock() == 10.0
+        clock.advance_to(12.0)
+        assert clock() == 12.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1.0)

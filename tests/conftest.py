@@ -1,14 +1,40 @@
-"""Shared fixtures: the paper's printed scenarios, both loaded verbatim
-from the notation and rebuilt through real scheduler request sequences."""
+"""Shared fixtures and Hypothesis profiles.
+
+Fixtures: the paper's printed scenarios, both loaded verbatim from the
+notation and rebuilt through real scheduler request sequences.
+
+Profiles: every property test inherits deadline-free, too-slow-tolerant
+settings from here instead of repeating them per test.  Select with
+``--hypothesis-profile=ci|dev|nightly`` (or ``HYPOTHESIS_PROFILE``):
+
+* ``ci`` (default) — the budget the PR gate runs with;
+* ``dev`` — few examples, for quick local iteration;
+* ``nightly`` — the deep sweep the scheduled CI job runs.
+
+Individual tests only override ``max_examples`` when a property is
+unusually expensive (exponential oracles) or deserves extra depth.
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.core.modes import LockMode
 from repro.core.notation import load_table
 from repro.lockmgr import scheduler
 from repro.lockmgr.lock_table import LockTable
+
+_BASE = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("dev", max_examples=20, **_BASE)
+settings.register_profile("ci", max_examples=75, **_BASE)
+settings.register_profile("nightly", max_examples=400, **_BASE)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
 
 #: The two resources of Example 4.1 exactly as printed (Section 4).
 EXAMPLE_41 = """

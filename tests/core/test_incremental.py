@@ -1,6 +1,6 @@
 """Incremental H/W-TWBG maintenance — equivalence with full rebuilds."""
 
-from hypothesis import HealthCheck, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.hw_twbg import build_graph
@@ -55,11 +55,7 @@ class TestManualRefresh:
 
 class TestEquivalenceProperty:
     @given(ops=ops_strategy)
-    @settings(
-        max_examples=80,
-        suppress_health_check=[HealthCheck.too_slow],
-        deadline=None,
-    )
+    @settings(max_examples=80)
     def test_incremental_equals_rebuild(self, ops):
         """Apply random operations, refreshing only touched resources;
         the tracker must stay bit-identical to a full rebuild."""
@@ -130,11 +126,7 @@ class TestManagerIntegration:
         )
 
     @given(ops=ops_strategy, flags=st.booleans())
-    @settings(
-        max_examples=50,
-        suppress_health_check=[HealthCheck.too_slow],
-        deadline=None,
-    )
+    @settings(max_examples=50)
     def test_manager_tracking_property(self, ops, flags):
         lm = LockManager(continuous=flags, track_graph=True)
         for kind, tid, rid_index, mode_index in ops:

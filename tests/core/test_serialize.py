@@ -1,7 +1,7 @@
 """Lock-table serialization round trips."""
 
 import pytest
-from hypothesis import HealthCheck, given, settings
+from hypothesis import given, settings
 
 from repro.core.errors import ReproError
 from repro.core.serialize import (
@@ -37,11 +37,7 @@ class TestRoundTrip:
         assert len(table_from_dict({"resources": []})) == 0
 
     @given(ops=ops_strategy)
-    @settings(
-        max_examples=60,
-        suppress_health_check=[HealthCheck.too_slow],
-        deadline=None,
-    )
+    @settings(max_examples=60)
     def test_random_tables_round_trip(self, ops):
         table = apply_ops(ops)
         clone = table_from_dict(table_to_dict(table))
@@ -49,11 +45,7 @@ class TestRoundTrip:
         assert sorted(clone.blocked_tids()) == sorted(table.blocked_tids())
 
     @given(ops=ops_strategy)
-    @settings(
-        max_examples=40,
-        suppress_health_check=[HealthCheck.too_slow],
-        deadline=None,
-    )
+    @settings(max_examples=40)
     def test_rebuilt_tables_verify_clean(self, ops):
         from repro.core.verify import verify_table
 

@@ -1,7 +1,7 @@
 """The lock-table invariant verifier."""
 
 import pytest
-from hypothesis import HealthCheck, given, settings
+from hypothesis import given, settings
 
 from repro.core.modes import LockMode
 from repro.core.requests import HolderEntry, QueueEntry
@@ -33,11 +33,7 @@ class TestCleanTables:
         assert_consistent(clean_table())
 
     @given(ops=ops_strategy)
-    @settings(
-        max_examples=60,
-        suppress_health_check=[HealthCheck.too_slow],
-        deadline=None,
-    )
+    @settings(max_examples=60)
     def test_random_reachable_tables_verify(self, ops):
         assert verify_table(apply_ops(ops)) == []
 

@@ -134,6 +134,33 @@ class TestCrashRecovery:
         assert restarted.read(probe, "accounts", "a") == 100
         assert restarted.read(probe, "accounts", "b") == 50
 
+    def test_abort_then_committed_rewrite_of_same_key(self):
+        """An aborted transaction's undo applies at its abort record,
+        not after redo: a later committed write to the same key must
+        survive recovery.  (Found by the crash-at-every-sync-point
+        property suite.)"""
+        db = make_db()
+        loser = db.begin()
+        db.write(loser, "accounts", "a", 0)
+        db.abort(loser)
+        winner = db.begin()
+        db.write(winner, "accounts", "a", 7)
+        db.commit(winner)
+        restarted = db.simulate_crash()
+        assert restarted.read(restarted.begin(), "accounts", "a") == 7
+
+    def test_abort_then_in_flight_rewrite_of_same_key(self):
+        """Same shape, but the rewriter is itself a crash loser: both
+        undos stack and the original value comes back."""
+        db = make_db()
+        first = db.begin()
+        db.write(first, "accounts", "a", 0)
+        db.abort(first)
+        second = db.begin()
+        db.write(second, "accounts", "a", 7)
+        restarted = db.simulate_crash()  # no commit record: loser
+        assert restarted.read(restarted.begin(), "accounts", "a") == 100
+
     def test_crash_preserves_log_for_second_crash(self):
         db = make_db()
         txn = db.begin()

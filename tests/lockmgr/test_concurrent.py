@@ -185,6 +185,64 @@ class TestBackgroundDetector:
             assert not result.deadlock_found
 
 
+class TestTimeoutWakeupRace:
+    """Deterministic regressions for the wait/timeout races, via the
+    injected ``wait_fn``: the competing action runs inline during the
+    wait (the mutex is already held, the inner manager is plain code)
+    and the wait then *reports a timeout anyway* — exactly what
+    ``Condition.wait`` is allowed to do when a notify races the timer.
+    The facade must trust the lock table, not the wait result."""
+
+    def test_grant_beating_timeout_is_reported_as_grant(self):
+        box = {}
+
+        def racing_wait(condition, timeout):
+            box["clm"]._manager.finish(1)  # the holder's racing commit
+            return False  # ...but the timeout signal fires regardless
+
+        clm = ConcurrentLockManager(wait_fn=racing_wait)
+        box["clm"] = clm
+        clm.acquire(1, "R", LockMode.X)
+        # Before the fix this returned False while the table showed T2
+        # holding R — a silent lock leak.
+        assert clm.acquire(2, "R", LockMode.X, timeout=0.01) is True
+        assert clm.holding(2) == {"R": LockMode.X}
+        clm.commit(2)
+        clm.close()
+
+    def test_abort_beating_timeout_raises(self):
+        box = {}
+
+        def racing_wait(condition, timeout):
+            box["clm"]._manager.detect()  # the periodic pass fires now
+            return False
+
+        clm = ConcurrentLockManager(
+            costs=CostTable({1: 5.0, 2: 1.0}), wait_fn=racing_wait
+        )
+        box["clm"] = clm
+        clm.acquire(1, "A", LockMode.X)
+        clm.acquire(2, "B", LockMode.X)
+        # T1's blocking request, issued as its parked thread would have.
+        assert not clm._manager.lock(1, "B", LockMode.X).granted
+        # T2 closes the cycle; the pass aborts it (cheaper victim) in
+        # the same instant its wait times out.  Must raise, not return.
+        with pytest.raises(TransactionAborted):
+            clm.acquire(2, "A", LockMode.X, timeout=0.01)
+        clm.abort(2)
+        clm.commit(1)
+        clm.close()
+
+    def test_genuine_timeout_still_times_out(self):
+        clm = ConcurrentLockManager(wait_fn=lambda c, t: False)
+        clm.acquire(1, "R", LockMode.X)
+        assert clm.acquire(2, "R", LockMode.S, timeout=0.01) is False
+        assert clm.holding(2) == {}
+        clm.abort(2)
+        clm.commit(1)
+        clm.close()
+
+
 class TestStress:
     def test_many_threads_transfer_storm(self):
         """8 worker threads doing conflicting two-lock transactions with

@@ -10,7 +10,7 @@ deadlock-free state.
 
 from __future__ import annotations
 
-from hypothesis import HealthCheck, given, settings
+from hypothesis import given, settings
 
 from repro.baselines.wfg import WFGStrategy, has_deadlock
 from repro.core.batched import BatchedDetector
@@ -22,11 +22,7 @@ from repro.core.victim import CostTable
 from repro.lockmgr import scheduler
 from tests.properties.test_invariants import apply_ops, ops_strategy
 
-relaxed = settings(
-    max_examples=80,
-    suppress_health_check=[HealthCheck.too_slow],
-    deadline=None,
-)
+relaxed = settings(max_examples=80)
 
 
 def clone(table):

@@ -21,7 +21,7 @@ from __future__ import annotations
 import random
 from typing import List, Tuple
 
-from hypothesis import HealthCheck, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.baselines.wfg import adjacency, find_cycle
@@ -71,9 +71,7 @@ ops_strategy = st.lists(
     max_size=60,
 )
 
-relaxed = settings(
-    max_examples=120, suppress_health_check=[HealthCheck.too_slow], deadline=None
-)
+relaxed = settings(max_examples=120)
 
 
 def oracle_deadlocked(table: LockTable) -> bool:
@@ -187,11 +185,7 @@ class TestTheorem41:
 
 class TestLiveness:
     @given(ops=ops_strategy, seed=st.integers(min_value=0, max_value=2**16))
-    @settings(
-        max_examples=60,
-        suppress_health_check=[HealthCheck.too_slow],
-        deadline=None,
-    )
+    @settings(max_examples=60)
     def test_detect_and_finish_drains_system(self, ops, seed):
         table = apply_ops(ops)
         rng = random.Random(seed)

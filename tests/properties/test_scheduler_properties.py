@@ -6,7 +6,7 @@ from __future__ import annotations
 
 import random
 
-from hypothesis import HealthCheck, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.modes import compatible
@@ -15,11 +15,7 @@ from repro.lockmgr import scheduler
 from repro.lockmgr.lock_table import LockTable
 from tests.properties.test_invariants import apply_ops, ops_strategy
 
-relaxed = settings(
-    max_examples=100,
-    suppress_health_check=[HealthCheck.too_slow],
-    deadline=None,
-)
+relaxed = settings(max_examples=100)
 
 
 def no_grant_left_behind(table: LockTable) -> None:

@@ -169,6 +169,66 @@ class TestServiceCommands:
         assert args.lease == 5.0
 
 
+class TestCheck:
+    def test_small_sweep_passes(self, capsys):
+        code = main(
+            ["check", "--seed", "3", "--schedules", "8",
+             "--backends", "concurrent"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "result: OK" in out
+        assert "trace digest:" in out
+
+    def test_same_seed_same_digest(self, capsys):
+        def digest():
+            assert main(["check", "--seed", "11", "--schedules", "6"]) == 0
+            out = capsys.readouterr().out
+            return [l for l in out.splitlines() if "trace digest" in l][0]
+
+        assert digest() == digest()
+
+    def test_exhaustive_races(self, capsys):
+        code = main(
+            ["check", "--backends", "races", "--exhaustive",
+             "--schedules", "50"]
+        )
+        assert code == 0
+        assert "races" in capsys.readouterr().out
+
+    def test_replay_artifact_round_trip(self, tmp_path, capsys):
+        from repro.check import RandomChooser, VirtualScheduler
+        from repro.check.artifact import Artifact, save_artifact
+        from repro.check.races import RaceModel
+
+        scheduler = VirtualScheduler(RandomChooser(99))
+        RaceModel().run(scheduler)
+        artifact = Artifact(
+            backend="races",
+            seed=99,
+            actors=2,
+            preset="tiny-hot",
+            continuous=False,
+            faults=False,
+            decisions=scheduler.decisions(),
+        )
+        path = str(tmp_path / "schedule.json")
+        save_artifact(artifact, path)
+        assert main(["check", "--replay", path, "--tail", "error"]) == 0
+        out = capsys.readouterr().out
+        assert "replaying races schedule" in out
+
+    def test_check_parser_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["check"])
+        assert args.run.__name__ == "cmd_check"
+        assert args.seed == 0
+        assert args.schedules == 200
+        assert not args.exhaustive
+        assert args.tail == "first"
+
+
 class TestHelpers:
     def test_parse_costs(self):
         costs = parse_costs(["1=6", "T2=4.5"])
