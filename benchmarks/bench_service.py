@@ -13,6 +13,7 @@ Two measurements a deployer wants before pointing clients at
 """
 
 from repro.core.modes import LockMode
+from repro.obs.metrics import MetricsRegistry
 from repro.service import LoopbackServer, RemoteLockManager
 from repro.sim.realtime import run_realtime
 from repro.sim.workload import WorkloadSpec
@@ -45,8 +46,11 @@ def test_remote_acquire_commit_round_trip(benchmark):
             benchmark(acquire_commit)
 
 
-def test_closed_loop_throughput(lock_manager_factory, record_result):
+def test_closed_loop_throughput(
+    lock_manager_factory, record_result, record_metrics, request
+):
     """The injected backend under a saturating four-worker load."""
+    registry = MetricsRegistry()
     metrics = run_realtime(
         lock_manager_factory,
         spec=SMOKE_SPEC,
@@ -54,6 +58,7 @@ def test_closed_loop_throughput(lock_manager_factory, record_result):
         txns_per_worker=8,
         seed=7,
         lock_timeout=0.3,
+        registry=registry,
     )
     assert metrics.commits == 4 * 8
     summary = metrics.summary()
@@ -64,4 +69,60 @@ def test_closed_loop_throughput(lock_manager_factory, record_result):
             "{:<14} : {}".format(key, value)
             for key, value in summary.items()
         ),
+    )
+    record_metrics(
+        "service_closed_loop",
+        summary,
+        metrics=registry.snapshot(),
+        params={"backend": request.config.getoption("--lock-backend")},
+    )
+
+
+def test_telemetry_overhead(record_result, record_metrics):
+    """Instrumentation cost: the same loopback workload with telemetry
+    enabled (the default) vs constructed disabled.
+
+    The acceptance bar is <=5% throughput overhead; a single CI run is
+    too noisy for a hard gate, so the ratio is recorded (and asserted
+    only against a generous 1.5x tripwire that catches a hot-path
+    regression without flaking)."""
+    from repro.obs import Telemetry
+
+    def measure(telemetry):
+        with LoopbackServer(period=0.05, telemetry=telemetry) as server:
+            metrics = run_realtime(
+                lambda: RemoteLockManager(server.host, server.port),
+                spec=SMOKE_SPEC,
+                workers=4,
+                txns_per_worker=8,
+                seed=7,
+                lock_timeout=0.3,
+            )
+        assert metrics.commits == 4 * 8
+        return metrics.summary()
+
+    disabled = measure(Telemetry(enabled=False))
+    enabled = measure(None)  # server default: enabled
+    ratio = (
+        disabled["throughput"] / enabled["throughput"]
+        if enabled["throughput"]
+        else 1.0
+    )
+    summary = {
+        "throughput_enabled": enabled["throughput"],
+        "throughput_disabled": disabled["throughput"],
+        "overhead_ratio": round(ratio, 3),
+    }
+    record_result(
+        "service_telemetry_overhead",
+        "telemetry overhead (loopback, 4 workers x 8 txns)\n"
+        + "\n".join(
+            "{:<20} : {}".format(key, value)
+            for key, value in summary.items()
+        ),
+    )
+    record_metrics("service_telemetry_overhead", summary)
+    assert ratio < 1.5, (
+        "telemetry overhead tripwire: disabled/enabled throughput "
+        "ratio {:.2f}".format(ratio)
     )

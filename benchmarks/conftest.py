@@ -46,6 +46,36 @@ def pytest_addoption(parser):
         "thread-safe manager (local) or a RemoteLockManager talking to "
         "a loopback lock server (remote)",
     )
+    parser.addoption(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="append one repro.bench/1 JSON-lines record per benchmark "
+        "(summary numbers plus an optional registry snapshot) to PATH",
+    )
+
+
+@pytest.fixture
+def record_metrics(request):
+    """Append a structured ``repro.bench/1`` record when ``--metrics-out``
+    was given; a silent no-op otherwise.
+
+    Call as ``record_metrics(bench, summary, metrics=..., params=...)``.
+    """
+    path = request.config.getoption("--metrics-out")
+
+    def record(bench, summary, metrics=None, params=None):
+        if path is None:
+            return None
+        from repro.obs.bench import append_record, build_record
+
+        record = build_record(
+            bench, summary, metrics=metrics, params=params
+        )
+        append_record(path, record)
+        return record
+
+    return record
 
 
 @pytest.fixture

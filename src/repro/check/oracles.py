@@ -24,7 +24,11 @@ bookkeeping the networked stack relies on:
 * **service** — sessions, ownership and parked waits agree with the
   lock table: no orphaned transactions, no parked wait for a
   granted/aborted transaction after a pump, closed sessions own
-  nothing.
+  nothing;
+* **spans** — after a schedule fully drains, the telemetry span log is
+  complete: every request-lifecycle span reached a terminal state
+  (released/aborted/timed-out), no grant is still marked live, and no
+  first-block timestamp is left pending.
 """
 
 from __future__ import annotations
@@ -248,6 +252,53 @@ def check_service(core) -> List[OracleFailure]:
     return failures
 
 
+def check_spans(telemetry) -> List[OracleFailure]:
+    """Span-lifecycle completeness (run once a schedule fully drains).
+
+    With every transaction finished, the trace must hold no open span —
+    each recorded lifecycle ended in a terminal state — and the wait
+    bookkeeping must hold no pending first-block timestamp."""
+    failures: List[OracleFailure] = []
+    if not telemetry.enabled:
+        return failures
+    from ..obs.spans import TERMINAL_STATES
+
+    for span in telemetry.trace.open_spans():
+        failures.append(
+            OracleFailure(
+                "spans",
+                "span {} (T{} {} {}) still open in state {!r} after "
+                "drain".format(
+                    span.span_id, span.tid, span.rid, span.mode,
+                    span.status,
+                ),
+            )
+        )
+    for span in telemetry.trace.completed_spans():
+        if span.status not in TERMINAL_STATES:
+            failures.append(
+                OracleFailure(
+                    "spans",
+                    "completed span {} (T{} {}) ended in non-terminal "
+                    "state {!r}".format(
+                        span.span_id, span.tid, span.rid, span.status
+                    ),
+                )
+            )
+    pending = telemetry.pending_waits()
+    if pending:
+        failures.append(
+            OracleFailure(
+                "spans",
+                "first-block timestamps still pending for T{} after "
+                "drain".format(
+                    ", T".join(str(tid) for tid in sorted(pending))
+                ),
+            )
+        )
+    return failures
+
+
 @dataclass
 class OracleStats:
     """How many times each oracle ran over a whole exploration."""
@@ -255,10 +306,12 @@ class OracleStats:
     state_checks: int = 0
     detection_checks: int = 0
     service_checks: int = 0
+    span_checks: int = 0
     failures: int = 0
 
     def absorb(self, other: "OracleStats") -> None:
         self.state_checks += other.state_checks
         self.detection_checks += other.detection_checks
         self.service_checks += other.service_checks
+        self.span_checks += other.span_checks
         self.failures += other.failures

@@ -87,10 +87,12 @@ class CheckReport:
                     for backend, count in sorted(self.per_backend.items())
                 ),
             ),
-            "oracle checks: {} state, {} detection, {} service".format(
+            "oracle checks: {} state, {} detection, {} service, "
+            "{} span".format(
                 stats.state_checks,
                 stats.detection_checks,
                 stats.service_checks,
+                stats.span_checks,
             ),
             "trace digest: {}".format(self.trace_digest),
         ]

@@ -43,6 +43,7 @@ from .oracles import (
     OracleStats,
     check_detection,
     check_service,
+    check_spans,
     check_state,
 )
 from .schedule import VirtualClock, VirtualScheduler
@@ -329,6 +330,16 @@ class ServiceModel:
 
             if alive == 0:
                 result.steps = step
+                # Fully drained: every request-lifecycle span must have
+                # reached a terminal state (the completeness oracle).
+                stats.span_checks += 1
+                span_failures = check_spans(core.telemetry)
+                if span_failures:
+                    stats.failures += len(span_failures)
+                    result.ok = False
+                    result.failure = span_failures[0].located(
+                        step, "drain"
+                    )
                 return result
             if not transitions:
                 result.ok = False
@@ -370,4 +381,12 @@ class ServiceModel:
             )
         else:
             result.steps = self.max_steps
+            stats.span_checks += 1
+            span_failures = check_spans(core.telemetry)
+            if span_failures:
+                stats.failures += len(span_failures)
+                result.ok = False
+                result.failure = span_failures[0].located(
+                    self.max_steps, "drain"
+                )
         return result

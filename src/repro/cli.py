@@ -24,7 +24,13 @@ Commands
     leases and a periodic detector task.
 ``remote ACTION``
     Introspect a running lock service: ``report``, ``graph``, ``dump``,
-    ``stats``, ``log`` or an explicit ``detect`` pass.
+    ``stats``, ``metrics`` (Prometheus text exposition), ``log`` or an
+    explicit ``detect`` pass.
+``top``
+    Live operator dashboard over a running lock service: grants/s,
+    blocked transactions, hottest resources, last detector pass.
+``trace-export``
+    Pull the server's request-lifecycle spans as JSON-lines.
 
 States given as ``.json`` files must be :mod:`repro.core.serialize`
 dumps; anything else is parsed as the paper's notation, e.g.::
@@ -158,14 +164,32 @@ def cmd_simulate(args) -> int:
         seed=args.seed,
         period=args.period,
     )
+    summary = result.metrics.summary()
     print(
         render_summaries(
-            {result.strategy: result.metrics.summary()},
+            {result.strategy: summary},
             title="simulation (duration {}, {} terminals, seed {})".format(
                 args.duration, args.terminals, args.seed
             ),
         )
     )
+    if args.metrics_out:
+        from .obs.bench import append_record, build_record
+
+        record = build_record(
+            "simulate",
+            summary,
+            params={
+                "strategy": args.strategy,
+                "duration": args.duration,
+                "terminals": args.terminals,
+                "seed": args.seed,
+                "period": args.period,
+                "preset": args.preset or "",
+            },
+        )
+        append_record(args.metrics_out, record)
+        print("metrics record appended to {}".format(args.metrics_out))
     return 0
 
 
@@ -255,6 +279,8 @@ def cmd_remote(args) -> int:
                 print((await client.dump())["text"])
             elif args.action == "stats":
                 print(render_stats(await client.stats()))
+            elif args.action == "metrics":
+                print((await client.metrics())["text"], end="")
             elif args.action == "log":
                 payload = await client.log(limit=args.limit)
                 print("{} events total".format(payload["total"]))
@@ -292,6 +318,53 @@ def cmd_remote(args) -> int:
             file=sys.stderr,
         )
         return 1
+
+
+def cmd_top(args) -> int:
+    from .obs.top import run_top
+
+    try:
+        run_top(
+            args.host,
+            args.port,
+            interval=args.interval,
+            iterations=1 if args.once else None,
+            clear=not args.once,
+        )
+    except (ConnectionError, OSError) as exc:
+        print(
+            "cannot reach lock service at {}:{} ({})".format(
+                args.host, args.port, exc
+            ),
+            file=sys.stderr,
+        )
+        return 1
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_trace_export(args) -> int:
+    from .obs.top import run_trace_export
+
+    try:
+        count = run_trace_export(
+            args.host, args.port, out_path=args.out, limit=args.limit
+        )
+    except (ConnectionError, OSError) as exc:
+        print(
+            "cannot reach lock service at {}:{} ({})".format(
+                args.host, args.port, exc
+            ),
+            file=sys.stderr,
+        )
+        return 1
+    if args.out:
+        print(
+            "{} span(s) written to {}".format(count, args.out),
+            file=sys.stderr,
+        )
+    return 0
 
 
 def cmd_check(args) -> int:
@@ -397,6 +470,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--strategy", choices=sorted(STRATEGIES), default="park-periodic"
     )
     add_sim_options(simulate_cmd)
+    simulate_cmd.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="append a repro.bench/1 JSON-lines record of the summary",
+    )
     simulate_cmd.set_defaults(run=cmd_simulate)
 
     compare_cmd = commands.add_parser(
@@ -448,7 +526,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     remote_cmd.add_argument(
         "action",
-        choices=["report", "graph", "dump", "stats", "log", "detect"],
+        choices=[
+            "report", "graph", "dump", "stats", "metrics", "log", "detect",
+        ],
     )
     remote_cmd.add_argument("--host", default="127.0.0.1")
     remote_cmd.add_argument("--port", type=int, default=7411)
@@ -459,6 +539,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--limit", type=int, default=20, help="events to show (log action)"
     )
     remote_cmd.set_defaults(run=cmd_remote)
+
+    top_cmd = commands.add_parser(
+        "top", help="live operator dashboard over a running lock service"
+    )
+    top_cmd.add_argument("--host", default="127.0.0.1")
+    top_cmd.add_argument("--port", type=int, default=7411)
+    top_cmd.add_argument(
+        "--interval", type=float, default=1.0,
+        help="refresh cadence in seconds",
+    )
+    top_cmd.add_argument(
+        "--once", action="store_true",
+        help="print one dashboard frame and exit",
+    )
+    top_cmd.set_defaults(run=cmd_top)
+
+    trace_cmd = commands.add_parser(
+        "trace-export",
+        help="export request-lifecycle spans from a running service",
+    )
+    trace_cmd.add_argument("--host", default="127.0.0.1")
+    trace_cmd.add_argument("--port", type=int, default=7411)
+    trace_cmd.add_argument(
+        "--out", metavar="PATH",
+        help="write JSON-lines here instead of stdout",
+    )
+    trace_cmd.add_argument(
+        "--limit", type=int, default=0,
+        help="most recent spans to export (0 = all retained)",
+    )
+    trace_cmd.set_defaults(run=cmd_trace_export)
 
     check_cmd = commands.add_parser(
         "check",

@@ -24,8 +24,40 @@ from .lock_table import LockTable
 
 
 @dataclass
+class WaitSite:
+    """One place a transaction waits: a blocked conversion (holder
+    re-requesting an incompatible mode) or a queued request.  The
+    ``queue_position`` is read live from the queue at explain time, so
+    it stays correct after a TDR-2 repositioning reorders the queue."""
+
+    rid: str
+    mode: Optional[LockMode]
+    conversion: bool
+    queue_position: Optional[int] = None
+    direct_blockers: List[int] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        kind = (
+            "converting to {}".format(self.mode.name if self.mode else "?")
+            if self.conversion
+            else "queued (position {}) for {}".format(
+                self.queue_position,
+                self.mode.name if self.mode else "?",
+            )
+        )
+        return "{} — {}".format(self.rid, kind)
+
+
+@dataclass
 class BlockExplanation:
-    """Everything known about why one transaction waits."""
+    """Everything known about why one transaction waits.
+
+    The top-level fields describe the *primary* wait site (the one the
+    lock table's blocked index points at, under Axiom 1 the only one);
+    ``waits`` lists every site found by scanning the resource states
+    directly, so an inconsistent table — a transaction blocked on a
+    conversion while also queued elsewhere — still reports both waits.
+    """
 
     tid: int
     blocked: bool
@@ -36,6 +68,7 @@ class BlockExplanation:
     direct_blockers: List[int] = field(default_factory=list)
     on_deadlock_cycle: bool = False
     cycle: Optional[List[int]] = None
+    waits: List[WaitSite] = field(default_factory=list)
 
     def __str__(self) -> str:
         if not self.blocked:
@@ -53,30 +86,64 @@ class BlockExplanation:
             kind,
             ", ".join("T{}".format(t) for t in self.direct_blockers) or "-",
         )
+        extra = [site for site in self.waits if site.rid != self.rid]
+        if extra:
+            text += "; also waiting at {}".format(
+                ", ".join(str(site) for site in extra)
+            )
         if self.on_deadlock_cycle:
             text += "; DEADLOCKED with cycle {}".format(self.cycle)
         return text
 
 
 def explain_block(table: LockTable, tid: int) -> BlockExplanation:
-    """Explain the wait state of ``tid`` (see module docstring)."""
-    rid = table.blocked_at(tid)
-    if rid is None:
-        return BlockExplanation(tid=tid, blocked=False)
+    """Explain the wait state of ``tid`` (see module docstring).
 
+    Wait sites come from scanning the resource states themselves rather
+    than trusting the blocked index, so the explanation is a ground-truth
+    report even when the index and the states disagree."""
     from ..baselines.jiang import direct_blockers
 
-    state = table.existing(rid)
-    explanation = BlockExplanation(tid=tid, blocked=True, rid=rid)
-    holder = state.holder_entry(tid)
-    if holder is not None and holder.is_blocked:
-        explanation.conversion = True
-        explanation.mode = holder.blocked
-    else:
+    sites: List[WaitSite] = []
+    for state in table.resources():
+        holder = state.holder_entry(tid)
+        if holder is not None and holder.is_blocked:
+            sites.append(
+                WaitSite(
+                    rid=state.rid,
+                    mode=holder.blocked,
+                    conversion=True,
+                    direct_blockers=sorted(direct_blockers(state, tid)),
+                )
+            )
         entry = state.queue_entry(tid)
-        explanation.mode = entry.blocked if entry else None
-        explanation.queue_position = state.queue_position(tid)
-    explanation.direct_blockers = sorted(direct_blockers(state, tid))
+        if entry is not None:
+            sites.append(
+                WaitSite(
+                    rid=state.rid,
+                    mode=entry.blocked,
+                    conversion=False,
+                    queue_position=state.queue_position(tid),
+                    direct_blockers=sorted(direct_blockers(state, tid)),
+                )
+            )
+    if not sites:
+        return BlockExplanation(tid=tid, blocked=False)
+
+    indexed = table.blocked_at(tid)
+    primary = next(
+        (site for site in sites if site.rid == indexed), sites[0]
+    )
+    explanation = BlockExplanation(
+        tid=tid,
+        blocked=True,
+        rid=primary.rid,
+        mode=primary.mode,
+        conversion=primary.conversion,
+        queue_position=primary.queue_position,
+        direct_blockers=primary.direct_blockers,
+        waits=sites,
+    )
 
     graph = build_graph(table.snapshot())
     for cycle in graph.elementary_cycles():
@@ -111,7 +178,12 @@ def render_report(table: LockTable) -> str:
     cycles = graph.elementary_cycles()
     lines.append("")
     lines.append("blocked transactions:")
-    for tid in sorted(table.blocked_tids()):
+    # Union of the blocked index and a ground-truth scan of the states,
+    # so waiters an inconsistent index has lost still get a line.
+    waiters = set(table.blocked_tids())
+    for state in table.resources():
+        waiters.update(state.waiting_tids())
+    for tid in sorted(waiters):
         lines.append("  " + str(explain_block(table, tid)))
     lines.append("")
     lines.append(

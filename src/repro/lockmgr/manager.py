@@ -19,7 +19,7 @@ cumulative event log for inspection by tests and the simulator.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Set
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set
 
 from ..core.errors import LockTableError
 from ..core.hw_twbg import HWTWBG, build_graph
@@ -45,6 +45,10 @@ class LockManager:
         deadlock check (the continuous companion detector).  When False
         (default), deadlocks are only resolved by explicit :meth:`detect`
         calls — the periodic scheme.
+    listener:
+        Optional callable invoked with every event the manager logs
+        (grants, blocks, aborts, repositions) at the moment it happens —
+        the seam the telemetry layer (:mod:`repro.obs`) subscribes to.
     """
 
     def __init__(
@@ -52,6 +56,7 @@ class LockManager:
         costs: Optional[CostTable] = None,
         continuous: bool = False,
         track_graph: bool = False,
+        listener: Optional[Callable[[object], None]] = None,
     ) -> None:
         # Imported here, not at module level: the detectors' modules use
         # this package's scheduler, so a top-level import would be
@@ -65,6 +70,7 @@ class LockManager:
         self._periodic = PeriodicDetector(self.table, self.costs)
         self._continuous = ContinuousDetector(self.table, self.costs)
         self.log: List[object] = []
+        self.listener = listener
         self._aborted: Set[int] = set()
         #: Result of the continuous check triggered by the most recent
         #: blocking ``lock`` call (None when it did not run).
@@ -92,7 +98,7 @@ class LockManager:
                 "transaction {} was aborted and cannot lock".format(tid)
             )
         outcome = scheduler.request(self.table, tid, rid, mode)
-        self.log.append(outcome.event)
+        self._publish(outcome.event)
         self.last_detection = None
         if self.continuous and not outcome.granted:
             self.last_detection = self._continuous.on_block(tid)
@@ -115,7 +121,7 @@ class LockManager:
         grants = scheduler.release_all(self.table, tid)
         self.costs.forget(tid)
         self._aborted.discard(tid)
-        self.log.extend(grants)
+        self._publish(*grants)
         if self.tracker is not None:
             self.tracker.refresh_many(affected)
         return grants
@@ -136,9 +142,16 @@ class LockManager:
         events."""
         for tid in result.aborted:
             self._aborted.add(tid)
-            self.log.append(Aborted(tid, "deadlock victim"))
-        self.log.extend(result.repositions)
-        self.log.extend(result.grants)
+            self._publish(Aborted(tid, "deadlock victim"))
+        self._publish(*result.repositions)
+        self._publish(*result.grants)
+
+    def _publish(self, *events) -> None:
+        """Append events to the cumulative log and notify the listener."""
+        for event in events:
+            self.log.append(event)
+            if self.listener is not None:
+                self.listener(event)
 
     # -- introspection --------------------------------------------------------
 

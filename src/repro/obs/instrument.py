@@ -1,0 +1,266 @@
+"""The telemetry hub: one object wiring the lock stack's seams into a
+:class:`~repro.obs.metrics.MetricsRegistry` and a
+:class:`~repro.obs.spans.TraceLog`.
+
+The lock manager already reports every observable mutation as an event
+(:mod:`repro.lockmgr.events`); :meth:`Telemetry.on_event` is the
+listener a :class:`~repro.lockmgr.manager.LockManager` calls for each
+one, feeding the per-mode/per-resource wait-time histograms and the
+block/grant/reposition counters.  The service layer adds the pieces only
+it knows — frame arrival (:meth:`request`), resumed waits
+(:meth:`resume`), client timeouts (:meth:`wait_timeout`), transaction
+end (:meth:`finish`) — and the detector reports each pass through
+:meth:`detection`.
+
+``enabled=False`` turns every hook into an early return while keeping
+the registry alive (the service's mirrored ``ServiceStats`` counters
+still work), which is how the ``<=5%`` instrumentation-overhead budget
+is enforced: the disabled path costs one attribute load and a branch.
+
+The metric catalog lives in ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.victim import AbortCandidate
+from ..lockmgr.events import Aborted, Blocked, Granted, Repositioned
+from .metrics import (
+    COUNT_BUCKETS,
+    DEFAULT_BUCKETS,
+    DURATION_BUCKETS,
+    MetricsRegistry,
+)
+from .spans import TraceLog
+
+__all__ = ["Telemetry"]
+
+
+class Telemetry:
+    """Registry + trace log + the instrumentation hooks (see module
+    docstring).  ``clock`` is the owning service's (possibly virtual)
+    clock; wall time is always stamped alongside it."""
+
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        enabled: bool = True,
+        trace_capacity: int = 4096,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.enabled = enabled
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._clock = clock if clock is not None else time.monotonic
+        self.trace = TraceLog(clock=self._clock, capacity=trace_capacity)
+        #: tid -> (virtual time of first block, mode name, wait kind).
+        #: Survives client timeouts (the request stays queued), so the
+        #: wait histogram measures time from first block to grant.
+        self._blocked_since: Dict[int, Tuple[float, str, str]] = {}
+
+    # -- service-layer hooks ----------------------------------------------
+
+    def request(self, tid: int, rid: str, mode) -> None:
+        """A fresh lock frame is about to hit the manager."""
+        if not self.enabled:
+            return
+        self.registry.counter(
+            "repro_lock_requests_total",
+            help="lock frames issued to the manager",
+        ).inc()
+        self.trace.begin(tid, rid, _mode_name(mode))
+
+    def resume(self, tid: int, rid: str, mode) -> None:
+        """A lock frame arrived for a transaction already blocked (the
+        request-stays-queued resume path after a client timeout)."""
+        if not self.enabled:
+            return
+        self.registry.counter(
+            "repro_lock_requests_total",
+            help="lock frames issued to the manager",
+        ).inc()
+        self.trace.resumed(tid, rid, _mode_name(mode))
+
+    def wait_timeout(self, tid: int) -> None:
+        """The client gave up waiting; the request stays queued."""
+        if not self.enabled:
+            return
+        self.registry.counter(
+            "repro_lock_wait_timeouts_total",
+            help="parked waits abandoned by client timeout",
+        ).inc()
+        self.trace.timed_out(tid)
+
+    def finish(self, tid: int, aborted: bool = False) -> None:
+        """Transaction end: close its spans, forget its pending wait."""
+        if not self.enabled:
+            return
+        self._blocked_since.pop(tid, None)
+        self.trace.finished(tid, aborted=aborted)
+
+    def pending_waits(self) -> List[int]:
+        """Transactions blocked without a terminal outcome yet (the
+        span-completeness oracle checks this drains to empty)."""
+        return sorted(self._blocked_since)
+
+    # -- lock-manager event stream ----------------------------------------
+
+    def on_event(self, event) -> None:
+        """Listener for :class:`~repro.lockmgr.manager.LockManager`."""
+        if not self.enabled:
+            return
+        if isinstance(event, Granted):
+            self._on_granted(event)
+        elif isinstance(event, Blocked):
+            self._on_blocked(event)
+        elif isinstance(event, Aborted):
+            self._on_aborted(event)
+        elif isinstance(event, Repositioned):
+            self._on_repositioned(event)
+
+    def _on_granted(self, event: Granted) -> None:
+        path = "immediate" if event.immediate else "waited"
+        self.registry.counter(
+            "repro_lock_grants_total",
+            labels={"path": path},
+            help="granted lock requests by grant path",
+        ).inc()
+        if not event.immediate:
+            since = self._blocked_since.pop(event.tid, None)
+            if since is not None:
+                started, mode_name, kind = since
+                self.registry.histogram(
+                    "repro_lock_wait_seconds",
+                    labels={"mode": mode_name, "kind": kind},
+                    help="time from first block to grant",
+                    buckets=DEFAULT_BUCKETS,
+                ).observe(max(self._clock() - started, 0.0))
+        self.trace.granted(
+            event.tid, event.rid, event.mode.name, event.immediate
+        )
+
+    def _on_blocked(self, event: Blocked) -> None:
+        kind = "conversion" if event.conversion else "queue"
+        self.registry.counter(
+            "repro_lock_blocks_total",
+            labels={"kind": kind},
+            help="blocked lock requests by wait kind",
+        ).inc()
+        self.registry.counter(
+            "repro_resource_blocks_total",
+            labels={"rid": event.rid},
+            help="blocked lock requests per resource (contention "
+            "hot spots)",
+        ).inc()
+        self._blocked_since.setdefault(
+            event.tid, (self._clock(), event.mode.name, kind)
+        )
+        self.trace.blocked(
+            event.tid, event.rid, event.mode.name, event.conversion
+        )
+
+    def _on_aborted(self, event: Aborted) -> None:
+        self.registry.counter(
+            "repro_txn_victims_total",
+            help="transactions aborted by deadlock resolution",
+        ).inc()
+        self._blocked_since.pop(event.tid, None)
+        self.trace.aborted(event.tid)
+
+    def _on_repositioned(self, event: Repositioned) -> None:
+        self.registry.counter(
+            "repro_tdr2_repositions_total",
+            help="queue repositionings performed by TDR-2",
+        ).inc()
+        self.registry.counter(
+            "repro_tdr2_delayed_requests_total",
+            help="requests moved behind the AV prefix by TDR-2",
+        ).inc(len(event.delayed))
+
+    # -- detector ----------------------------------------------------------
+
+    def detection(self, result, duration: float) -> None:
+        """One detection pass: ``result`` is a
+        :class:`~repro.core.detection.DetectionResult`, ``duration`` its
+        wall-clock cost in seconds."""
+        if not self.enabled:
+            return
+        reg = self.registry
+        stats = result.stats
+        reg.counter(
+            "repro_detector_passes_total", help="detection passes run"
+        ).inc()
+        reg.counter(
+            "repro_detector_cycles_found_total",
+            help="deadlock cycles found (the paper's c')",
+        ).inc(stats.cycles_found)
+        reg.counter(
+            "repro_detector_edges_examined_total",
+            help="edges examined by Step-2 walks",
+        ).inc(stats.edges_examined)
+        reg.counter(
+            "repro_detector_tdr1_total", help="cycles resolved by abort"
+        ).inc(stats.tdr1_applied)
+        reg.counter(
+            "repro_detector_tdr2_total",
+            help="cycles resolved by queue repositioning",
+        ).inc(stats.tdr2_applied)
+        if result.deadlock_found:
+            reg.counter(
+                "repro_detector_deadlock_passes_total",
+                help="passes that found at least one cycle",
+            ).inc()
+            if result.abort_free:
+                reg.counter(
+                    "repro_detector_abort_free_passes_total",
+                    help="deadlock passes resolved without any abort",
+                ).inc()
+        reg.histogram(
+            "repro_detector_pass_seconds",
+            help="wall-clock duration of one detection pass",
+            buckets=DURATION_BUCKETS,
+        ).observe(duration)
+        reg.histogram(
+            "repro_detector_graph_transactions",
+            help="H/W-TWBG size (transactions) per pass",
+            buckets=COUNT_BUCKETS,
+        ).observe(stats.transactions)
+        reg.histogram(
+            "repro_detector_cycles_per_pass",
+            help="cycles found per pass",
+            buckets=COUNT_BUCKETS,
+        ).observe(stats.cycles_found)
+        trrps = reg.histogram(
+            "repro_detector_trrps_per_cycle",
+            help="TRRP junctions per resolved cycle",
+            buckets=COUNT_BUCKETS,
+        )
+        for resolution in result.resolutions:
+            trrps.observe(
+                sum(
+                    1
+                    for candidate in resolution.candidates
+                    if isinstance(candidate, AbortCandidate)
+                )
+            )
+        reg.gauge(
+            "repro_detector_last_pass_seconds",
+            help="duration of the most recent pass",
+        ).set(duration)
+        reg.gauge(
+            "repro_detector_last_cycles",
+            help="cycles found by the most recent pass",
+        ).set(stats.cycles_found)
+        reg.gauge(
+            "repro_detector_last_graph_transactions",
+            help="graph size of the most recent pass",
+        ).set(stats.transactions)
+        reg.gauge(
+            "repro_detector_last_run",
+            help="virtual-clock time of the most recent pass",
+        ).set(self._clock())
+
+
+def _mode_name(mode) -> str:
+    return mode.name if hasattr(mode, "name") else str(mode)

@@ -1,0 +1,230 @@
+"""Request-lifecycle spans: one record per lock request, from frame
+arrival to its terminal event.
+
+A :class:`Span` follows one ``(tid, rid)`` request through the states
+
+    requested -> blocked -> granted -> released
+                        \\-> aborted | timed-out
+
+Every state change stamps a phase event carrying *both* clocks: wall
+time (``time.time``, for humans correlating with logs) and the virtual
+clock the owning service runs on (the asyncio loop clock on a live
+server, the schedule explorer's :class:`~repro.check.schedule.VirtualClock`
+under ``repro.check``).  ``granted`` is not terminal — a granted lock is
+still held; strict 2PL releases it at transaction end, which closes the
+span as ``released``.
+
+A client-side timeout closes the span as ``timed-out`` even though the
+underlying request stays queued (the service contract); when the client
+re-sends the lock and resumes the same queue position, a new span of
+kind ``resume`` tracks the second attempt.
+
+:class:`TraceLog` owns the spans: it indexes the open ones by
+``(tid, rid)``, moves finished ones into a bounded ring, and exports
+everything as JSON-lines.  The span-completeness oracle in
+:mod:`repro.check.oracles` asserts that a drained schedule leaves no
+span open in a non-``granted`` state and no span unreleased.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
+
+__all__ = ["Span", "TraceLog", "TERMINAL_STATES"]
+
+#: States a span can end in.  ``granted`` is live (lock held), not terminal.
+TERMINAL_STATES = frozenset({"released", "aborted", "timed-out"})
+
+
+class Span:
+    """One lock request's lifecycle (see module docstring)."""
+
+    __slots__ = ("span_id", "tid", "rid", "mode", "kind", "status", "events")
+
+    def __init__(
+        self, span_id: int, tid: int, rid: str, mode: str, kind: str
+    ) -> None:
+        self.span_id = span_id
+        self.tid = tid
+        self.rid = rid
+        self.mode = mode
+        #: ``request`` for a first attempt, ``conversion`` once blocked
+        #: inside the holder list, ``queue`` once blocked in the FIFO
+        #: queue, ``resume`` for a re-sent lock after a client timeout.
+        self.kind = kind
+        self.status = "requested"
+        self.events: List[Dict[str, float]] = []
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in TERMINAL_STATES
+
+    def to_dict(self) -> dict:
+        return {
+            "span": self.span_id,
+            "tid": self.tid,
+            "rid": self.rid,
+            "mode": self.mode,
+            "kind": self.kind,
+            "status": self.status,
+            "events": list(self.events),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Span(#{} T{} {} {} {})".format(
+            self.span_id, self.tid, self.rid, self.mode, self.status
+        )
+
+
+class TraceLog:
+    """Span book-keeping over the lock manager's event stream.
+
+    ``clock`` is the owning service's virtual clock (defaults to
+    ``time.monotonic``); wall-clock stamps always come from
+    ``time.time``.  ``capacity`` bounds the completed-span ring so a
+    long-lived server cannot grow without bound.
+    """
+
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        capacity: int = 4096,
+    ) -> None:
+        self.clock = clock if clock is not None else time.monotonic
+        self._next_id = 1
+        self._open: Dict[Tuple[int, str], Span] = {}
+        self._by_tid: Dict[int, Set[str]] = {}
+        self._completed: Deque[Span] = deque(maxlen=capacity)
+        self.total_started = 0
+
+    # -- span surface ------------------------------------------------------
+
+    def begin(self, tid: int, rid: str, mode: str) -> Span:
+        """A lock frame for ``(tid, rid)`` reached the service."""
+        span = self._open.get((tid, rid))
+        if span is not None:
+            self._stamp(span, "request")
+            return span
+        return self._start(tid, rid, mode, "request")
+
+    def blocked(self, tid: int, rid: str, mode: str, conversion: bool) -> Span:
+        span = self._open.get((tid, rid))
+        if span is None:
+            span = self._start(tid, rid, mode, "request")
+        span.kind = "conversion" if conversion else "queue"
+        span.status = "blocked"
+        self._stamp(span, "blocked")
+        return span
+
+    def granted(self, tid: int, rid: str, mode: str, immediate: bool) -> Span:
+        span = self._open.get((tid, rid))
+        if span is None:
+            # A grant with no open span: the sweep granted a request
+            # whose span was closed by a client timeout.
+            span = self._start(tid, rid, mode, "resume")
+        span.status = "granted"
+        self._stamp(span, "granted" if not immediate else "granted-immediate")
+        return span
+
+    def resumed(self, tid: int, rid: str, mode: str) -> Optional[Span]:
+        """The client re-sent a lock while its request is still queued.
+
+        If the original span is still open (a plain duplicate) this just
+        stamps it; after a timeout closed it, a fresh ``resume`` span is
+        opened in the blocked state."""
+        for open_rid in self._by_tid.get(tid, ()):
+            span = self._open[(tid, open_rid)]
+            if span.status in ("requested", "blocked"):
+                self._stamp(span, "resume")
+                return span
+        span = self._start(tid, rid, mode, "resume")
+        span.status = "blocked"
+        self._stamp(span, "blocked")
+        return span
+
+    def timed_out(self, tid: int) -> Optional[Span]:
+        """Close ``tid``'s waiting span as timed-out (client gave up;
+        the request itself stays queued server-side)."""
+        for rid in list(self._by_tid.get(tid, ())):
+            span = self._open[(tid, rid)]
+            if span.status in ("requested", "blocked"):
+                self._close(span, "timed-out")
+                return span
+        return None
+
+    def aborted(self, tid: int) -> List[Span]:
+        """``tid`` was aborted (deadlock victim / lease sweep): every
+        open span of the transaction ends as ``aborted``."""
+        return [
+            self._close(self._open[(tid, rid)], "aborted")
+            for rid in list(self._by_tid.get(tid, ()))
+        ]
+
+    def finished(self, tid: int, aborted: bool = False) -> List[Span]:
+        """Transaction end (strict 2PL releases everything): granted
+        spans close as ``released``; anything still waiting closes as
+        ``aborted`` (the queue entry is discarded with the txn)."""
+        closed = []
+        for rid in list(self._by_tid.get(tid, ())):
+            span = self._open[(tid, rid)]
+            if span.status == "granted" and not aborted:
+                closed.append(self._close(span, "released"))
+            else:
+                closed.append(self._close(span, "aborted"))
+        return closed
+
+    # -- reads -------------------------------------------------------------
+
+    def open_spans(self) -> List[Span]:
+        return sorted(self._open.values(), key=lambda s: s.span_id)
+
+    def completed_spans(self) -> List[Span]:
+        return list(self._completed)
+
+    def all_spans(self) -> List[Span]:
+        spans = list(self._completed) + list(self._open.values())
+        return sorted(spans, key=lambda s: s.span_id)
+
+    def to_dicts(self, limit: int = 0) -> List[dict]:
+        spans = self.all_spans()
+        if limit:
+            spans = spans[-limit:]
+        return [span.to_dict() for span in spans]
+
+    def export_jsonl(self, limit: int = 0) -> str:
+        """The span log as JSON-lines (one span per line)."""
+        return "\n".join(
+            json.dumps(record, sort_keys=True)
+            for record in self.to_dicts(limit)
+        )
+
+    # -- internals ---------------------------------------------------------
+
+    def _start(self, tid: int, rid: str, mode: str, kind: str) -> Span:
+        span = Span(self._next_id, tid, rid, mode, kind)
+        self._next_id += 1
+        self.total_started += 1
+        self._open[(tid, rid)] = span
+        self._by_tid.setdefault(tid, set()).add(rid)
+        self._stamp(span, "request")
+        return span
+
+    def _stamp(self, span: Span, phase: str) -> None:
+        span.events.append(
+            {"phase": phase, "wall": time.time(), "virtual": self.clock()}
+        )
+
+    def _close(self, span: Span, status: str) -> Span:
+        span.status = status
+        self._stamp(span, status)
+        self._open.pop((span.tid, span.rid), None)
+        rids = self._by_tid.get(span.tid)
+        if rids is not None:
+            rids.discard(span.rid)
+            if not rids:
+                del self._by_tid[span.tid]
+        self._completed.append(span)
+        return span

@@ -12,41 +12,96 @@ resolutions and lease expiries without stopping the server.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from ..core.serialize import table_to_dict
 from ..lockmgr.introspect import render_report
 from ..lockmgr.manager import LockManager
+from ..obs.metrics import MetricsRegistry
 from .protocol import event_to_dict
 
 
-@dataclass
-class ServiceStats:
-    """Cumulative counters of one lock server's lifetime."""
+def stat_metric_name(field: str) -> str:
+    """The registry counter backing one ``ServiceStats`` field."""
+    return "repro_service_{}_total".format(field)
 
-    requests: int = 0
-    grants: int = 0
-    blocks: int = 0
-    wait_timeouts: int = 0
-    commits: int = 0
-    aborts: int = 0
-    detector_passes: int = 0
-    deadlocks_resolved: int = 0
-    abort_free_resolutions: int = 0
-    victims_aborted: int = 0
-    sessions_opened: int = 0
-    sessions_closed: int = 0
-    lease_expiries: int = 0
-    rude_disconnects: int = 0
-    protocol_errors: int = 0
+
+class ServiceStats:
+    """Cumulative counters of one lock server's lifetime.
+
+    Backed by :class:`~repro.obs.metrics.MetricsRegistry` counters, so
+    the same numbers answer the ``stats`` command (this class's dict
+    surface) and the ``metrics`` command (Prometheus exposition under
+    ``repro_service_<field>_total``).  The attribute surface is
+    unchanged: ``stats.grants += 1`` works, ``ServiceStats(grants=3)``
+    constructs a pre-loaded block (tests rely on both).
+    """
+
+    FIELDS = (
+        "requests",
+        "grants",
+        "blocks",
+        "wait_timeouts",
+        "commits",
+        "aborts",
+        "detector_passes",
+        "deadlocks_resolved",
+        "abort_free_resolutions",
+        "queue_repositionings",
+        "requests_repositioned",
+        "victims_aborted",
+        "sessions_opened",
+        "sessions_closed",
+        "lease_expiries",
+        "rude_disconnects",
+        "protocol_errors",
+    )
+
+    def __init__(
+        self, registry: Optional[MetricsRegistry] = None, **initial: int
+    ) -> None:
+        unknown = set(initial) - set(self.FIELDS)
+        if unknown:
+            raise TypeError(
+                "unknown ServiceStats field(s): {}".format(sorted(unknown))
+            )
+        if registry is None:
+            registry = MetricsRegistry()
+        self.__dict__["registry"] = registry
+        self.__dict__["_counters"] = {
+            field: registry.counter(
+                stat_metric_name(field),
+                help="service counter: " + field.replace("_", " "),
+            )
+            for field in self.FIELDS
+        }
+        for field, value in initial.items():
+            self.__dict__["_counters"][field].set(value)
+
+    def __getattr__(self, name: str) -> int:
+        counters = self.__dict__.get("_counters")
+        if counters is not None and name in counters:
+            return int(counters[name].value)
+        raise AttributeError(name)
+
+    def __setattr__(self, name: str, value) -> None:
+        counters = self.__dict__.get("_counters")
+        if counters is not None and name in counters:
+            counters[name].set(value)
+        else:
+            self.__dict__[name] = value
+
+    def __repr__(self) -> str:
+        return "ServiceStats({})".format(
+            ", ".join(
+                "{}={}".format(field, getattr(self, field))
+                for field in self.FIELDS
+            )
+        )
 
     def as_dict(self) -> Dict[str, int]:
         """All counters as a plain dict (the ``stats`` wire payload)."""
-        return {
-            field.name: getattr(self, field.name)
-            for field in fields(self)
-        }
+        return {field: getattr(self, field) for field in self.FIELDS}
 
     def absorb_detection(self, result) -> None:
         """Fold one detection pass's outcome into the counters."""
@@ -55,6 +110,10 @@ class ServiceStats:
         if result.abort_free:
             self.abort_free_resolutions += 1
         self.victims_aborted += len(result.aborted)
+        self.queue_repositionings += len(result.repositions)
+        self.requests_repositioned += sum(
+            len(event.delayed) for event in result.repositions
+        )
 
 
 def render_stats(stats: Dict[str, Any]) -> str:
@@ -104,6 +163,27 @@ def dump_payload(manager: LockManager) -> Dict[str, Any]:
     return {
         "table": table_to_dict(manager.table),
         "text": str(manager.table),
+    }
+
+
+def metrics_payload(core) -> Dict[str, Any]:
+    """The ``metrics`` response: the registry snapshot plus its
+    Prometheus text exposition."""
+    registry = core.telemetry.registry
+    return {
+        "metrics": registry.snapshot(),
+        "text": registry.render(),
+        "enabled": core.telemetry.enabled,
+    }
+
+
+def spans_payload(core, limit: int = 0) -> Dict[str, Any]:
+    """The ``spans`` response: the request-lifecycle span log."""
+    trace = core.telemetry.trace
+    return {
+        "total": trace.total_started,
+        "open": len(trace.open_spans()),
+        "spans": trace.to_dicts(limit=limit),
     }
 
 

@@ -248,6 +248,16 @@ class AsyncLockClient:
     async def stats(self) -> Dict[str, Any]:
         return dict((await self._call("stats"))["stats"])
 
+    async def metrics(self) -> Dict[str, Any]:
+        """The server's metrics registry: JSON snapshot, Prometheus
+        text exposition and the telemetry enabled flag."""
+        return await self._call("metrics")
+
+    async def spans(self, limit: int = 0) -> Dict[str, Any]:
+        """The server's request-lifecycle span log (``limit=0`` means
+        all retained spans)."""
+        return await self._call("spans", limit=limit)
+
     async def dump(self) -> Dict[str, Any]:
         return await self._call("dump")
 
@@ -355,6 +365,12 @@ class RemoteLockManager:
 
     def stats(self) -> Dict[str, Any]:
         return self._run(self._client.stats())
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._run(self._client.metrics())
+
+    def spans(self, limit: int = 0) -> Dict[str, Any]:
+        return self._run(self._client.spans(limit=limit))
 
     # -- lifecycle ---------------------------------------------------------------
 

@@ -34,6 +34,7 @@ from ..core.errors import ReproError
 from ..core.modes import LockMode
 from ..core.victim import CostTable
 from ..lockmgr.manager import LockManager
+from ..obs.instrument import Telemetry
 from .admin import ServiceStats
 from .protocol import ServiceError, event_to_dict
 
@@ -100,17 +101,56 @@ class ServiceCore:
         continuous: bool = False,
         lease: float = 5.0,
         clock: Callable[[], float] = time.monotonic,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
-        self.manager = LockManager(costs=costs, continuous=continuous)
         self.continuous = continuous
         self.lease = lease
         self.clock = clock
-        self.stats = ServiceStats()
+        # The telemetry clock reads through ``self.clock`` so a later
+        # reassignment (the server installs its loop clock, the explorer
+        # a virtual clock) is picked up automatically.
+        self.telemetry = (
+            telemetry
+            if telemetry is not None
+            else Telemetry(clock=lambda: self.clock())
+        )
+        self.manager = LockManager(
+            costs=costs,
+            continuous=continuous,
+            listener=self.telemetry.on_event,
+        )
+        self.stats = ServiceStats(registry=self.telemetry.registry)
         self.sessions: Dict[str, Session] = {}
         self.owners: Dict[int, Session] = {}
         self.waiters: Dict[int, ParkedWait] = {}
         self._next_sid = 1
         self._next_tid = 1
+        registry = self.telemetry.registry
+        registry.gauge(
+            "repro_sessions_open",
+            help="open service sessions",
+            fn=lambda: float(len(self.sessions)),
+        )
+        registry.gauge(
+            "repro_transactions_active",
+            help="transactions owned by a session",
+            fn=lambda: float(len(self.owners)),
+        )
+        registry.gauge(
+            "repro_parked_waiters",
+            help="lock requests parked awaiting grant or abort",
+            fn=lambda: float(len(self.waiters)),
+        )
+        registry.gauge(
+            "repro_resources_locked",
+            help="resources present in the lock table",
+            fn=lambda: float(len(self.manager.table)),
+        )
+        registry.gauge(
+            "repro_blocked_transactions",
+            help="transactions currently blocked in the lock table",
+            fn=lambda: float(len(self.manager.table.blocked_tids())),
+        )
 
     # -- sessions ----------------------------------------------------------
 
@@ -152,6 +192,7 @@ class ServiceCore:
             parked = self.waiters.pop(tid, None)
             if parked is not None:
                 parked.resolve("aborted")
+            self.telemetry.finish(tid, aborted=True)
             try:
                 self.manager.finish(tid)
             except ReproError:  # pragma: no cover - defensive
@@ -241,9 +282,17 @@ class ServiceCore:
             return "aborted", None, None
         event = None
         if not self.manager.is_blocked(tid):
+            self.telemetry.request(tid, rid, mode)
+            started = time.perf_counter()
             outcome = self.manager.lock(tid, rid, mode)
             event = event_to_dict(outcome.event)
             if self.continuous and self.manager.last_detection:
+                # The continuous pass ran inside manager.lock; its
+                # duration is the whole call (the pass dominates it).
+                self.telemetry.detection(
+                    self.manager.last_detection,
+                    time.perf_counter() - started,
+                )
                 self.stats.absorb_detection(self.manager.last_detection)
             if outcome.granted:
                 self.stats.grants += 1
@@ -263,9 +312,15 @@ class ServiceCore:
                     "transaction {} already has a parked "
                     "request".format(tid),
                 )
+            if event is None:
+                # manager.lock was skipped: a re-sent frame resuming an
+                # earlier blocked request (the post-timeout path).
+                self.telemetry.resume(tid, rid, mode)
             parked = ParkedWait(tid, callback)
             self.waiters[tid] = parked
             return "parked", event, parked
+        if event is None:
+            self.telemetry.resume(tid, rid, mode)
         return "blocked", event, None
 
     def cancel_wait(self, tid: int, parked: ParkedWait) -> str:
@@ -281,12 +336,14 @@ class ServiceCore:
         if self.waiters.get(tid) is parked:
             del self.waiters[tid]
         self.stats.wait_timeouts += 1
+        self.telemetry.wait_timeout(tid)
         return "timeout"
 
     def finish_step(
         self, session: Session, tid: int, aborting: bool
     ) -> List[dict]:
         self.claim(tid, session)
+        self.telemetry.finish(tid, aborted=aborting)
         grants = self.manager.finish(tid)
         self.release_claim(tid)
         if aborting:
@@ -297,7 +354,9 @@ class ServiceCore:
 
     def detect_step(self):
         """One periodic detection-resolution pass plus stats."""
+        started = time.perf_counter()
         result = self.manager.detect()
+        self.telemetry.detection(result, time.perf_counter() - started)
         self.stats.absorb_detection(result)
         return result
 

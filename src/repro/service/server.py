@@ -86,9 +86,13 @@ class LockServer:
         continuous: bool = False,
         period: Optional[float] = 0.5,
         lease: float = 5.0,
+        telemetry=None,
     ) -> None:
         self.core = ServiceCore(
-            costs=costs, continuous=continuous, lease=lease
+            costs=costs,
+            continuous=continuous,
+            lease=lease,
+            telemetry=telemetry,
         )
         self.continuous = continuous
         self.period = period
@@ -422,6 +426,19 @@ class LockServer:
         payload = await self._submit(self.core.stats_payload)
         await send(ok(frame.get("id"), stats=payload))
 
+    async def _op_metrics(self, session, frame, send) -> None:
+        payload = await self._submit(
+            lambda: admin.metrics_payload(self.core)
+        )
+        await send(ok(frame.get("id"), **payload))
+
+    async def _op_spans(self, session, frame, send) -> None:
+        limit = int(frame.get("limit", 0))
+        payload = await self._submit(
+            lambda: admin.spans_payload(self.core, limit=limit)
+        )
+        await send(ok(frame.get("id"), **payload))
+
     async def _op_holding(self, session, frame, send) -> None:
         tid = int(frame["tid"])
         held = await self._submit(lambda: self.manager.holding(tid))
@@ -450,6 +467,8 @@ class LockServer:
         "dump": _op_dump,
         "log": _op_log,
         "stats": _op_stats,
+        "metrics": _op_metrics,
+        "spans": _op_spans,
         "holding": _op_holding,
         "deadlocked": _op_deadlocked,
     }

@@ -66,6 +66,7 @@ def run_realtime(
     seed: int = 0,
     lock_timeout: float = 0.5,
     max_restarts: int = 100,
+    registry=None,
 ) -> RealtimeMetrics:
     """Drive ``workers`` threads of generated transactions through one
     manager built by ``manager_factory``; returns the metrics.
@@ -73,12 +74,45 @@ def run_realtime(
     The factory is called once and the instance shared — both
     ``ConcurrentLockManager`` and ``RemoteLockManager`` are thread-safe.
     It is closed (when it has a ``close``) before returning.
+
+    With a :class:`~repro.obs.metrics.MetricsRegistry` passed as
+    ``registry``, every ``acquire`` is timed into the client-side
+    histogram ``repro_client_acquire_seconds`` (labelled by mode and
+    outcome) and the run's counters are mirrored under
+    ``repro_client_*_total``.
     """
     spec = spec or WorkloadSpec()
     metrics = RealtimeMetrics()
     metrics_lock = threading.Lock()
     tids = itertools.count(1)
     manager = manager_factory()
+
+    def observe_acquire(mode, outcome: str, elapsed: float) -> None:
+        if registry is None:
+            return
+        registry.histogram(
+            "repro_client_acquire_seconds",
+            labels={"mode": mode.name, "outcome": outcome},
+            help="client-observed acquire latency",
+        ).observe(elapsed)
+
+    def timed_acquire(tid: int, access) -> bool:
+        started = time.perf_counter()
+        try:
+            granted = manager.acquire(
+                tid, access.rid, access.mode, timeout=lock_timeout
+            )
+        except TransactionAborted:
+            observe_acquire(
+                access.mode, "aborted", time.perf_counter() - started
+            )
+            raise
+        observe_acquire(
+            access.mode,
+            "granted" if granted else "timeout",
+            time.perf_counter() - started,
+        )
+        return granted
 
     def run_program(program) -> None:
         for attempt in range(max_restarts):
@@ -88,10 +122,7 @@ def run_realtime(
                     while True:
                         with metrics_lock:
                             metrics.lock_calls += 1
-                        if manager.acquire(
-                            tid, access.rid, access.mode,
-                            timeout=lock_timeout,
-                        ):
+                        if timed_acquire(tid, access):
                             break
                         with metrics_lock:
                             metrics.wait_timeouts += 1
@@ -131,6 +162,17 @@ def run_realtime(
     metrics.wall_time = time.monotonic() - started
     if hasattr(manager, "close"):
         manager.close()
+    if registry is not None:
+        for name, value in (
+            ("commits", metrics.commits),
+            ("restarts", metrics.restarts),
+            ("wait_timeouts", metrics.wait_timeouts),
+            ("lock_calls", metrics.lock_calls),
+        ):
+            registry.counter(
+                "repro_client_{}_total".format(name),
+                help="closed-loop client counter: " + name,
+            ).inc(value)
     if metrics.errors:
         raise RuntimeError(
             "realtime workers failed: {}".format("; ".join(metrics.errors))

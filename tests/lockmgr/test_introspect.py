@@ -48,6 +48,79 @@ class TestExplainBlock:
         assert 1 in explanation.cycle
         assert "DEADLOCKED" in str(explanation)
 
+    def test_waits_lists_single_site(self):
+        table = LockTable()
+        scheduler.request(table, 1, "R", LockMode.X)
+        scheduler.request(table, 2, "R", LockMode.S)
+        explanation = explain_block(table, 2)
+        assert len(explanation.waits) == 1
+        site = explanation.waits[0]
+        assert site.rid == "R"
+        assert not site.conversion
+        assert site.queue_position == 0
+        assert site.direct_blockers == [1]
+
+    def test_double_wait_reports_both_sites(self):
+        """A transaction blocked on a conversion while *also* queued at a
+        second resource (an index-vs-state inconsistency that Axiom 1
+        rules out via the normal APIs) must report both waits.
+
+        The state is assembled by hand: the blocked index knows only the
+        conversion site, and a queue entry is planted directly at R2.
+        """
+        from repro.core.requests import QueueEntry
+
+        table = LockTable()
+        # T1 blocked converting at R1 (the indexed site).
+        scheduler.request(table, 1, "R1", LockMode.IS)
+        scheduler.request(table, 2, "R1", LockMode.IX)
+        scheduler.request(table, 1, "R1", LockMode.S)
+        # A second wait the index never learns about: T1 queued at R2.
+        scheduler.request(table, 3, "R2", LockMode.X)
+        table.resource("R2").queue.append(QueueEntry(1, LockMode.S))
+
+        explanation = explain_block(table, 1)
+        assert explanation.blocked
+        # Primary = the indexed site (the conversion at R1).
+        assert explanation.rid == "R1"
+        assert explanation.conversion
+        assert explanation.mode is LockMode.S
+        # Both sites appear, each with its own blockers and position.
+        assert [site.rid for site in explanation.waits] == ["R1", "R2"]
+        conversion_site, queue_site = explanation.waits
+        assert conversion_site.conversion
+        assert conversion_site.direct_blockers == [2]
+        assert not queue_site.conversion
+        assert queue_site.queue_position == 0
+        assert queue_site.direct_blockers == [3]
+        assert "also waiting at R2" in str(explanation)
+        # The ground-truth scan also surfaces the wait in the report.
+        assert "T1 is blocked at R1" in render_report(table)
+
+    def test_queue_position_stable_under_tdr2(self):
+        """After a TDR-2 repositioning reorders Example 4.1's R1 queue,
+        explain_block must report each waiter's *live* position, not the
+        arrival order."""
+        from repro.core.detection import PeriodicDetector
+        from repro.core.victim import CostTable
+        from tests.conftest import build_example_41_by_requests
+
+        table = build_example_41_by_requests()
+        result = PeriodicDetector(table, CostTable()).run()
+        assert result.abort_free and result.repositions
+        state = table.existing("R1")
+        for tid in (entry.tid for entry in state.queue):
+            explanation = explain_block(table, tid)
+            assert explanation.rid == "R1"
+            assert explanation.queue_position == state.queue_position(tid)
+            assert explanation.queue_position >= 0
+        # The repositioned queue puts T9's enabler ahead: positions match
+        # the post-TDR-2 order exactly.
+        order = [entry.tid for entry in state.queue]
+        assert [
+            explain_block(table, tid).queue_position for tid in order
+        ] == list(range(len(order)))
+
 
 class TestSummaryAndReport:
     def test_wait_graph_summary(self, example_51_table):

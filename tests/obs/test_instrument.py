@@ -1,0 +1,160 @@
+"""The Telemetry hub fed by a real LockManager event stream.
+
+Example 4.1 drives the whole instrumented path: blocked requests feed
+the per-mode/per-resource counters, the TDR-2 pass feeds the detector
+counters and the repositioning counters, and the release sweep turns
+first-block-to-grant intervals into wait-histogram observations.
+"""
+
+from __future__ import annotations
+
+from repro.core.modes import LockMode
+from repro.lockmgr.manager import LockManager
+from repro.obs import Telemetry
+
+
+def instrumented_manager(clock=None, **kwargs):
+    telemetry = Telemetry(clock=clock, **kwargs)
+    manager = LockManager(listener=telemetry.on_event)
+    return manager, telemetry
+
+
+def drive_example_41(manager: LockManager) -> None:
+    assert manager.lock(7, "R2", LockMode.IS).granted
+    for tid, mode in ((1, LockMode.IX), (2, LockMode.IS),
+                      (3, LockMode.IX), (4, LockMode.IS)):
+        assert manager.lock(tid, "R1", mode).granted
+    for tid, rid, mode in (
+        (1, "R1", LockMode.S), (2, "R1", LockMode.S),
+        (5, "R1", LockMode.IX), (6, "R1", LockMode.S),
+        (7, "R1", LockMode.IX), (8, "R2", LockMode.X),
+        (9, "R2", LockMode.IX), (3, "R2", LockMode.S),
+        (4, "R2", LockMode.X),
+    ):
+        assert not manager.lock(tid, rid, mode).granted
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        self.now += 0.01
+        return self.now
+
+
+def counter_value(registry, name, labels=None) -> float:
+    instrument = registry.get(name, labels)
+    return instrument.value if instrument is not None else 0.0
+
+
+class TestEventStream:
+    def test_blocks_feed_counters_and_hot_resources(self):
+        manager, telemetry = instrumented_manager()
+        drive_example_41(manager)
+        registry = telemetry.registry
+        # 2 blocked conversions (T1, T2), 7 queue waits.
+        assert counter_value(
+            registry, "repro_lock_blocks_total", {"kind": "conversion"}
+        ) == 2
+        assert counter_value(
+            registry, "repro_lock_blocks_total", {"kind": "queue"}
+        ) == 7
+        assert counter_value(
+            registry, "repro_resource_blocks_total", {"rid": "R1"}
+        ) == 5
+        assert counter_value(
+            registry, "repro_resource_blocks_total", {"rid": "R2"}
+        ) == 4
+        assert counter_value(
+            registry, "repro_lock_grants_total", {"path": "immediate"}
+        ) == 5
+        assert telemetry.pending_waits() == [1, 2, 3, 4, 5, 6, 7, 8, 9]
+
+    def test_tdr2_pass_feeds_detector_and_reposition_counters(self):
+        manager, telemetry = instrumented_manager()
+        drive_example_41(manager)
+        result = manager.detect()
+        assert result.abort_free
+        # The service layer times the pass and reports it; do the same.
+        telemetry.detection(result, 0.002)
+        registry = telemetry.registry
+        assert counter_value(registry, "repro_detector_passes_total") == 1
+        assert counter_value(
+            registry, "repro_detector_deadlock_passes_total"
+        ) == 1
+        assert counter_value(
+            registry, "repro_detector_abort_free_passes_total"
+        ) == 1
+        assert counter_value(registry, "repro_detector_tdr2_total") >= 1
+        assert counter_value(registry, "repro_tdr2_repositions_total") == len(
+            result.repositions
+        )
+        assert counter_value(
+            registry, "repro_tdr2_delayed_requests_total"
+        ) == sum(len(event.delayed) for event in result.repositions)
+        # Pass-shape histograms observed exactly once.
+        pass_hist = registry.get("repro_detector_pass_seconds")
+        assert pass_hist.count == 1
+        graph_hist = registry.get("repro_detector_graph_transactions")
+        assert graph_hist.count == 1
+        assert graph_hist.max == result.stats.transactions
+        trrp_hist = registry.get("repro_detector_trrps_per_cycle")
+        assert trrp_hist.count == len(result.resolutions) >= 1
+        assert registry.get("repro_detector_last_cycles").value == \
+            result.stats.cycles_found
+
+    def test_wait_histogram_measures_first_block_to_grant(self):
+        clock = FakeClock()
+        manager, telemetry = instrumented_manager(clock=clock)
+        assert manager.lock(1, "R", LockMode.X).granted
+        assert not manager.lock(2, "R", LockMode.S).granted
+        manager.finish(1)  # grants T2 via the release sweep
+        registry = telemetry.registry
+        hist = registry.get(
+            "repro_lock_wait_seconds", {"mode": "S", "kind": "queue"}
+        )
+        assert hist is not None and hist.count == 1
+        assert hist.min > 0.0
+        assert counter_value(
+            registry, "repro_lock_grants_total", {"path": "waited"}
+        ) == 1
+        assert telemetry.pending_waits() == []
+
+    def test_victim_abort_counts_and_closes_wait(self):
+        manager, telemetry = instrumented_manager()
+        assert manager.lock(1, "R1", LockMode.S).granted
+        assert manager.lock(2, "R2", LockMode.S).granted
+        assert not manager.lock(1, "R2", LockMode.X).granted
+        assert not manager.lock(2, "R1", LockMode.X).granted
+        result = manager.detect()
+        assert result.aborted
+        registry = telemetry.registry
+        assert counter_value(registry, "repro_txn_victims_total") == 1
+        victim = result.aborted[0]
+        assert victim not in telemetry.pending_waits()
+
+
+class TestDisabled:
+    def test_disabled_hooks_record_nothing(self):
+        telemetry = Telemetry(enabled=False)
+        manager = LockManager(listener=telemetry.on_event)
+        assert manager.lock(1, "R", LockMode.X).granted
+        assert not manager.lock(2, "R", LockMode.S).granted
+        telemetry.request(3, "R", LockMode.S)
+        telemetry.wait_timeout(2)
+        telemetry.finish(1)
+        telemetry.detection(manager.detect(), 0.001)
+        assert telemetry.registry.snapshot() == {
+            "counters": [], "gauges": [], "histograms": [],
+        }
+        assert telemetry.trace.total_started == 0
+
+    def test_disabled_registry_still_usable_directly(self):
+        # ServiceStats keeps counting through the same registry even
+        # when the event-stream hooks are off.
+        telemetry = Telemetry(enabled=False)
+        telemetry.registry.counter("repro_service_grants_total").inc()
+        assert (
+            telemetry.registry.get("repro_service_grants_total").value == 1
+        )

@@ -63,6 +63,8 @@ error     {"v": 1, "id": 7, "ok": false,
 | `dump` | — | versioned lock-table snapshot + paper notation `text` |
 | `log` | `limit?` | tail of the manager's event log |
 | `stats` | — | `ServiceStats` counters + live gauges |
+| `metrics` | — | full telemetry: registry snapshot `metrics`, Prometheus `text`, `enabled` |
+| `spans` | `limit?` | request-lifecycle span log: `total`, `open`, `spans` (see `docs/OBSERVABILITY.md`) |
 | `holding`, `deadlocked` | `tid` / — | per-transaction locks / any cycle present |
 | `goodbye` | — | clean detach (still sweeps the session's transactions) |
 
@@ -76,8 +78,15 @@ CLI entry points:
 
 ```
 python -m repro serve  --port 7411 --period 0.5 --lease 5 [--continuous]
-python -m repro remote report|graph|dump|stats|log|detect --port 7411
+python -m repro remote report|graph|dump|stats|metrics|log|detect --port 7411
+python -m repro top --port 7411 [--interval 1.0] [--once]
+python -m repro trace-export --port 7411 [--out spans.jsonl] [--limit N]
 ```
+
+`remote metrics` prints the Prometheus text exposition; `top` renders a
+refreshing operator dashboard from `metrics`/`stats`/`inspect`;
+`trace-export` dumps the span log as JSON-lines.  The full metric
+catalog and span schema live in `docs/OBSERVABILITY.md`.
 """
 
 

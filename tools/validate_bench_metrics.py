@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Validate ``repro.bench/1`` JSON-lines files (the ``--metrics-out``
+output) against the schema in :mod:`repro.obs.bench`.
+
+Usage::
+
+    PYTHONPATH=src python tools/validate_bench_metrics.py FILE [FILE...]
+
+Exits non-zero when any file is unreadable, empty, or contains a record
+violating the schema — CI runs this over the smoke benchmark's artifact
+so a drifting record format fails the build instead of silently
+producing unparseable history.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0,
+    os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+    ),
+)
+
+from repro.obs.bench import validate_file  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="validate repro.bench/1 JSON-lines metrics files"
+    )
+    parser.add_argument("files", nargs="+", metavar="FILE")
+    args = parser.parse_args(argv)
+
+    failed = False
+    for path in args.files:
+        count, errors = validate_file(path)
+        if errors:
+            failed = True
+            print("{}: INVALID ({} record(s))".format(path, count))
+            for error in errors:
+                print("  " + error)
+        else:
+            print("{}: OK ({} record(s))".format(path, count))
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
