@@ -27,6 +27,11 @@ The pieces:
 * :mod:`repro.check.races` — scripted two-thread schedules over the
   real :class:`~repro.lockmgr.concurrent.ConcurrentLockManager`,
   sequenced by events rather than sleeps (the wakeup/timeout race).
+* :mod:`repro.check.sharded` — the sharded-vs-monolithic equivalence
+  backend: the same programs through a
+  :class:`~repro.lockmgr.sharded.ShardedLockCore` and a monolithic
+  reference in lockstep, comparing grants, blocks, holdings and every
+  detection pass's outcome.
 * :mod:`repro.check.artifact` — failing schedules persist as compact
   seed+decision-list JSON artifacts that replay byte-for-byte and
   shrink by prefix.

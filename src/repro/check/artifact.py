@@ -85,6 +85,10 @@ def build_model(artifact: Artifact):
             continuous=artifact.continuous,
             faults=artifact.faults,
         )
+    if artifact.backend == "sharded":
+        from .sharded import EquivalenceModel
+
+        return EquivalenceModel(programs, continuous=artifact.continuous)
     raise ReproError(
         "unknown artifact backend {!r}".format(artifact.backend)
     )

@@ -307,6 +307,7 @@ class OracleStats:
     detection_checks: int = 0
     service_checks: int = 0
     span_checks: int = 0
+    equivalence_checks: int = 0
     failures: int = 0
 
     def absorb(self, other: "OracleStats") -> None:
@@ -314,4 +315,5 @@ class OracleStats:
         self.detection_checks += other.detection_checks
         self.service_checks += other.service_checks
         self.span_checks += other.span_checks
+        self.equivalence_checks += other.equivalence_checks
         self.failures += other.failures

@@ -31,6 +31,7 @@ from .schedule import (
     enumerate_schedules,
 )
 from .service import ServiceModel
+from .sharded import EquivalenceModel
 from .workload import generate_programs
 
 DEFAULT_BACKENDS = ("concurrent", "service")
@@ -88,11 +89,12 @@ class CheckReport:
                 ),
             ),
             "oracle checks: {} state, {} detection, {} service, "
-            "{} span".format(
+            "{} span, {} equivalence".format(
                 stats.state_checks,
                 stats.detection_checks,
                 stats.service_checks,
                 stats.span_checks,
+                stats.equivalence_checks,
             ),
             "trace digest: {}".format(self.trace_digest),
         ]
@@ -128,6 +130,8 @@ def _build(backend: str, config: CheckConfig, workload_seed: int,
         return ServiceModel(
             programs, continuous=continuous, faults=config.faults
         )
+    if backend == "sharded":
+        return EquivalenceModel(programs, continuous=continuous)
     raise ValueError("unknown backend {!r}".format(backend))
 
 

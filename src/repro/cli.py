@@ -233,17 +233,19 @@ def cmd_serve(args) -> int:
         continuous=args.continuous,
         period=None if args.period <= 0 else args.period,
         lease=args.lease,
+        shards=args.shards,
     )
 
     async def run() -> None:
         await server.start(args.host, args.port)
         print(
             "lock service listening on {}:{} "
-            "(period={}, lease={}s)".format(
+            "(period={}, lease={}s, shards={})".format(
                 server.host,
                 server.port,
                 server.period if server.period is not None else "off",
                 server.lease,
+                server.core.shards,
             ),
             flush=True,
         )
@@ -513,6 +515,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="use the continuous companion detector",
     )
     serve_cmd.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="lock table shards (default: REPRO_SHARDS or 1; "
+        "--continuous forces 1)",
+    )
+    serve_cmd.add_argument(
         "--cost",
         action="append",
         default=[],
@@ -584,7 +593,7 @@ def build_parser() -> argparse.ArgumentParser:
     check_cmd.add_argument(
         "--backends",
         nargs="*",
-        choices=["concurrent", "service", "races"],
+        choices=["concurrent", "service", "races", "sharded"],
         help="which models to explore (default: concurrent service)",
     )
     check_cmd.add_argument("--actors", type=int, default=3)

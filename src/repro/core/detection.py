@@ -84,6 +84,10 @@ class DetectionResult:
     repositions: List[Repositioned] = field(default_factory=list)
     resolutions: List[Resolution] = field(default_factory=list)
     stats: DetectionStats = field(default_factory=DetectionStats)
+    #: Set by the sharded manager's cross-shard pass (a
+    #: :class:`repro.lockmgr.sharded.ShardedPass`); None for a run on a
+    #: monolithic table.
+    sharding: Optional[object] = None
 
     @property
     def deadlock_found(self) -> bool:

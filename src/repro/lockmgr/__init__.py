@@ -11,6 +11,14 @@ from .introspect import (
 )
 from .lock_table import LockTable
 from .manager import LockManager
+from .sharded import (
+    MergedTableView,
+    ShardedLockCore,
+    ShardedLockManager,
+    ShardedPass,
+    resolve_shard_count,
+    shard_of,
+)
 from .scheduler import (
     RequestOutcome,
     conversion_grantable,
@@ -30,8 +38,12 @@ __all__ = [
     "Granted",
     "LockManager",
     "LockTable",
+    "MergedTableView",
     "Repositioned",
     "RequestOutcome",
+    "ShardedLockCore",
+    "ShardedLockManager",
+    "ShardedPass",
     "conversion_grantable",
     "explain_block",
     "release_all",
@@ -40,6 +52,8 @@ __all__ = [
     "render_report",
     "reposition_queue",
     "request",
+    "resolve_shard_count",
+    "shard_of",
     "sweep",
     "wait_graph_summary",
 ]

@@ -6,12 +6,14 @@ calling thread* until the lock is granted, the wait times out, or a
 deadlock detection pass aborts the caller (raising
 :class:`~repro.core.errors.TransactionAborted`).
 
-Design: one big mutex protects the lock table (the paper's algorithms
-are fast, fine-grained latching would buy nothing here), one condition
-variable per blocked transaction carries wake-ups, and an optional
-daemon thread runs the periodic detector every ``period`` seconds.  With
+Since the sharding refactor this facade is the **1-shard special case**
+of :class:`~repro.lockmgr.sharded.ShardedLockManager`: one mutex (the
+single shard's) protects the lock table, one condition variable per
+blocked transaction carries wake-ups, and an optional daemon thread
+runs the periodic detector every ``period`` seconds.  With
 ``continuous=True`` detection instead happens inline on each block, as
-in the companion algorithm.
+in the companion algorithm.  Callers who want per-resource parallelism
+construct ``ShardedLockManager(shards=N)`` directly.
 
 Strict 2PL is preserved: threads release everything at once via
 ``commit``/``abort``.
@@ -20,22 +22,13 @@ Strict 2PL is preserved: threads release everything at once via
 from __future__ import annotations
 
 import threading
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Optional
 
-from ..core.detection import DetectionResult
-from ..core.errors import TransactionAborted
-from ..core.modes import LockMode
 from ..core.victim import CostTable
-from .manager import LockManager
+from .sharded import ShardedLockCore, ShardedLockManager
 
 
-def _default_wait(
-    condition: threading.Condition, timeout: Optional[float]
-) -> bool:
-    return condition.wait(timeout=timeout)
-
-
-class ConcurrentLockManager:
+class ConcurrentLockManager(ShardedLockManager):
     """Blocking, thread-safe lock acquisition with deadlock handling.
 
     ``wait_fn`` is the facade's single interleaving point: it is called
@@ -56,130 +49,28 @@ class ConcurrentLockManager:
             Callable[[threading.Condition, Optional[float]], bool]
         ] = None,
     ) -> None:
-        self._manager = LockManager(costs=costs, continuous=continuous)
-        self._mutex = threading.Lock()
-        self._wakeups: Dict[int, threading.Condition] = {}
-        self._wait_fn = wait_fn if wait_fn is not None else _default_wait
-        self._stop = threading.Event()
-        self._detector_thread: Optional[threading.Thread] = None
-        if period is not None:
-            self._detector_thread = threading.Thread(
-                target=self._detector_loop,
-                args=(period,),
-                name="repro-deadlock-detector",
-                daemon=True,
-            )
-            self._detector_thread.start()
+        super().__init__(
+            shards=1,
+            costs=costs,
+            continuous=continuous,
+            period=period,
+            wait_fn=wait_fn,
+        )
 
-    # -- locking -----------------------------------------------------------
+    # Compatibility aliases: tests (and facade subclasses) reach into
+    # the pre-sharding attributes.
 
-    def acquire(
-        self,
-        tid: int,
-        rid: str,
-        mode: LockMode,
-        timeout: Optional[float] = None,
-    ) -> bool:
-        """Acquire (or convert to) ``mode`` on ``rid``, blocking the
-        calling thread until granted.
+    @property
+    def _manager(self) -> ShardedLockCore:
+        """The single-shard core (the old embedded ``LockManager``)."""
+        return self._core
 
-        Returns False only on timeout (the request stays queued; call
-        again or abort).  Raises :class:`TransactionAborted` when a
-        detection pass chose the caller as victim while it waited.
-        """
-        with self._mutex:
-            if self._manager.was_aborted(tid):
-                raise TransactionAborted(tid)
-            if not self._manager.is_blocked(tid):
-                # Not already waiting: issue the request.  (A re-call
-                # after a timed-out acquire finds the transaction still
-                # blocked and simply resumes waiting below.)
-                outcome = self._manager.lock(tid, rid, mode)
-                if outcome.granted:
-                    return True
-                if self._manager.last_detection is not None:
-                    self._service(self._manager.last_detection)
-                    if self._manager.was_aborted(tid):
-                        raise TransactionAborted(tid)
-                    if not self._manager.is_blocked(tid):
-                        return True
-            condition = self._wakeups.setdefault(
-                tid, threading.Condition(self._mutex)
-            )
-            while True:
-                woken = self._wait_fn(condition, timeout)
-                # State first, wait result second: a wake-up racing the
-                # timeout must never report a timeout after the grant
-                # (the caller would believe it holds nothing while the
-                # lock table says it does) nor swallow an abort.
-                if self._manager.was_aborted(tid):
-                    raise TransactionAborted(tid)
-                if not self._manager.is_blocked(tid):
-                    return True
-                if not woken:
-                    return False  # timed out; request still queued
+    @property
+    def _mutex(self):
+        """The single shard's (re-entrant) mutex."""
+        return self._core.shards[0].mutex
 
-    def commit(self, tid: int) -> None:
-        """Release everything ``tid`` holds and wake the grantees."""
-        with self._mutex:
-            grants = self._manager.finish(tid)
-            self._wakeups.pop(tid, None)
-            self._notify(event.tid for event in grants)
-
-    def abort(self, tid: int) -> None:
-        """Abort ``tid``: identical release path (strict 2PL)."""
-        self.commit(tid)
-
-    # -- detection ------------------------------------------------------------
-
-    def detect(self) -> DetectionResult:
-        """Run one periodic pass now (also used by the daemon thread)."""
-        with self._mutex:
-            result = self._manager.detect()
-            self._service(result)
-            return result
-
-    def _detector_loop(self, period: float) -> None:
-        while not self._stop.wait(period):
-            self.detect()
-
-    def _service(self, result: DetectionResult) -> None:
-        """Wake victims (to observe their abort) and grantees.  Caller
-        holds the mutex."""
-        self._notify(result.aborted)
-        self._notify(event.tid for event in result.grants)
-
-    def _notify(self, tids) -> None:
-        for tid in tids:
-            condition = self._wakeups.get(tid)
-            if condition is not None:
-                condition.notify_all()
-
-    # -- lifecycle ---------------------------------------------------------------
-
-    def close(self) -> None:
-        """Stop the background detector thread (if any)."""
-        self._stop.set()
-        if self._detector_thread is not None:
-            self._detector_thread.join(timeout=5.0)
-
-    def __enter__(self) -> "ConcurrentLockManager":
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()
-
-    # -- introspection ----------------------------------------------------------------
-
-    def holding(self, tid: int) -> Dict[str, LockMode]:
-        with self._mutex:
-            return self._manager.holding(tid)
-
-    def deadlocked(self) -> bool:
-        with self._mutex:
-            return self._manager.deadlocked()
-
-    def snapshot(self) -> List[str]:
-        """Render the table under the mutex (debugging)."""
-        with self._mutex:
-            return str(self._manager).splitlines()
+    @property
+    def _wakeups(self) -> Dict[int, threading.Condition]:
+        """The single shard's per-transaction wait conditions."""
+        return self._core.shards[0].wakeups

@@ -59,6 +59,22 @@ class LockTable:
         if state is not None and state.is_free:
             del self._resources[rid]
 
+    def install(self, state: ResourceState) -> None:
+        """Adopt a fully-built state (merge and deserialize paths):
+        store it under its rid and rebuild the transaction-side indexes
+        from its holder list and queue."""
+        if state.rid in self._resources:
+            raise LockTableError(
+                "resource {} is already present".format(state.rid)
+            )
+        self._resources[state.rid] = state
+        for holder in state.holders:
+            self.note_holder(holder.tid, state.rid)
+            if holder.is_blocked:
+                self.note_blocked(holder.tid, state.rid, in_queue=False)
+        for waiter in state.queue:
+            self.note_blocked(waiter.tid, state.rid, in_queue=True)
+
     def resources(self) -> Iterator[ResourceState]:
         """All locked resources (iteration order = first-lock order)."""
         return iter(self._resources.values())

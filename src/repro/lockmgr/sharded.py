@@ -1,0 +1,776 @@
+"""Sharded lock manager: a partitioned RST with a cross-shard detector.
+
+The paper's periodic scheme deliberately decouples *blocking* (RST
+queue maintenance at request time, Section 3) from *detection* (a
+periodic pass that rebuilds the H/W-TWBG from RST/TST snapshots,
+Section 5).  Nothing in the request path ever looks at another
+resource, so per-resource state does not need a global mutex — only
+the detector needs a whole-system view, and it only needs one that is
+*consistent enough* for cycles (which are stable: a deadlocked
+transaction stays deadlocked until a resolution acts).
+
+This module exploits that split:
+
+* :class:`ShardedLockCore` partitions the lock table by a stable hash
+  of the resource id into N independent shards — each owns its
+  :class:`~repro.lockmgr.lock_table.LockTable`, its re-entrant mutex,
+  its mutation epoch and its waiter conditions — with a router in
+  front and transaction-side state (aborted set, per-transaction
+  shard-affinity map, shared cost table) kept under one small lock.
+* The periodic pass snapshots each shard briefly *in shard order*
+  (epoch-stamped deep copies), merges the per-shard wait edges into
+  one global RST ordered by the global first-lock sequence, runs the
+  **unchanged** Section-5 machinery (:class:`PeriodicDetector`: TST
+  walk, TRRP, TDR-1/TDR-2) on the merged snapshot, and routes the
+  resolutions back to the owning shards — confirming each victim is
+  still blocked where the snapshot saw it and re-validating each
+  TDR-2 repositioning against the live queue (stale ones are skipped
+  and counted, never guessed at).
+* :class:`ShardedLockManager` is the blocking, thread-safe facade over
+  the core (same surface as
+  :class:`~repro.lockmgr.concurrent.ConcurrentLockManager`, which is
+  now its 1-shard special case).
+
+Why routing back is sound: every cycle vertex is blocked, so a victim
+is a transaction parked in ``acquire`` — marking it aborted and
+releasing its entries under the owning shards' mutexes can never yank
+locks from under a running thread.  A repositioning that still matches
+the head of the live queue is a pure reorder of waiters, which is
+exactly what TDR-2 proved safe on the snapshot.
+
+Lock ordering (deadlock freedom of the manager itself): a shard mutex
+may be held when the transaction-side lock is taken, never the other
+way round; shard mutexes are only ever taken one at a time (the
+detector visits shards sequentially); the detector serialization lock
+is taken before any shard mutex.
+
+Equivalence with the monolithic manager: the Step-2 walk visits
+resources in the RST's first-lock order, so the merged snapshot must
+present resources in the *global* first-lock order, not shard
+concatenation order — the router keeps a global sequence number per
+resource, re-assigned when a resource re-enters a shard table (the
+exact semantics of a Python dict delete + re-insert, which is what the
+monolithic table does via ``drop_if_free``).  With that ordering the
+merged RST is byte-for-byte the monolithic RST, so a quiescent pass
+finds the same cycles, chooses the same victims and applies the same
+repositionings — the property the sharded-vs-monolithic equivalence
+oracle in :mod:`repro.check.sharded` pins down.
+
+``REPRO_SHARDS`` in the environment sets the default shard count for
+components constructed with ``shards=None`` (the CI variant runs the
+whole suite at 4 shards this way).  Continuous detection needs a
+rooted check on every block — a whole-graph operation — so it is only
+supported single-shard; a continuous manager silently resolves to one
+shard rather than failing under an environment-driven default.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import zlib
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Callable, Dict, Iterator, List, Optional, Set
+
+from ..core.errors import (
+    LockTableError,
+    TransactionAborted,
+    UnknownResourceError,
+)
+from ..core.hw_twbg import HWTWBG, build_graph
+from ..core.modes import LockMode
+from ..core.requests import ResourceState
+from ..core.victim import CostTable, RepositionCandidate
+from .events import Aborted, Granted, Repositioned
+from .lock_table import LockTable
+from . import scheduler
+
+#: Environment variable consulted when ``shards=None``.
+SHARDS_ENV = "REPRO_SHARDS"
+
+
+def env_default_shards() -> int:
+    """The environment-driven default shard count (1 when unset)."""
+    raw = os.environ.get(SHARDS_ENV, "").strip()
+    if not raw:
+        return 1
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 1
+
+
+def resolve_shard_count(
+    shards: Optional[int], continuous: bool = False
+) -> int:
+    """Resolve a ``shards`` argument: ``None`` means the environment
+    default, and continuous detection forces a single shard (the rooted
+    at-block check is a whole-graph operation)."""
+    count = env_default_shards() if shards is None else max(1, int(shards))
+    if continuous:
+        return 1
+    return count
+
+
+def shard_of(rid: str, shards: int) -> int:
+    """Stable router: crc32 of the resource id, modulo the shard count."""
+    if shards <= 1:
+        return 0
+    return zlib.crc32(rid.encode("utf-8")) % shards
+
+
+def _default_wait(
+    condition: threading.Condition, timeout: Optional[float]
+) -> bool:
+    return condition.wait(timeout=timeout)
+
+
+class LockShard:
+    """One partition: a lock table, its mutex, epoch and waiter conditions.
+
+    The mutex is re-entrant so an injected ``wait_fn`` (the explorer's
+    interleaving seam) may call back into the manager while the facade
+    already holds the shard.  ``epoch`` counts mutations; the detector
+    stamps its snapshots with it to measure drift between snapshot and
+    resolution time.
+    """
+
+    __slots__ = ("index", "table", "mutex", "epoch", "wakeups")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.table = LockTable()
+        self.mutex = threading.RLock()
+        self.epoch = 0
+        self.wakeups: Dict[int, threading.Condition] = {}
+
+
+@dataclass
+class ShardedPass:
+    """What one cross-shard periodic pass did, beyond the detection
+    result itself (attached as ``DetectionResult.sharding``)."""
+
+    shards: int
+    #: Seconds each shard's snapshot held that shard's mutex.
+    snapshot_seconds: List[float] = field(default_factory=list)
+    #: Resources in the merged snapshot.
+    merged_resources: int = 0
+    #: Cycles whose blocked resources span more than one shard.
+    cross_shard_cycles: int = 0
+    #: Victims no longer blocked where the snapshot saw them (spared).
+    stale_victims: int = 0
+    #: TDR-2 repositionings whose live queue no longer matched.
+    stale_repositions: int = 0
+    #: Shards mutated between their snapshot and the resolution phase.
+    epoch_drift: int = 0
+
+
+class MergedTableView:
+    """A read-only, LockTable-shaped view across every shard.
+
+    Serves the introspection surface (oracles, admin payloads, the
+    structural verifier) when the core has more than one shard; all
+    reads collect per-shard state briefly under each shard's mutex and
+    present resources in global first-lock order, mirroring the
+    iteration order a monolithic table would have.  Mutation goes
+    through the core, never through this view.
+    """
+
+    def __init__(self, core: "ShardedLockCore") -> None:
+        self._core = core
+
+    def _states(self) -> List[ResourceState]:
+        states: List[ResourceState] = []
+        for shard in self._core.shards:
+            with shard.mutex:
+                states.extend(shard.table.resources())
+        order = self._core.sequence_map()
+        fallback = len(order)
+        states.sort(key=lambda state: order.get(state.rid, fallback))
+        return states
+
+    # -- resource access ------------------------------------------------
+
+    def resources(self) -> Iterator[ResourceState]:
+        return iter(self._states())
+
+    def resource_ids(self) -> List[str]:
+        return [state.rid for state in self._states()]
+
+    def existing(self, rid: str) -> ResourceState:
+        return self._core.shard_for(rid).table.existing(rid)
+
+    def __contains__(self, rid: str) -> bool:
+        return rid in self._core.shard_for(rid).table
+
+    def __len__(self) -> int:
+        return sum(len(shard.table) for shard in self._core.shards)
+
+    # -- transaction-side indexes ---------------------------------------
+
+    def held_by(self, tid: int) -> Set[str]:
+        held: Set[str] = set()
+        for shard in self._core.shards:
+            held.update(shard.table.held_by(tid))
+        return held
+
+    def blocked_at(self, tid: int) -> Optional[str]:
+        for shard in self._core.shards:
+            rid = shard.table.blocked_at(tid)
+            if rid is not None:
+                return rid
+        return None
+
+    def is_blocked(self, tid: int) -> bool:
+        return self.blocked_at(tid) is not None
+
+    def blocked_in_queue(self, tid: int) -> bool:
+        for shard in self._core.shards:
+            if shard.table.is_blocked(tid):
+                return shard.table.blocked_in_queue(tid)
+        return False
+
+    def blocked_tids(self) -> List[int]:
+        tids: List[int] = []
+        for shard in self._core.shards:
+            tids.extend(shard.table.blocked_tids())
+        return tids
+
+    def active_tids(self) -> Set[int]:
+        tids: Set[int] = set()
+        for shard in self._core.shards:
+            tids.update(shard.table.active_tids())
+        return tids
+
+    # -- presentation ----------------------------------------------------
+
+    def snapshot(self) -> List[ResourceState]:
+        return [state.copy() for state in self._states()]
+
+    def __str__(self) -> str:
+        return "\n".join(str(state) for state in self._states())
+
+
+class ShardedLockCore:
+    """The partitioned lock manager core: LockManager's surface, N shards.
+
+    Drop-in for :class:`~repro.lockmgr.manager.LockManager` wherever the
+    manager is driven by one writer at a time (the service layer, the
+    explorer); under free threading each operation synchronizes on the
+    owning shard only.  With ``shards=1`` every code path below reduces
+    to the monolithic manager's — same table, same detectors, same
+    events in the same order — which is what keeps the existing test
+    suite binding.
+
+    ``listener`` (when used multi-shard) must be thread-safe: events
+    from different shards may be published concurrently.
+    """
+
+    def __init__(
+        self,
+        shards: Optional[int] = None,
+        costs: Optional[CostTable] = None,
+        continuous: bool = False,
+        listener: Optional[Callable[[object], None]] = None,
+    ) -> None:
+        from ..core.continuous import ContinuousDetector
+        from ..core.detection import PeriodicDetector
+
+        count = resolve_shard_count(shards, continuous=continuous)
+        self.shards: List[LockShard] = [LockShard(i) for i in range(count)]
+        self.costs = costs if costs is not None else CostTable()
+        self.continuous = continuous
+        self.log: List[object] = []
+        self.listener = listener
+        self.last_detection = None
+        self._aborted: Set[int] = set()
+        #: tid -> indexes of the shards the transaction has touched;
+        #: bounds every transaction-side scan to the shards that can
+        #: possibly know the transaction.
+        self._affinity: Dict[int, Set[int]] = {}
+        #: rid -> global first-lock sequence (see module docstring).
+        self._seq: Dict[str, int] = {}
+        self._next_seq = 0
+        self._txn_lock = threading.Lock()
+        self._detect_lock = threading.RLock()
+        self._periodic = (
+            PeriodicDetector(self.shards[0].table, self.costs)
+            if count == 1
+            else None
+        )
+        self._continuous = (
+            ContinuousDetector(self.shards[0].table, self.costs)
+            if continuous
+            else None
+        )
+
+    # -- routing ---------------------------------------------------------
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.shards)
+
+    def shard_index(self, rid: str) -> int:
+        """Which shard owns ``rid`` (stable across the core's lifetime)."""
+        return shard_of(rid, len(self.shards))
+
+    def shard_for(self, rid: str) -> LockShard:
+        return self.shards[self.shard_index(rid)]
+
+    def sequence_map(self) -> Dict[str, int]:
+        """Copy of the global first-lock order (rid -> sequence)."""
+        with self._txn_lock:
+            return dict(self._seq)
+
+    @property
+    def table(self):
+        """The RST: the real table single-shard, a merged read-only view
+        otherwise."""
+        if len(self.shards) == 1:
+            return self.shards[0].table
+        return MergedTableView(self)
+
+    # -- the locking surface ---------------------------------------------
+
+    def lock(self, tid: int, rid: str, mode: LockMode) -> scheduler.RequestOutcome:
+        """Request (or convert to) ``mode`` on ``rid`` for ``tid``; the
+        sharded counterpart of :meth:`LockManager.lock`."""
+        shard = self.shard_for(rid)
+        with shard.mutex:
+            with self._txn_lock:
+                if tid in self._aborted:
+                    raise LockTableError(
+                        "transaction {} was aborted and cannot lock".format(
+                            tid
+                        )
+                    )
+                if rid not in shard.table:
+                    # First lock (or re-lock after drop_if_free): the
+                    # resource re-enters the global iteration order at
+                    # the end, exactly like a dict delete + re-insert.
+                    self._seq[rid] = self._next_seq
+                    self._next_seq += 1
+                self._affinity.setdefault(tid, set()).add(shard.index)
+            blocked_rid = self.blocked_at(tid)
+            if blocked_rid is not None and (
+                self.shard_index(blocked_rid) != shard.index
+            ):
+                # Axiom 1 across shards: the shard table would only
+                # catch a second wait registered on *itself*.
+                raise LockTableError(
+                    "transaction {} is already blocked at {} and cannot "
+                    "also wait at {}".format(tid, blocked_rid, rid)
+                )
+            outcome = scheduler.request(shard.table, tid, rid, mode)
+            shard.epoch += 1
+            self._publish(outcome.event)
+            self.last_detection = None
+            if self._continuous is not None and not outcome.granted:
+                self.last_detection = self._continuous.on_block(tid)
+                self._absorb(self.last_detection)
+            return outcome
+
+    def finish(self, tid: int) -> List[Granted]:
+        """End ``tid`` (commit or abort): release everything it holds or
+        waits for on every shard it touched, strict 2PL."""
+        with self._txn_lock:
+            indexes = sorted(self._affinity.pop(tid, ()))
+            self._aborted.discard(tid)
+        grants: List[Granted] = []
+        for index in indexes:
+            shard = self.shards[index]
+            with shard.mutex:
+                grants.extend(scheduler.release_all(shard.table, tid))
+                shard.epoch += 1
+        self.costs.forget(tid)
+        self._publish(*grants)
+        return grants
+
+    # -- deadlock handling ------------------------------------------------
+
+    def detect(self):
+        """One periodic detection-resolution pass over every shard."""
+        with self._detect_lock:
+            if self._periodic is not None:
+                # Single shard: the monolithic fast path mutates the
+                # real table, so it runs under that table's mutex — the
+                # whole-pass stall the multi-shard protocol exists to
+                # avoid.
+                shard = self.shards[0]
+                with shard.mutex:
+                    result = self._periodic.run()
+                    if result.deadlock_found:
+                        shard.epoch += 1
+                    self._absorb(result)
+                    return result
+            return self._detect_sharded()
+
+    def _detect_sharded(self):
+        from ..core.detection import DetectionResult, PeriodicDetector
+
+        info = ShardedPass(
+            shards=len(self.shards),
+            snapshot_seconds=[0.0] * len(self.shards),
+        )
+        # Phase 1 — snapshot: lock each shard briefly, in shard order.
+        states: List[ResourceState] = []
+        epochs: List[int] = []
+        for shard in self.shards:
+            started = perf_counter()
+            with shard.mutex:
+                states.extend(shard.table.snapshot())
+                epochs.append(shard.epoch)
+            info.snapshot_seconds[shard.index] = perf_counter() - started
+        # Phase 2 — merge: one RST in global first-lock order.
+        order = self.sequence_map()
+        fallback = len(order)
+        states.sort(key=lambda state: order.get(state.rid, fallback))
+        merged = LockTable()
+        for state in states:
+            merged.install(state)
+        info.merged_resources = len(states)
+        blocked_at_snapshot = {
+            tid: merged.blocked_at(tid) for tid in merged.blocked_tids()
+        }
+        # Phase 3 — detect: the unchanged Section-5 machinery.
+        staged = PeriodicDetector(merged, self.costs).run()
+        for resolution in staged.resolutions:
+            rids = {
+                blocked_at_snapshot.get(tid) for tid in resolution.cycle
+            } - {None}
+            if len({self.shard_index(rid) for rid in rids}) > 1:
+                info.cross_shard_cycles += 1
+        info.epoch_drift = sum(
+            1
+            for shard, stamped in zip(self.shards, epochs)
+            if shard.epoch != stamped
+        )
+        # Phase 4 — resolve: route everything back to the owning shards.
+        result = DetectionResult(
+            spared=list(staged.spared),
+            resolutions=list(staged.resolutions),
+            stats=staged.stats,
+            sharding=info,
+        )
+        self._apply_staged(staged, blocked_at_snapshot, result, info)
+        for tid in result.aborted:
+            self._publish(Aborted(tid, "deadlock victim"))
+        self._publish(*result.repositions)
+        self._publish(*result.grants)
+        return result
+
+    def _apply_staged(self, staged, blocked_at_snapshot, result, info):
+        """Replay the staged resolutions against the live shards, in the
+        order the detector produced them: repositionings (Step 2), then
+        victim releases (Step 3), then change-list sweeps."""
+        applied_rids: List[str] = []
+        for resolution in staged.resolutions:
+            chosen = resolution.chosen
+            if not isinstance(chosen, RepositionCandidate):
+                continue
+            shard = self.shard_for(chosen.rid)
+            with shard.mutex:
+                try:
+                    scheduler.reposition_queue(
+                        shard.table, chosen.rid,
+                        list(chosen.av), list(chosen.st),
+                    )
+                except (LockTableError, UnknownResourceError):
+                    # The live queue moved on since the snapshot; the
+                    # repositioning no longer matches and is dropped.
+                    info.stale_repositions += 1
+                    continue
+                shard.epoch += 1
+            applied_rids.append(chosen.rid)
+            result.repositions.append(
+                Repositioned(rid=chosen.rid, delayed=tuple(chosen.st))
+            )
+        for tid in staged.aborted:
+            snap_rid = blocked_at_snapshot.get(tid)
+            confirmed = False
+            if snap_rid is not None:
+                shard = self.shard_for(snap_rid)
+                with shard.mutex:
+                    if shard.table.blocked_at(tid) == snap_rid:
+                        with self._txn_lock:
+                            already = tid in self._aborted
+                            if not already:
+                                self._aborted.add(tid)
+                        confirmed = not already
+            if not confirmed:
+                # Granted (or finished) since the snapshot — no longer
+                # deadlocked, so aborting it would be waste: spare it,
+                # exactly like Step 3 spares victims an earlier release
+                # already granted.
+                info.stale_victims += 1
+                result.spared.append(tid)
+                continue
+            with self._txn_lock:
+                indexes = sorted(self._affinity.get(tid, ()))
+            for index in indexes:
+                shard = self.shards[index]
+                with shard.mutex:
+                    result.grants.extend(
+                        scheduler.release_all(shard.table, tid)
+                    )
+                    shard.epoch += 1
+            self.costs.forget(tid)
+            result.aborted.append(tid)
+        for rid in applied_rids:
+            shard = self.shard_for(rid)
+            with shard.mutex:
+                if rid in shard.table:
+                    events = scheduler.sweep(shard.table, rid)
+                    if events:
+                        shard.epoch += 1
+                    result.grants.extend(events)
+
+    def _absorb(self, result) -> None:
+        for tid in result.aborted:
+            with self._txn_lock:
+                self._aborted.add(tid)
+            self._publish(Aborted(tid, "deadlock victim"))
+        self._publish(*result.repositions)
+        self._publish(*result.grants)
+
+    def _publish(self, *events) -> None:
+        for event in events:
+            self.log.append(event)
+            if self.listener is not None:
+                self.listener(event)
+
+    # -- introspection ----------------------------------------------------
+
+    def graph(self) -> HWTWBG:
+        """The current global H/W-TWBG, built from a merged snapshot."""
+        return build_graph(self.table.snapshot())
+
+    def blocked_at(self, tid: int) -> Optional[str]:
+        with self._txn_lock:
+            indexes = sorted(self._affinity.get(tid, ()))
+        for index in indexes:
+            rid = self.shards[index].table.blocked_at(tid)
+            if rid is not None:
+                return rid
+        return None
+
+    def is_blocked(self, tid: int) -> bool:
+        return self.blocked_at(tid) is not None
+
+    def was_aborted(self, tid: int) -> bool:
+        return tid in self._aborted
+
+    def holding(self, tid: int) -> Dict[str, LockMode]:
+        with self._txn_lock:
+            indexes = sorted(self._affinity.get(tid, ()))
+        held: Dict[str, LockMode] = {}
+        for index in indexes:
+            shard = self.shards[index]
+            with shard.mutex:
+                for rid in shard.table.held_by(tid):
+                    entry = shard.table.existing(rid).holder_entry(tid)
+                    if entry is not None:
+                        held[rid] = entry.granted
+        return held
+
+    def deadlocked(self) -> bool:
+        return self.graph().has_cycle()
+
+    def shard_summaries(self) -> List[Dict[str, int]]:
+        """Per-shard load figures for admin payloads and metrics."""
+        rows = []
+        for shard in self.shards:
+            with shard.mutex:
+                rows.append({
+                    "shard": shard.index,
+                    "resources": len(shard.table),
+                    "blocked": len(shard.table.blocked_tids()),
+                    "queued": sum(
+                        len(state.queue)
+                        for state in shard.table.resources()
+                    ),
+                    "epoch": shard.epoch,
+                })
+        return rows
+
+    def __str__(self) -> str:
+        return str(self.table)
+
+
+class ShardedLockManager:
+    """Blocking, thread-safe front end over :class:`ShardedLockCore`.
+
+    The surface of
+    :class:`~repro.lockmgr.concurrent.ConcurrentLockManager` —
+    ``acquire`` parks the calling thread on the owning shard's
+    condition until grant, timeout or victimization
+    (:class:`TransactionAborted`) — but contention is per shard:
+    threads touching resources on different shards never contend on a
+    mutex, which is the whole point of the refactor.
+
+    ``wait_fn`` remains the single interleaving seam (see the
+    ConcurrentLockManager docstring); it is called with the *owning
+    shard's* mutex held.
+    """
+
+    def __init__(
+        self,
+        shards: Optional[int] = None,
+        costs: Optional[CostTable] = None,
+        continuous: bool = False,
+        period: Optional[float] = None,
+        wait_fn: Optional[
+            Callable[[threading.Condition, Optional[float]], bool]
+        ] = None,
+        listener: Optional[Callable[[object], None]] = None,
+    ) -> None:
+        self._core = ShardedLockCore(
+            shards=shards,
+            costs=costs,
+            continuous=continuous,
+            listener=listener,
+        )
+        self._wait_fn = wait_fn if wait_fn is not None else _default_wait
+        #: tid -> the shard whose condition the transaction waits on.
+        self._wait_shard: Dict[int, LockShard] = {}
+        self._stop = threading.Event()
+        self._detector_thread: Optional[threading.Thread] = None
+        if period is not None:
+            self._detector_thread = threading.Thread(
+                target=self._detector_loop,
+                args=(period,),
+                name="repro-deadlock-detector",
+                daemon=True,
+            )
+            self._detector_thread.start()
+
+    @property
+    def shard_count(self) -> int:
+        return self._core.shard_count
+
+    # -- locking -----------------------------------------------------------
+
+    def acquire(
+        self,
+        tid: int,
+        rid: str,
+        mode: LockMode,
+        timeout: Optional[float] = None,
+    ) -> bool:
+        """Acquire (or convert to) ``mode`` on ``rid``, blocking the
+        calling thread until granted.  Returns False only on timeout
+        (the request stays queued); raises :class:`TransactionAborted`
+        when a detection pass victimized the caller."""
+        core = self._core
+        shard = core.shard_for(rid)
+        with shard.mutex:
+            if core.was_aborted(tid):
+                raise TransactionAborted(tid)
+            if not core.is_blocked(tid):
+                outcome = core.lock(tid, rid, mode)
+                if outcome.granted:
+                    return True
+                if core.last_detection is not None:
+                    self._service(core.last_detection)
+                    if core.was_aborted(tid):
+                        raise TransactionAborted(tid)
+                    if not core.is_blocked(tid):
+                        return True
+            condition = shard.wakeups.setdefault(
+                tid, threading.Condition(shard.mutex)
+            )
+            self._wait_shard[tid] = shard
+            while True:
+                woken = self._wait_fn(condition, timeout)
+                # State first, wait result second: a wake-up racing the
+                # timeout must never report a timeout after the grant
+                # nor swallow an abort.
+                if core.was_aborted(tid):
+                    raise TransactionAborted(tid)
+                if not core.is_blocked(tid):
+                    return True
+                if not woken:
+                    return False  # timed out; request still queued
+
+    def commit(self, tid: int) -> None:
+        """Release everything ``tid`` holds and wake the grantees."""
+        grants = self._core.finish(tid)
+        shard = self._wait_shard.pop(tid, None)
+        if shard is None:
+            shard = self._find_wait_shard(tid)
+        if shard is not None:
+            with shard.mutex:
+                shard.wakeups.pop(tid, None)
+        self._notify(event.tid for event in grants)
+
+    def abort(self, tid: int) -> None:
+        """Abort ``tid``: identical release path (strict 2PL)."""
+        self.commit(tid)
+
+    # -- detection ---------------------------------------------------------
+
+    def detect(self):
+        """Run one cross-shard periodic pass now (also what the daemon
+        thread runs every ``period`` seconds)."""
+        result = self._core.detect()
+        self._service(result)
+        return result
+
+    def _detector_loop(self, period: float) -> None:
+        while not self._stop.wait(period):
+            self.detect()
+
+    def _service(self, result) -> None:
+        """Wake victims (to observe their abort) and grantees."""
+        self._notify(result.aborted)
+        self._notify(event.tid for event in result.grants)
+
+    def _notify(self, tids) -> None:
+        for tid in tids:
+            shard = self._wait_shard.get(tid)
+            if shard is None:
+                shard = self._find_wait_shard(tid)
+            if shard is None:
+                continue
+            condition = shard.wakeups.get(tid)
+            if condition is not None:
+                with shard.mutex:
+                    condition.notify_all()
+
+    def _find_wait_shard(self, tid: int) -> Optional[LockShard]:
+        """Fallback lookup for conditions registered outside
+        :meth:`acquire` (facade subclasses in tests do this)."""
+        for shard in self._core.shards:
+            if tid in shard.wakeups:
+                return shard
+        return None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop the background detector thread (if any)."""
+        self._stop.set()
+        if self._detector_thread is not None:
+            self._detector_thread.join(timeout=5.0)
+
+    def __enter__(self) -> "ShardedLockManager":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- introspection -----------------------------------------------------
+
+    def holding(self, tid: int) -> Dict[str, LockMode]:
+        return self._core.holding(tid)
+
+    def deadlocked(self) -> bool:
+        return self._core.deadlocked()
+
+    def shard_summaries(self) -> List[Dict[str, int]]:
+        return self._core.shard_summaries()
+
+    def snapshot(self) -> List[str]:
+        """Render the merged table (debugging)."""
+        return str(self._core).splitlines()

@@ -260,6 +260,36 @@ class Telemetry:
             "repro_detector_last_run",
             help="virtual-clock time of the most recent pass",
         ).set(self._clock())
+        sharding = getattr(result, "sharding", None)
+        if sharding is not None:
+            self._detection_sharding(sharding)
+
+    def _detection_sharding(self, sharding) -> None:
+        """Shard-level figures of one cross-shard pass (a
+        :class:`~repro.lockmgr.sharded.ShardedPass`)."""
+        reg = self.registry
+        for index, seconds in enumerate(sharding.snapshot_seconds):
+            reg.histogram(
+                "repro_shard_snapshot_seconds",
+                labels={"shard": str(index)},
+                help="time one shard's mutex was held for its snapshot",
+                buckets=DURATION_BUCKETS,
+            ).observe(seconds)
+        reg.counter(
+            "repro_detector_cross_shard_cycles_total",
+            help="resolved cycles whose resources span multiple shards",
+        ).inc(sharding.cross_shard_cycles)
+        stale = sharding.stale_victims + sharding.stale_repositions
+        reg.counter(
+            "repro_detector_stale_resolutions_total",
+            help="staged resolutions dropped because the live shard "
+            "state moved on between snapshot and resolution",
+        ).inc(stale)
+        reg.gauge(
+            "repro_detector_last_epoch_drift",
+            help="shards mutated between snapshot and resolution in "
+            "the most recent pass",
+        ).set(sharding.epoch_drift)
 
 
 def _mode_name(mode) -> str:

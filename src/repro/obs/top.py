@@ -63,15 +63,26 @@ class Sample:
                 return entry["value"]
         return None
 
-    def histogram_summary(self, name: str) -> Optional[Dict[str, float]]:
+    def histogram_summary(
+        self, name: str, labels: Optional[Dict[str, str]] = None
+    ) -> Optional[Dict[str, float]]:
         """Merge a histogram family's children into one summary (counts
-        added bucket-wise, percentiles recomputed from the merge)."""
+        added bucket-wise, percentiles recomputed from the merge).
+        ``labels`` restricts the merge to children carrying those
+        label values (e.g. one shard's series)."""
         from .metrics import bucket_quantile
 
         children = [
             entry
             for entry in self.metrics.get("histograms", [])
             if entry["name"] == name
+            and (
+                labels is None
+                or all(
+                    entry.get("labels", {}).get(key) == value
+                    for key, value in labels.items()
+                )
+            )
         ]
         if not children:
             return None
@@ -193,6 +204,45 @@ def render_dashboard(
                 "{} ({})".format(rid, int(count)) for rid, count in hottest
             )
         )
+
+    shard_rows = sample.inspect.get("shards") or []
+    if len(shard_rows) > 1:
+        lines.append("-" * width)
+        lines.append(
+            "shards: {}   cross-shard cycles {}   stale resolutions "
+            "{}".format(
+                len(shard_rows),
+                int(
+                    sample.counter_total(
+                        "repro_detector_cross_shard_cycles_total"
+                    )
+                ),
+                int(
+                    sample.counter_total(
+                        "repro_detector_stale_resolutions_total"
+                    )
+                ),
+            )
+        )
+        for row in shard_rows:
+            snapshot = sample.histogram_summary(
+                "repro_shard_snapshot_seconds",
+                labels={"shard": str(row.get("shard"))},
+            )
+            lines.append(
+                "  shard {:<3} resources {:<5} blocked {:<4} queued "
+                "{:<4} snapshot p95 {}".format(
+                    row.get("shard"),
+                    row.get("resources", 0),
+                    row.get("blocked", 0),
+                    row.get("queued", 0),
+                    _fmt_seconds(
+                        snapshot["p95"]
+                        if snapshot and snapshot["count"]
+                        else None
+                    ),
+                )
+            )
 
     lines.append("-" * width)
     passes = sample.counter_total("repro_detector_passes_total")

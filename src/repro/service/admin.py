@@ -126,13 +126,20 @@ def render_stats(stats: Dict[str, Any]) -> str:
 
 
 def inspect_payload(manager: LockManager) -> Dict[str, Any]:
-    """The ``inspect`` response: the operator report plus raw facts."""
+    """The ``inspect`` response: the operator report plus raw facts.
+
+    A sharded manager additionally reports one row per shard (index,
+    resources, blocked transactions, queue depth, mutation epoch)."""
     table = manager.table
-    return {
+    payload: Dict[str, Any] = {
         "report": render_report(table),
         "resources": len(table),
         "blocked": sorted(table.blocked_tids()),
     }
+    summaries = getattr(manager, "shard_summaries", None)
+    if summaries is not None:
+        payload["shards"] = summaries()
+    return payload
 
 
 def graph_payload(manager: LockManager, dot: bool = False) -> Dict[str, Any]:

@@ -33,7 +33,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 from ..core.errors import ReproError
 from ..core.modes import LockMode
 from ..core.victim import CostTable
-from ..lockmgr.manager import LockManager
+from ..lockmgr.sharded import ShardedLockCore, resolve_shard_count
 from ..obs.instrument import Telemetry
 from .admin import ServiceStats
 from .protocol import ServiceError, event_to_dict
@@ -102,8 +102,12 @@ class ServiceCore:
         lease: float = 5.0,
         clock: Callable[[], float] = time.monotonic,
         telemetry: Optional[Telemetry] = None,
+        shards: Optional[int] = None,
     ) -> None:
         self.continuous = continuous
+        #: Resolved shard count (``None`` means the ``REPRO_SHARDS``
+        #: environment default; continuous detection forces 1).
+        self.shards = resolve_shard_count(shards, continuous=continuous)
         self.lease = lease
         self.clock = clock
         # The telemetry clock reads through ``self.clock`` so a later
@@ -114,7 +118,8 @@ class ServiceCore:
             if telemetry is not None
             else Telemetry(clock=lambda: self.clock())
         )
-        self.manager = LockManager(
+        self.manager = ShardedLockCore(
+            shards=self.shards,
             costs=costs,
             continuous=continuous,
             listener=self.telemetry.on_event,
@@ -151,6 +156,24 @@ class ServiceCore:
             help="transactions currently blocked in the lock table",
             fn=lambda: float(len(self.manager.table.blocked_tids())),
         )
+        registry.gauge(
+            "repro_lock_shards",
+            help="shards the lock table is partitioned into",
+            fn=lambda: float(self.manager.shard_count),
+        )
+        for shard in self.manager.shards:
+            registry.gauge(
+                "repro_shard_resources",
+                labels={"shard": str(shard.index)},
+                help="resources present in this shard's lock table",
+                fn=lambda s=shard: float(len(s.table)),
+            )
+            registry.gauge(
+                "repro_shard_blocked",
+                labels={"shard": str(shard.index)},
+                help="transactions blocked in this shard",
+                fn=lambda s=shard: float(len(s.table.blocked_tids())),
+            )
 
     # -- sessions ----------------------------------------------------------
 
@@ -387,4 +410,5 @@ class ServiceCore:
         payload["transactions"] = len(self.owners)
         payload["resources"] = len(self.manager.table)
         payload["parked_waiters"] = len(self.waiters)
+        payload["shards"] = self.manager.shard_count
         return payload

@@ -87,12 +87,14 @@ class LockServer:
         period: Optional[float] = 0.5,
         lease: float = 5.0,
         telemetry=None,
+        shards: Optional[int] = None,
     ) -> None:
         self.core = ServiceCore(
             costs=costs,
             continuous=continuous,
             lease=lease,
             telemetry=telemetry,
+            shards=shards,
         )
         self.continuous = continuous
         self.period = period
@@ -241,6 +243,7 @@ class LockServer:
                         "wire": WIRE_VERSION,
                         "period": self.period,
                         "continuous": self.continuous,
+                        "shards": self.core.shards,
                     },
                 )
             )

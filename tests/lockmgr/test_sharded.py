@@ -1,0 +1,408 @@
+"""The sharded lock manager: router, core surface, merged view, the
+cross-shard periodic pass, and the blocking facade.
+
+The centerpiece is the satellite regression: the paper's printed
+deadlocks with their two resources placed on *different* shards must be
+found in one cross-shard pass and resolved exactly as the monolithic
+detector resolves the same state — Example 4.1 abort-free by TDR-2,
+Example 5.1 by aborting the walkthrough's victim on every shard it
+touched.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.errors import LockTableError, TransactionAborted
+from repro.core.modes import LockMode
+from repro.lockmgr.manager import LockManager
+from repro.lockmgr.sharded import (
+    SHARDS_ENV,
+    ShardedLockCore,
+    ShardedLockManager,
+    env_default_shards,
+    resolve_shard_count,
+    shard_of,
+)
+
+
+def rids_on_distinct_shards(core: ShardedLockCore, count: int = 2):
+    """The first ``count`` resource ids that route to pairwise distinct
+    shards (probed, so the test does not bake in the hash function)."""
+    assert core.shard_count >= count
+    found = {}
+    i = 0
+    while len(found) < count:
+        i += 1
+        rid = "R{}".format(i)
+        index = core.shard_index(rid)
+        if index not in found:
+            found[index] = rid
+    return list(found.values())
+
+
+class TestRouter:
+    def test_shard_of_is_stable_and_in_range(self):
+        for shards in (1, 2, 4, 8):
+            for i in range(64):
+                rid = "R{}".format(i)
+                index = shard_of(rid, shards)
+                assert 0 <= index < shards
+                assert index == shard_of(rid, shards)
+
+    def test_single_shard_takes_everything(self):
+        assert all(shard_of("R{}".format(i), 1) == 0 for i in range(32))
+
+    def test_router_spreads_many_resources(self):
+        indexes = {shard_of("R{}".format(i), 4) for i in range(256)}
+        assert indexes == {0, 1, 2, 3}
+
+    def test_resolve_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(SHARDS_ENV, "8")
+        assert resolve_shard_count(2) == 2
+
+    def test_resolve_none_reads_env(self, monkeypatch):
+        monkeypatch.setenv(SHARDS_ENV, "4")
+        assert env_default_shards() == 4
+        assert resolve_shard_count(None) == 4
+        monkeypatch.delenv(SHARDS_ENV)
+        assert resolve_shard_count(None) == 1
+
+    def test_resolve_garbage_env_means_one(self, monkeypatch):
+        monkeypatch.setenv(SHARDS_ENV, "lots")
+        assert resolve_shard_count(None) == 1
+        monkeypatch.setenv(SHARDS_ENV, "0")
+        assert resolve_shard_count(None) == 1
+
+    def test_continuous_forces_single_shard(self, monkeypatch):
+        monkeypatch.setenv(SHARDS_ENV, "4")
+        assert resolve_shard_count(None, continuous=True) == 1
+        assert resolve_shard_count(8, continuous=True) == 1
+
+    def test_tier1_lane_shard_count(self, env_shards):
+        """The conftest fixture and the core's default must agree —
+        this is what the REPRO_SHARDS=4 CI lane actually flips."""
+        assert ShardedLockCore().shard_count == env_shards
+
+
+class TestCoreSurface:
+    def test_routing_and_affinity(self):
+        core = ShardedLockCore(shards=4)
+        a, b = rids_on_distinct_shards(core)
+        assert core.lock(1, a, LockMode.S).granted
+        assert core.lock(1, b, LockMode.X).granted
+        assert core.holding(1) == {a: LockMode.S, b: LockMode.X}
+        assert core.shard_index(a) != core.shard_index(b)
+        core.finish(1)
+        assert core.holding(1) == {}
+        assert len(core.table) == 0
+
+    def test_finish_releases_on_every_touched_shard(self):
+        core = ShardedLockCore(shards=4)
+        a, b = rids_on_distinct_shards(core)
+        assert core.lock(1, a, LockMode.X).granted
+        assert core.lock(1, b, LockMode.X).granted
+        assert not core.lock(2, a, LockMode.S).granted
+        assert not core.lock(3, b, LockMode.S).granted
+        grants = core.finish(1)
+        assert {event.tid for event in grants} == {2, 3}
+        assert core.holding(2) == {a: LockMode.S}
+        assert core.holding(3) == {b: LockMode.S}
+
+    def test_cross_shard_double_wait_violates_axiom_1(self):
+        core = ShardedLockCore(shards=4)
+        a, b = rids_on_distinct_shards(core)
+        assert core.lock(1, a, LockMode.X).granted
+        assert core.lock(2, b, LockMode.X).granted
+        assert not core.lock(3, a, LockMode.S).granted
+        with pytest.raises(LockTableError):
+            core.lock(3, b, LockMode.S)
+
+    def test_aborted_transaction_cannot_relock(self):
+        core = ShardedLockCore(shards=2)
+        core._aborted.add(7)
+        with pytest.raises(LockTableError):
+            core.lock(7, "R1", LockMode.S)
+
+    def test_merged_view_keeps_first_lock_order(self):
+        core = ShardedLockCore(shards=4)
+        rids = ["R{}".format(i) for i in (9, 2, 14, 5, 1)]
+        for tid, rid in enumerate(rids, start=1):
+            assert core.lock(tid, rid, LockMode.S).granted
+        assert core.table.resource_ids() == rids
+        # A monolithic manager fed the same sequence iterates identically.
+        mono = LockManager()
+        for tid, rid in enumerate(rids, start=1):
+            assert mono.lock(tid, rid, LockMode.S).granted
+        assert mono.table.resource_ids() == core.table.resource_ids()
+
+    def test_relock_after_drop_moves_to_the_end(self):
+        core = ShardedLockCore(shards=4)
+        assert core.lock(1, "R1", LockMode.S).granted
+        assert core.lock(2, "R2", LockMode.S).granted
+        core.finish(1)  # R1 drops out of its shard's table
+        assert core.lock(3, "R1", LockMode.S).granted
+        assert core.table.resource_ids() == ["R2", "R1"]
+
+    def test_shard_summaries_add_up(self):
+        core = ShardedLockCore(shards=4)
+        for i in range(12):
+            assert core.lock(i + 1, "R{}".format(i), LockMode.S).granted
+        assert not core.lock(20, "R0", LockMode.X).granted
+        rows = core.shard_summaries()
+        assert len(rows) == 4
+        assert sum(row["resources"] for row in rows) == 12
+        assert sum(row["blocked"] for row in rows) == 1
+        assert sum(row["queued"] for row in rows) == 1
+        assert all(row["epoch"] > 0 for row in rows)
+
+    def test_single_shard_table_is_the_real_table(self):
+        core = ShardedLockCore(shards=1)
+        assert core.lock(1, "R1", LockMode.S).granted
+        assert core.table is core.shards[0].table
+
+
+def feed_example_41(manager, r1: str, r2: str) -> None:
+    """Example 4.1's deadlock through real requests (the conftest
+    builder, parameterized over resource ids so the two resources can
+    be placed on distinct shards)."""
+    assert manager.lock(7, r2, LockMode.IS).granted
+    assert manager.lock(1, r1, LockMode.IX).granted
+    assert manager.lock(2, r1, LockMode.IS).granted
+    assert manager.lock(3, r1, LockMode.IX).granted
+    assert manager.lock(4, r1, LockMode.IS).granted
+    # Blocked conversions: T1 IX->SIX (re-requests S), T2 IS->S.
+    assert not manager.lock(1, r1, LockMode.S).granted
+    assert not manager.lock(2, r1, LockMode.S).granted
+    assert not manager.lock(5, r1, LockMode.IX).granted
+    assert not manager.lock(6, r1, LockMode.S).granted
+    assert not manager.lock(7, r1, LockMode.IX).granted
+    assert not manager.lock(8, r2, LockMode.X).granted
+    assert not manager.lock(9, r2, LockMode.IX).granted
+    assert not manager.lock(3, r2, LockMode.S).granted
+    assert not manager.lock(4, r2, LockMode.X).granted
+
+
+def feed_example_51(manager, r1: str, r2: str) -> None:
+    """Example 5.1's deadlock (the TDR-1 walkthrough), likewise
+    parameterized over resource ids."""
+    assert manager.lock(1, r1, LockMode.S).granted
+    assert manager.lock(2, r2, LockMode.S).granted
+    assert manager.lock(3, r2, LockMode.S).granted
+    assert not manager.lock(2, r1, LockMode.X).granted
+    assert not manager.lock(3, r1, LockMode.S).granted
+    assert not manager.lock(1, r2, LockMode.X).granted
+
+
+#: Example 5.1's walkthrough costs (Section 5): T2 is the cheaper of
+#: the two eligible victims, T3 is spared.
+EXAMPLE_51_COSTS = {1: 6.0, 2: 4.0, 3: 1.0}
+
+
+class TestCrossShardDetection:
+    """Satellite regression: a cycle spanning two shards is detected in
+    a single pass and — when a repositioning is eligible — resolved
+    abort-free by TDR-2, exactly like the monolithic detector."""
+
+    @pytest.mark.parametrize("shards", [2, 4, 8])
+    def test_example_41_across_shards_is_abort_free(self, shards):
+        core = ShardedLockCore(shards=shards)
+        r1, r2 = rids_on_distinct_shards(core)
+        feed_example_41(core, r1, r2)
+        assert core.deadlocked()
+        result = core.detect()
+        assert result.deadlock_found
+        assert result.abort_free
+        assert result.aborted == []
+        assert [
+            (event.rid, tuple(event.delayed))
+            for event in result.repositions
+        ] == [(r2, (8,))]
+        assert [event.tid for event in result.grants] == [9]
+        info = result.sharding
+        assert info is not None and info.shards == shards
+        assert info.cross_shard_cycles >= 1
+        assert info.stale_victims == 0 and info.stale_repositions == 0
+        assert not core.deadlocked()
+        assert not any(
+            core.was_aborted(tid) for tid in range(1, 10)
+        )
+
+    def test_example_51_across_shards_routes_the_abort(self):
+        """The TDR-1 walkthrough: the victim (T2) is blocked on one
+        shard but holds locks on the other; the abort must release it
+        everywhere and spare T3."""
+        from repro.core.victim import CostTable
+
+        core = ShardedLockCore(
+            shards=4, costs=CostTable(dict(EXAMPLE_51_COSTS))
+        )
+        r1, r2 = rids_on_distinct_shards(core)
+        feed_example_51(core, r1, r2)
+        result = core.detect()
+        assert result.aborted == [2]
+        assert result.spared == [3]
+        assert [event.tid for event in result.grants] == [3]
+        assert result.sharding.cross_shard_cycles >= 1
+        assert core.was_aborted(2)
+        assert core.holding(2) == {}
+        assert not core.deadlocked()
+
+    @pytest.mark.parametrize("example,costs", [
+        (feed_example_41, None),
+        (feed_example_51, EXAMPLE_51_COSTS),
+    ])
+    def test_matches_the_monolithic_resolution(self, example, costs):
+        from repro.core.victim import CostTable
+
+        def build_costs():
+            return CostTable(dict(costs)) if costs else None
+
+        core = ShardedLockCore(shards=4, costs=build_costs())
+        r1, r2 = rids_on_distinct_shards(core)
+        example(core, r1, r2)
+        mono = LockManager(costs=build_costs())
+        example(mono, r1, r2)
+        sharded, reference = core.detect(), mono.detect()
+        assert sharded.aborted == reference.aborted
+        assert sharded.spared == reference.spared
+        assert [
+            (event.rid, tuple(event.delayed))
+            for event in sharded.repositions
+        ] == [
+            (event.rid, tuple(event.delayed))
+            for event in reference.repositions
+        ]
+        assert sorted(
+            (event.tid, event.rid) for event in sharded.grants
+        ) == sorted((event.tid, event.rid) for event in reference.grants)
+        assert str(core.table) == str(mono.table)
+
+    def test_pass_on_a_clean_core_does_nothing(self):
+        core = ShardedLockCore(shards=4)
+        a, b = rids_on_distinct_shards(core)
+        assert core.lock(1, a, LockMode.S).granted
+        assert not core.lock(2, a, LockMode.X).granted
+        assert core.lock(3, b, LockMode.X).granted
+        result = core.detect()
+        assert not result.deadlock_found
+        assert result.aborted == [] and result.repositions == []
+        assert result.sharding.cross_shard_cycles == 0
+
+    def test_x_cycle_across_shards_needs_one_victim(self):
+        """A pure-X two-cycle has no spared reader to promote, so TDR-1
+        must abort exactly one side — and only one."""
+        core = ShardedLockCore(shards=4)
+        a, b = rids_on_distinct_shards(core)
+        assert core.lock(1, a, LockMode.X).granted
+        assert core.lock(2, b, LockMode.X).granted
+        assert not core.lock(1, b, LockMode.X).granted
+        assert not core.lock(2, a, LockMode.X).granted
+        result = core.detect()
+        assert result.deadlock_found
+        assert len(result.aborted) == 1
+        assert not core.deadlocked()
+        survivor = ({1, 2} - set(result.aborted)).pop()
+        assert core.holding(survivor) == {a: LockMode.X, b: LockMode.X}
+
+
+def wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return False
+
+
+class TestFacade:
+    def test_blocked_acquire_wakes_on_commit(self):
+        with ShardedLockManager(shards=4) as manager:
+            assert manager.acquire(1, "R1", LockMode.X)
+            granted = []
+            thread = threading.Thread(
+                target=lambda: granted.append(
+                    manager.acquire(2, "R1", LockMode.S)
+                )
+            )
+            thread.start()
+            assert wait_until(lambda: manager._core.is_blocked(2))
+            manager.commit(1)
+            thread.join(timeout=5.0)
+            assert granted == [True]
+            assert manager.holding(2) == {"R1": LockMode.S}
+            manager.commit(2)
+
+    def test_timeout_leaves_the_request_queued(self):
+        with ShardedLockManager(shards=4) as manager:
+            assert manager.acquire(1, "R1", LockMode.X)
+            assert not manager.acquire(2, "R1", LockMode.S, timeout=0.05)
+            assert manager._core.is_blocked(2)
+            manager.commit(1)
+            # The grant arrived while nobody was waiting; a re-acquire
+            # observes it immediately.
+            assert manager.acquire(2, "R1", LockMode.S, timeout=0.05)
+            manager.commit(2)
+
+    def test_cross_shard_deadlock_victim_raises(self):
+        with ShardedLockManager(shards=4) as manager:
+            a, b = rids_on_distinct_shards(manager._core)
+            assert manager.acquire(1, a, LockMode.X)
+            assert manager.acquire(2, b, LockMode.X)
+            outcomes = {}
+
+            def worker(tid, rid):
+                try:
+                    outcomes[tid] = manager.acquire(tid, rid, LockMode.X)
+                except TransactionAborted:
+                    outcomes[tid] = "aborted"
+                    manager.abort(tid)
+
+            threads = [
+                threading.Thread(target=worker, args=(1, b)),
+                threading.Thread(target=worker, args=(2, a)),
+            ]
+            for thread in threads:
+                thread.start()
+            assert wait_until(lambda: manager.deadlocked())
+            result = manager.detect()
+            assert result.deadlock_found and len(result.aborted) == 1
+            for thread in threads:
+                thread.join(timeout=5.0)
+            assert sorted(outcomes.values(), key=str) == [True, "aborted"]
+            survivor = next(
+                tid for tid, value in outcomes.items() if value is True
+            )
+            manager.commit(survivor)
+
+    def test_background_detector_breaks_cross_shard_deadlocks(self):
+        with ShardedLockManager(shards=4, period=0.02) as manager:
+            a, b = rids_on_distinct_shards(manager._core)
+            assert manager.acquire(1, a, LockMode.X)
+            assert manager.acquire(2, b, LockMode.X)
+            outcomes = {}
+
+            def worker(tid, rid):
+                try:
+                    outcomes[tid] = manager.acquire(
+                        tid, rid, LockMode.X, timeout=5.0
+                    )
+                except TransactionAborted:
+                    outcomes[tid] = "aborted"
+                    manager.abort(tid)
+
+            threads = [
+                threading.Thread(target=worker, args=(1, b)),
+                threading.Thread(target=worker, args=(2, a)),
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=10.0)
+            assert sorted(outcomes.values(), key=str) == [True, "aborted"]
+
+    def test_env_default_drives_the_facade(self, monkeypatch):
+        monkeypatch.setenv(SHARDS_ENV, "4")
+        with ShardedLockManager() as manager:
+            assert manager.shard_count == 4
