@@ -18,6 +18,10 @@ Commands
     print the metric summary.
 ``compare``
     The detector shoot-out: all strategies on identical workloads.
+``profile``
+    Run a simulator workload under :mod:`cProfile` and print the
+    hottest functions; ``--out`` saves the raw pstats file for
+    ``snakeviz``/``pstats`` digging.
 ``serve``
     Run the lock manager as a network service
     (:mod:`repro.service`): an asyncio TCP server with per-session
@@ -220,6 +224,46 @@ def cmd_compare(args) -> int:
             title="strategy comparison ({} seeds)".format(args.runs),
         )
     )
+    return 0
+
+
+def cmd_profile(args) -> int:
+    import cProfile
+    import pstats
+
+    from .sim.runner import run_once
+
+    spec = _spec_from_args(args)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = run_once(
+        spec,
+        STRATEGIES[args.strategy](),
+        duration=args.duration,
+        terminals=args.terminals,
+        seed=args.seed,
+        period=args.period,
+    )
+    profiler.disable()
+
+    summary = result.metrics.summary()
+    print(
+        "profiled {} (duration {}, {} terminals, seed {}): "
+        "{} commits, {} aborts".format(
+            args.strategy,
+            args.duration,
+            args.terminals,
+            args.seed,
+            summary.get("commits", 0),
+            summary.get("aborts", 0),
+        )
+    )
+    print()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    if args.out:
+        profiler.dump_stats(args.out)
+        print("pstats profile written to {}".format(args.out))
     return 0
 
 
@@ -491,6 +535,31 @@ def build_parser() -> argparse.ArgumentParser:
     compare_cmd.add_argument("--runs", type=int, default=2)
     add_sim_options(compare_cmd)
     compare_cmd.set_defaults(run=cmd_compare)
+
+    profile_cmd = commands.add_parser(
+        "profile",
+        help="run a simulator workload under cProfile and print the "
+        "hottest functions",
+    )
+    profile_cmd.add_argument(
+        "--strategy", choices=sorted(STRATEGIES), default="park-periodic"
+    )
+    add_sim_options(profile_cmd)
+    profile_cmd.add_argument(
+        "--top", type=int, default=25,
+        help="how many functions to print",
+    )
+    profile_cmd.add_argument(
+        "--sort",
+        choices=["cumulative", "tottime", "calls"],
+        default="cumulative",
+        help="pstats sort order",
+    )
+    profile_cmd.add_argument(
+        "--out", metavar="PATH",
+        help="also dump the raw pstats file here",
+    )
+    profile_cmd.set_defaults(run=cmd_profile)
 
     serve_cmd = commands.add_parser(
         "serve", help="run the lock manager as a network service"

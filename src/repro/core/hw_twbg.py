@@ -41,7 +41,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from .modes import LockMode, compatible
+from .modes import CONFLICT_MASKS, LockMode
 from .requests import ResourceState
 
 #: Edge labels.
@@ -70,30 +70,42 @@ class Edge:
 
 
 def resource_edges(state: ResourceState) -> List[Edge]:
-    """All H/W-TWBG edges contributed by one resource (ECR-1, 2, 3)."""
+    """All H/W-TWBG edges contributed by one resource (ECR-1, 2, 3).
+
+    The conflict tests run on precomputed bit masks: for each holder,
+    ``conflict[i]`` has bit ``b`` set iff mode ``b`` conflicts with the
+    holder's granted *or* blocked mode (``Comp`` is symmetric, so one
+    mask serves both directions), turning every pairwise matrix probe
+    into a shift-and-test.
+    """
     edges: List[Edge] = []
     holders = state.holders
     rid = state.rid
+    conflict = [
+        CONFLICT_MASKS[holder.granted] | CONFLICT_MASKS[holder.blocked]
+        for holder in holders
+    ]
 
     # ECR-1: ordered holder pairs.
     for i, earlier in enumerate(holders):
+        earlier_mask = conflict[i]
         for later in holders[i + 1 :]:
-            if later.is_blocked and (
-                not compatible(earlier.granted, later.blocked)
-                or not compatible(earlier.blocked, later.blocked)
+            if (
+                later.blocked is not LockMode.NL
+                and earlier_mask >> later.blocked & 1
             ):
                 edges.append(Edge(earlier.tid, later.tid, H_LABEL, rid))
-            if earlier.is_blocked and not compatible(
-                later.granted, earlier.blocked
+            if (
+                earlier.blocked is not LockMode.NL
+                and CONFLICT_MASKS[later.granted] >> earlier.blocked & 1
             ):
                 edges.append(Edge(later.tid, earlier.tid, H_LABEL, rid))
 
     # ECR-2: holder -> first conflicting queue request.
-    for holder in holders:
+    for i, holder in enumerate(holders):
+        holder_mask = conflict[i]
         for waiter in state.queue:
-            if not compatible(waiter.blocked, holder.granted) or not compatible(
-                waiter.blocked, holder.blocked
-            ):
+            if holder_mask >> waiter.blocked & 1:
                 edges.append(Edge(holder.tid, waiter.tid, H_LABEL, rid))
                 break
 

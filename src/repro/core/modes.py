@@ -168,13 +168,114 @@ COMPATIBILITY = _build_compatibility()
 CONVERSION = _build_conversion()
 
 
+# ---------------------------------------------------------------------------
+# Bitmask fast lanes.
+#
+# The dict matrices above are the oracle — the transcription of Tables 1
+# and 2 that tests and ``ModeSystem.validate`` reason about.  Everything
+# below is *derived* from them at import time so the hot path (grant
+# checks, conversion checks, total-mode folds over whole holder lists)
+# touches only tuple indexing and integer masks:
+#
+# * ``COMPAT_ROWS[a][b]`` / ``CONV_ROWS[a][b]`` — the same tables as flat
+#   tuple-of-tuples indexed by the modes' integer values (an ``IntEnum``
+#   indexes a tuple directly, skipping the tuple-of-two-keys hash of the
+#   dict lookup);
+# * ``mode_bit(m)`` / ``mask_of(modes)`` — a mode *set* as a 6-bit
+#   integer;
+# * ``COMPAT_MASKS[m]`` — the modes compatible with ``m`` as a bit set;
+#   ``CONFLICT_MASKS[m]`` is its complement, so "is ``m`` compatible
+#   with every mode in this group?" is ``CONFLICT_MASKS[m] & group == 0``
+#   — one AND instead of a scan;
+# * ``SUP_OF_MASK[mask]`` — the lattice join of every mode in ``mask``.
+#   Because ``Conv`` is a join (commutative, associative, idempotent;
+#   see :mod:`repro.core.modesystem`), the fold over a holder list equals
+#   the join of the *set* of modes present, so a 64-entry table replaces
+#   the per-entry ``Conv`` fold.
+# ---------------------------------------------------------------------------
+
+#: Number of modes (bit width of the mode-set masks).
+MODE_COUNT = len(ALL_MODES)
+
+#: Modes indexed by their integer value (``_MODES_BY_VALUE[int(m)] is m``).
+_MODES_BY_VALUE: Tuple[LockMode, ...] = tuple(sorted(ALL_MODES))
+
+#: ``COMPAT_ROWS[held][requested]`` — Table 1, tuple-indexed by value.
+COMPAT_ROWS: Tuple[Tuple[bool, ...], ...] = tuple(
+    tuple(COMPATIBILITY[(a, b)] for b in _MODES_BY_VALUE)
+    for a in _MODES_BY_VALUE
+)
+
+#: ``CONV_ROWS[granted][requested]`` — Table 2, tuple-indexed by value.
+CONV_ROWS: Tuple[Tuple[LockMode, ...], ...] = tuple(
+    tuple(CONVERSION[(a, b)] for b in _MODES_BY_VALUE)
+    for a in _MODES_BY_VALUE
+)
+
+#: Every mode bit set — the universe of the mode-set masks.
+FULL_MASK = (1 << MODE_COUNT) - 1
+
+#: ``COMPAT_MASKS[m]`` — bit ``b`` is set iff ``Comp(m, b)``.
+COMPAT_MASKS: Tuple[int, ...] = tuple(
+    sum(1 << int(b) for b in _MODES_BY_VALUE if COMPATIBILITY[(a, b)])
+    for a in _MODES_BY_VALUE
+)
+
+#: ``CONFLICT_MASKS[m]`` — bit ``b`` is set iff ``m`` conflicts with ``b``.
+CONFLICT_MASKS: Tuple[int, ...] = tuple(
+    FULL_MASK & ~mask for mask in COMPAT_MASKS
+)
+
+
+def _build_sup_of_mask() -> Tuple[LockMode, ...]:
+    table = []
+    for mask in range(1 << MODE_COUNT):
+        result = LockMode.NL
+        for mode in _MODES_BY_VALUE:
+            if mask >> int(mode) & 1:
+                result = CONVERSION[(result, mode)]
+        table.append(result)
+    return tuple(table)
+
+
+#: ``SUP_OF_MASK[mask]`` — the join (``Conv`` fold) of the modes in
+#: ``mask``; ``SUP_OF_MASK[0]`` is ``NL``.
+SUP_OF_MASK: Tuple[LockMode, ...] = _build_sup_of_mask()
+
+
+def mode_bit(mode: LockMode) -> int:
+    """The single-bit mask of ``mode`` (bit position = integer value)."""
+    return 1 << mode
+
+
+def mask_of(modes: Iterable[LockMode]) -> int:
+    """The mode-set mask with the bit of every mode in ``modes`` set."""
+    mask = 0
+    for mode in modes:
+        mask |= 1 << mode
+    return mask
+
+
+def modes_in_mask(mask: int) -> Tuple[LockMode, ...]:
+    """The modes whose bits are set in ``mask``, in value order."""
+    return tuple(
+        mode for mode in _MODES_BY_VALUE if mask >> int(mode) & 1
+    )
+
+
+def mask_compatible(mask: int, mode: LockMode) -> bool:
+    """True iff ``mode`` is compatible with *every* mode in ``mask``
+    (one AND against the precomputed conflict mask)."""
+    return not (CONFLICT_MASKS[mode] & mask)
+
+
 def compatible(held: LockMode, requested: LockMode) -> bool:
     """``Comp(held, requested)`` — Table 1.
 
     Example from the paper: ``Comp(S, IS)`` is true but ``Comp(IX, SIX)``
     is false.
     """
-    return COMPATIBILITY[(held, requested)]
+    return COMPAT_ROWS[held][requested]
 
 
 def convert(granted: LockMode, requested: LockMode) -> LockMode:
@@ -183,7 +284,7 @@ def convert(granted: LockMode, requested: LockMode) -> LockMode:
     Example from the paper: a transaction holding ``IX`` that re-requests
     ``S`` eventually wants ``SIX`` (``Conv(IX, S) == SIX``).
     """
-    return CONVERSION[(granted, requested)]
+    return CONV_ROWS[granted][requested]
 
 
 def supremum(modes: Iterable[LockMode]) -> LockMode:

@@ -62,6 +62,52 @@ class ModeSystem:
         """``a`` covers ``b`` iff joining changes nothing."""
         return self.convert(a, b) == a
 
+    # -- bitmask compilation ----------------------------------------------
+    #
+    # The same fast lanes :mod:`repro.core.modes` derives for the paper's
+    # system, compiled for an arbitrary algebra: a bit per mode (bit
+    # position = declaration order in ``modes``), compatibility rows as
+    # bit sets, and the join of every mode subset as a ``2^n`` table.
+    # ``validate`` cross-checks the compilation against the dict tables,
+    # so a system that passes can swap its scans for mask arithmetic the
+    # way the scheduler does.
+
+    def mode_index(self) -> Dict[str, int]:
+        """Bit position of every mode (declaration order)."""
+        return {mode: index for index, mode in enumerate(self.modes)}
+
+    def compat_masks(self) -> Dict[str, int]:
+        """``mode -> bit set`` of the modes each mode is compatible with."""
+        index = self.mode_index()
+        return {
+            a: sum(
+                1 << index[b] for b in self.modes if self.comp[(a, b)]
+            )
+            for a in self.modes
+        }
+
+    def conflict_masks(self) -> Dict[str, int]:
+        """``mode -> bit set`` of the modes each mode conflicts with."""
+        full = (1 << len(self.modes)) - 1
+        return {
+            mode: full & ~mask
+            for mode, mask in self.compat_masks().items()
+        }
+
+    def sup_of_mask(self) -> Tuple[str, ...]:
+        """``2^n`` table: entry ``mask`` is the ``Conv`` fold of the modes
+        whose bits are set (fold order = declaration order; only
+        order-independent when the join axioms hold — which ``validate``
+        checks)."""
+        table = []
+        for mask in range(1 << len(self.modes)):
+            result = self.nl
+            for index, mode in enumerate(self.modes):
+                if mask >> index & 1:
+                    result = self.conv[(result, mode)]
+            table.append(result)
+        return tuple(table)
+
     # -- validation --------------------------------------------------------
 
     def validate(self) -> List[str]:
@@ -73,6 +119,9 @@ class ModeSystem:
         problems.extend(self._check_compatibility_axioms())
         problems.extend(self._check_join_axioms())
         problems.extend(self._check_conflict_monotonicity())
+        if not problems:
+            # Only a lawful join makes the mask tables well-defined.
+            problems.extend(self._check_mask_compilation())
         return problems
 
     def _check_totality(self) -> List[str]:
@@ -147,6 +196,30 @@ class ModeSystem:
                             "joining {} with {} loses the conflict with "
                             "{}".format(a, b, c)
                         )
+        return problems
+
+    def _check_mask_compilation(self) -> List[str]:
+        """The compiled masks must reproduce the dict tables exactly:
+        mask-compatibility equals ``Comp`` on every pair, and the
+        ``sup_of_mask`` table equals the ``Conv`` fold of every subset."""
+        problems = []
+        index = self.mode_index()
+        conflicts = self.conflict_masks()
+        sups = self.sup_of_mask()
+        for a in self.modes:
+            for b in self.modes:
+                masked = not (conflicts[a] >> index[b] & 1)
+                if masked != self.comp[(a, b)]:
+                    problems.append(
+                        "mask compatibility disagrees with Comp at "
+                        "({}, {})".format(a, b)
+                    )
+                joined = sups[(1 << index[a]) | (1 << index[b])]
+                if joined != self.conv[(a, b)]:
+                    problems.append(
+                        "sup-of-mask disagrees with Conv at ({}, {}): "
+                        "{} vs {}".format(a, b, joined, self.conv[(a, b)])
+                    )
         return problems
 
     @property

@@ -139,7 +139,7 @@ def load_table(lock_table, text: str):
             )
         real.holders = state.holders
         real.queue = state.queue
-        real.total = state.total
+        real.recompute_total()  # resync the cached summaries too
         for holder in state.holders:
             lock_table.note_holder(holder.tid, state.rid)
             if holder.is_blocked:

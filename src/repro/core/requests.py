@@ -17,10 +17,16 @@ policy that mutates them according to Section 3 lives in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Optional, Tuple
 
 from .errors import LockTableError
-from .modes import LockMode, total_mode as _total_mode
+from .modes import (
+    CONFLICT_MASKS,
+    MODE_COUNT,
+    SUP_OF_MASK,
+    LockMode,
+    compatible,
+)
 
 
 @dataclass
@@ -73,16 +79,142 @@ def _tname(tid: int) -> str:
 class ResourceState:
     """Complete lock-table entry for one resource.
 
-    The ``total`` field caches the paper's total mode; it is maintained
-    incrementally on grant/convert and recomputed from scratch whenever a
-    holder leaves (the paper's Section 3 release procedure), because the
-    conversion join is not invertible.
+    The ``total`` field caches the paper's total mode.  Beyond it, the
+    state memoizes three queue summaries so the scheduler's hot path is
+    O(1) instead of a holder-list scan:
+
+    * per-mode **counts** of granted and blocked holder modes, kept
+      incrementally by the mutator methods below;
+    * the **granted-group / blocked-group masks** (bit sets over the mode
+      values) derived from the counts — one AND against a conflict mask
+      answers "compatible with every other holder?", and
+      ``SUP_OF_MASK[granted | blocked]`` *is* the total mode (the
+      conversion fold equals the join of the set of modes present,
+      because ``Conv`` is a lattice join);
+    * the **AV-prefix boundary** — the leading run of queue entries
+      compatible with the total mode (TDR-2's AV set) — cached lazily
+      and keyed by ``(total, len(queue))``, so it survives unrelated
+      mutations and self-invalidates on grants and repositionings.
+
+    Mutation must go through the mutator methods (``add_holder``,
+    ``set_holder_modes``, ``enqueue`` …).  Code that performs direct
+    list surgery instead (the notation/serialize loaders, the baseline
+    policies) must call :meth:`recompute_total`, which resynchronizes
+    every summary from scratch — the long-standing convention for
+    out-of-band edits, now load-bearing.  ``verify_table`` cross-checks
+    all summaries against a rescan.
     """
 
     rid: str
     holders: List[HolderEntry] = field(default_factory=list)
     queue: List[QueueEntry] = field(default_factory=list)
     total: LockMode = LockMode.NL
+
+    def __post_init__(self) -> None:
+        # The summaries always describe ``holders``/``queue``; ``total``
+        # is left exactly as passed (tests build deliberately
+        # inconsistent totals to exercise the verifier).
+        self._resync_summaries()
+
+    # -- cached summaries -------------------------------------------------
+
+    def _resync_summaries(self) -> None:
+        """Rebuild every summary from the lists (O(holders))."""
+        granted = [0] * MODE_COUNT
+        blocked = [0] * MODE_COUNT
+        granted_mask = 0
+        blocked_mask = 0
+        for entry in self.holders:
+            granted[entry.granted] += 1
+            granted_mask |= 1 << entry.granted
+            if entry.blocked is not LockMode.NL:
+                blocked[entry.blocked] += 1
+                blocked_mask |= 1 << entry.blocked
+        self._granted_counts = granted
+        self._blocked_counts = blocked
+        self._granted_mask = granted_mask
+        self._blocked_mask = blocked_mask
+        self._av_cache: Optional[Tuple[LockMode, int, int]] = None
+
+    def _count_granted(self, mode: LockMode, delta: int) -> None:
+        counts = self._granted_counts
+        counts[mode] += delta
+        if counts[mode]:
+            self._granted_mask |= 1 << mode
+        else:
+            self._granted_mask &= ~(1 << mode)
+
+    def _count_blocked(self, mode: LockMode, delta: int) -> None:
+        if mode is LockMode.NL:
+            return
+        counts = self._blocked_counts
+        counts[mode] += delta
+        if counts[mode]:
+            self._blocked_mask |= 1 << mode
+        else:
+            self._blocked_mask &= ~(1 << mode)
+
+    def _refresh_total(self) -> None:
+        """Recompute the total mode from the masks — O(1), exact (the
+        join of the set of granted and blocked modes present)."""
+        self.total = SUP_OF_MASK[self._granted_mask | self._blocked_mask]
+
+    @property
+    def granted_mask(self) -> int:
+        """Bit set of the granted modes present in the holder list."""
+        return self._granted_mask
+
+    @property
+    def blocked_mask(self) -> int:
+        """Bit set of the blocked conversion modes present."""
+        return self._blocked_mask
+
+    def granted_mask_excluding(self, holder: HolderEntry) -> int:
+        """The granted-group mask with ``holder``'s own contribution
+        removed — the *other* holders' granted modes, O(1)."""
+        mask = self._granted_mask
+        if self._granted_counts[holder.granted] == 1:
+            mask &= ~(1 << holder.granted)
+        return mask
+
+    def conversion_compatible(
+        self, holder: HolderEntry, wanted: LockMode
+    ) -> bool:
+        """True when ``wanted`` is compatible with the granted mode of
+        every holder other than ``holder`` (one AND)."""
+        return not (
+            CONFLICT_MASKS[wanted] & self.granted_mask_excluding(holder)
+        )
+
+    def av_prefix_length(self) -> int:
+        """Length of the leading queue run compatible with the total
+        mode (TDR-2's AV prefix), memoized until the total mode or the
+        queue length changes; repositionings invalidate explicitly."""
+        cache = self._av_cache
+        if (
+            cache is not None
+            and cache[0] is self.total
+            and cache[1] == len(self.queue)
+        ):
+            return cache[2]
+        total = self.total
+        boundary = 0
+        for entry in self.queue:
+            if not compatible(total, entry.blocked):
+                break
+            boundary += 1
+        self._av_cache = (total, len(self.queue), boundary)
+        return boundary
+
+    def summary_snapshot(self) -> dict:
+        """The raw cached summaries (for the verifier and debugging)."""
+        return {
+            "granted_counts": tuple(self._granted_counts),
+            "blocked_counts": tuple(self._blocked_counts),
+            "granted_mask": self._granted_mask,
+            "blocked_mask": self._blocked_mask,
+            "av_cache": self._av_cache,
+        }
 
     # -- lookups ---------------------------------------------------------
 
@@ -130,36 +262,96 @@ class ResourceState:
         """True when no holder and no waiter remains."""
         return not self.holders and not self.queue
 
-    # -- mutation helpers (total-mode maintenance) -----------------------
+    # -- mutation helpers (summary maintenance) --------------------------
 
     def recompute_total(self) -> LockMode:
-        """Recompute the total mode from the holder list (paper §3:
-        done whenever a holder is deleted).  Queue entries do not
-        contribute — the total mode summarizes *holders* only."""
-        self.total = _total_mode(
-            (entry.granted, entry.blocked) for entry in self.holders
-        )
+        """Resynchronize every cached summary from the lists and return
+        the recomputed total mode (paper §3 names this for holder
+        deletion; it is also the mandatory resync after direct list
+        surgery).  Queue entries do not contribute — the total mode
+        summarizes *holders* only."""
+        self._resync_summaries()
+        self._refresh_total()
         return self.total
 
     def raise_total(self, mode: LockMode) -> None:
-        """Join ``mode`` into the cached total mode (grant/convert path)."""
+        """Join ``mode`` into the cached total mode (manual maintenance
+        for callers doing their own surgery; the mutators below keep the
+        total fresh on their own)."""
         from .modes import convert
 
         self.total = convert(self.total, mode)
 
+    def add_holder(self, entry: HolderEntry, index: Optional[int] = None) -> None:
+        """Insert ``entry`` into the holder list (append when ``index``
+        is ``None``), updating counts, masks and the total mode."""
+        if index is None:
+            self.holders.append(entry)
+        else:
+            self.holders.insert(index, entry)
+        self._count_granted(entry.granted, +1)
+        self._count_blocked(entry.blocked, +1)
+        self._refresh_total()
+
+    def set_holder_modes(
+        self,
+        entry: HolderEntry,
+        granted: Optional[LockMode] = None,
+        blocked: Optional[LockMode] = None,
+    ) -> None:
+        """Change a holder's granted and/or blocked mode through the
+        summaries (grant-conversion, block-conversion and the sweep's
+        ``bm -> gm`` swap all come through here)."""
+        if granted is not None and granted is not entry.granted:
+            self._count_granted(entry.granted, -1)
+            entry.granted = granted
+            self._count_granted(granted, +1)
+        if blocked is not None and blocked is not entry.blocked:
+            self._count_blocked(entry.blocked, -1)
+            entry.blocked = blocked
+            self._count_blocked(blocked, +1)
+        self._refresh_total()
+
+    def move_holder(self, entry: HolderEntry, index: int) -> None:
+        """Reposition ``entry`` within the holder list (UPR surgery);
+        membership is unchanged, so every summary stays valid."""
+        self.holders.remove(entry)
+        self.holders.insert(index, entry)
+
     def remove_holder(self, tid: int) -> HolderEntry:
-        """Delete ``tid`` from the holder list and recompute the total.
+        """Delete ``tid`` from the holder list and refresh the total
+        from the counts — O(1), no holder-list rescan.
 
         Raises :class:`LockTableError` if ``tid`` is not a holder.
         """
         for index, entry in enumerate(self.holders):
             if entry.tid == tid:
                 removed = self.holders.pop(index)
-                self.recompute_total()
+                self._count_granted(removed.granted, -1)
+                self._count_blocked(removed.blocked, -1)
+                self._refresh_total()
                 return removed
         raise LockTableError(
             "transaction {} is not a holder of {}".format(tid, self.rid)
         )
+
+    def enqueue(self, entry: QueueEntry) -> None:
+        """Append ``entry`` to the FIFO queue."""
+        self.queue.append(entry)
+        self._av_cache = None
+
+    def popleft_queue(self) -> QueueEntry:
+        """Remove and return the queue's front entry (grant path)."""
+        entry = self.queue.pop(0)
+        self._av_cache = None
+        return entry
+
+    def set_queue_order(self, entries: List[QueueEntry]) -> None:
+        """Replace the queue with a reordering of itself (TDR-2's
+        repositioning) and drop the AV-prefix memo — same length and
+        total, so the keyed cache cannot see the change on its own."""
+        self.queue = list(entries)
+        self._av_cache = None
 
     def remove_from_queue(self, tid: int) -> QueueEntry:
         """Delete ``tid`` from the queue.
@@ -171,7 +363,9 @@ class ResourceState:
             raise LockTableError(
                 "transaction {} is not queued at {}".format(tid, self.rid)
             )
-        return self.queue.pop(position)
+        entry = self.queue.pop(position)
+        self._av_cache = None
+        return entry
 
     # -- presentation ----------------------------------------------------
 

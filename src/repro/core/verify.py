@@ -6,6 +6,8 @@ checks every structural invariant the paper's algorithms rely on and
 returns human-readable violations instead of crashing:
 
 * cached total mode equals the recomputed conversion fold;
+* the memoized queue summaries (per-mode counts, granted/blocked group
+  masks, AV-prefix boundary) equal a from-scratch rescan;
 * granted modes of co-holders are pairwise compatible (lock safety);
 * blocked conversions form a prefix of each holder list (UPR);
 * blocked and queued modes are requestable (never ``NL``);
@@ -25,7 +27,7 @@ from typing import Dict, List, Optional
 
 from ..lockmgr.lock_table import LockTable
 from .errors import ReproError
-from .modes import LockMode, compatible, total_mode
+from .modes import MODE_COUNT, LockMode, compatible, total_mode
 
 
 @dataclass(frozen=True)
@@ -74,6 +76,8 @@ def verify_table(table: LockTable) -> List[Violation]:
                 "cached {} but recomputed {}".format(
                     state.total.name, expected_total.name),
             ))
+
+        violations.extend(_verify_summaries(state))
 
         for index, first in enumerate(state.holders):
             for second in state.holders[index + 1:]:
@@ -144,6 +148,72 @@ def verify_table(table: LockTable) -> List[Violation]:
                     "holder not present in the held-by index",
                 ))
 
+    return violations
+
+
+def _verify_summaries(state) -> List[Violation]:
+    """Cross-check the state's memoized queue summaries (per-mode
+    counts, group masks, AV-prefix boundary) against a from-scratch
+    rescan — the incremental invalidation is the risky part of the
+    caching, so it gets its own oracle."""
+    violations: List[Violation] = []
+    rid = state.rid
+    summary = state.summary_snapshot()
+
+    granted = [0] * MODE_COUNT
+    blocked = [0] * MODE_COUNT
+    for holder in state.holders:
+        granted[holder.granted] += 1
+        if holder.is_blocked:
+            blocked[holder.blocked] += 1
+    if summary["granted_counts"] != tuple(granted):
+        violations.append(Violation(
+            "cache-granted-counts", rid, None,
+            "cached {} but rescanned {}".format(
+                summary["granted_counts"], tuple(granted)),
+        ))
+    if summary["blocked_counts"] != tuple(blocked):
+        violations.append(Violation(
+            "cache-blocked-counts", rid, None,
+            "cached {} but rescanned {}".format(
+                summary["blocked_counts"], tuple(blocked)),
+        ))
+    granted_mask = sum(
+        1 << mode for mode, count in enumerate(granted) if count
+    )
+    blocked_mask = sum(
+        1 << mode for mode, count in enumerate(blocked) if count
+    )
+    if summary["granted_mask"] != granted_mask:
+        violations.append(Violation(
+            "cache-granted-mask", rid, None,
+            "cached {:#x} but rescanned {:#x}".format(
+                summary["granted_mask"], granted_mask),
+        ))
+    if summary["blocked_mask"] != blocked_mask:
+        violations.append(Violation(
+            "cache-blocked-mask", rid, None,
+            "cached {:#x} but rescanned {:#x}".format(
+                summary["blocked_mask"], blocked_mask),
+        ))
+
+    av_cache = summary["av_cache"]
+    if (
+        av_cache is not None
+        and av_cache[0] is state.total
+        and av_cache[1] == len(state.queue)
+    ):
+        boundary = 0
+        for entry in state.queue:
+            if not compatible(state.total, entry.blocked):
+                break
+            boundary += 1
+        if av_cache[2] != boundary:
+            violations.append(Violation(
+                "cache-av-prefix", rid, None,
+                "cached boundary {} but rescanned {}".format(
+                    av_cache[2], boundary),
+            ))
     return violations
 
 

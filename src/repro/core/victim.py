@@ -144,8 +144,11 @@ def split_av_st(
         )
     av: List[int] = []
     st: List[int] = []
-    for entry in state.queue[: position + 1]:
-        if compatible(state.total, entry.blocked):
+    # Entries before the memoized AV-prefix boundary are compatible with
+    # the total mode by definition — no per-entry re-check needed there.
+    boundary = state.av_prefix_length()
+    for index, entry in enumerate(state.queue[: position + 1]):
+        if index < boundary or compatible(state.total, entry.blocked):
             av.append(entry.tid)
         else:
             st.append(entry.tid)

@@ -110,6 +110,11 @@ class LockTable:
         """All blocked transactions, in no particular order."""
         return list(self._blocked_at)
 
+    def blocked_count(self) -> int:
+        """Number of blocked transactions — O(1), no list build (use
+        this for gauges and guards instead of ``len(blocked_tids())``)."""
+        return len(self._blocked_at)
+
     def active_tids(self) -> Set[int]:
         """Every transaction appearing anywhere in the table."""
         tids = set(self._held)

@@ -94,10 +94,9 @@ def _request_new(
     """A requestor that holds nothing on the resource yet (FIFO path)."""
     if not state.queue and compatible(state.total, mode):
         _admit_holder(table, state, HolderEntry(tid, mode), at_end=True)
-        state.raise_total(mode)
         return RequestOutcome(Granted(tid, state.rid, mode, immediate=True))
 
-    state.queue.append(QueueEntry(tid, mode))
+    state.enqueue(QueueEntry(tid, mode))
     table.note_blocked(tid, state.rid, in_queue=True)
     return RequestOutcome(Blocked(tid, state.rid, mode, conversion=False))
 
@@ -118,14 +117,12 @@ def _request_conversion(
         )
 
     if conversion_grantable(state, holder, target):
-        holder.granted = target
-        state.raise_total(mode)
+        state.set_holder_modes(holder, granted=target)
         return RequestOutcome(
             Granted(holder.tid, state.rid, target, immediate=True)
         )
 
-    holder.blocked = target
-    state.raise_total(mode)
+    state.set_holder_modes(holder, blocked=target)
     _apply_upr(state, holder)
     table.note_blocked(holder.tid, state.rid, in_queue=False)
     return RequestOutcome(
@@ -138,13 +135,14 @@ def conversion_grantable(
 ) -> bool:
     """True when ``holder``'s conversion to ``target`` (default: its
     blocked mode) is compatible with the granted mode of all other
-    holders."""
+    holders.
+
+    O(1): one AND of the target's conflict mask against the cached
+    granted-group mask (with ``holder``'s own contribution removed) —
+    ``holder`` must be a current member of ``state``'s holder list.
+    """
     wanted = holder.blocked if target is None else target
-    return all(
-        compatible(other.granted, wanted)
-        for other in state.holders
-        if other.tid != holder.tid
-    )
+    return state.conversion_compatible(holder, wanted)
 
 
 def _blocked_prefix_length(state: ResourceState) -> int:
@@ -169,39 +167,50 @@ def _admit_holder(
     Example 5.1's final R1).
     """
     if at_end:
-        state.holders.append(entry)
+        state.add_holder(entry)
     else:
-        state.holders.insert(_blocked_prefix_length(state), entry)
+        state.add_holder(entry, index=_blocked_prefix_length(state))
     table.note_holder(entry.tid, state.rid)
 
 
 def _apply_upr(state: ResourceState, entry: HolderEntry) -> None:
-    """Reposition a newly blocked conversion per UPR-1/2/3 (Section 3)."""
-    state.holders.remove(entry)
+    """Reposition a newly blocked conversion per UPR-1/2/3 (Section 3).
 
+    Pure list surgery — membership and modes are unchanged, so the
+    state's cached summaries stay valid throughout."""
+    holders = state.holders
+    holders.remove(entry)
+    holders.insert(_upr_index(holders, entry), entry)
+
+
+def _upr_index(holders: List[HolderEntry], entry: HolderEntry) -> int:
+    """Where UPR places ``entry`` in ``holders`` (given without it)."""
     # UPR-1: before the first blocked request whose bm is compatible
     # with ours (Observation 3.1(1): either could go first; FIFO keeps
     # the earlier arrival earlier, and we slot in just before the first
     # member of that compatible group).
-    for index, other in enumerate(state.holders):
+    for index, other in enumerate(holders):
         if other.is_blocked and compatible(other.blocked, entry.blocked):
-            state.holders.insert(index, entry)
-            return
+            return index
 
     # UPR-2: before the first blocked request that we can precede but
     # not follow (Observation 3.1(2): Comp(bm_i, gm_j) holds while
     # Comp(gm_i, bm_j) fails — scheduling us first is the only order).
-    for index, other in enumerate(state.holders):
+    for index, other in enumerate(holders):
         if (
             other.is_blocked
             and compatible(other.granted, entry.blocked)
             and not compatible(other.blocked, entry.granted)
         ):
-            state.holders.insert(index, entry)
-            return
+            return index
 
     # UPR-3: after all blocked requests, before all unblocked holders.
-    state.holders.insert(_blocked_prefix_length(state), entry)
+    count = 0
+    for other in holders:
+        if not other.is_blocked:
+            break
+        count += 1
+    return count
 
 
 def sweep(table: LockTable, rid: str) -> List[Granted]:
@@ -227,17 +236,18 @@ def sweep(table: LockTable, rid: str) -> List[Granted]:
         if not conversion_grantable(state, entry):
             break
         state.holders.pop(0)
-        entry.granted, entry.blocked = entry.blocked, LockMode.NL
+        state.set_holder_modes(
+            entry, granted=entry.blocked, blocked=LockMode.NL
+        )
         state.holders.insert(_blocked_prefix_length(state), entry)
         table.forget_blocked(entry.tid)
         grants.append(Granted(entry.tid, rid, entry.granted))
 
     while state.queue and compatible(state.total, state.queue[0].blocked):
-        waiter = state.queue.pop(0)
+        waiter = state.popleft_queue()
         _admit_holder(
             table, state, HolderEntry(waiter.tid, waiter.blocked), at_end=False
         )
-        state.raise_total(waiter.blocked)
         table.forget_blocked(waiter.tid)
         grants.append(Granted(waiter.tid, rid, waiter.blocked))
 
@@ -303,7 +313,7 @@ def reposition_queue(
             "AV/ST sets do not match the leading queue entries of "
             "{}".format(rid)
         )
-    state.queue = (
+    state.set_queue_order(
         [by_tid[tid] for tid in av_tids]
         + [by_tid[tid] for tid in st_tids]
         + rest

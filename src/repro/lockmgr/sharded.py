@@ -237,6 +237,11 @@ class MergedTableView:
             tids.extend(shard.table.blocked_tids())
         return tids
 
+    def blocked_count(self) -> int:
+        return sum(
+            shard.table.blocked_count() for shard in self._core.shards
+        )
+
     def active_tids(self) -> Set[int]:
         tids: Set[int] = set()
         for shard in self._core.shards:
@@ -585,7 +590,7 @@ class ShardedLockCore:
                 rows.append({
                     "shard": shard.index,
                     "resources": len(shard.table),
-                    "blocked": len(shard.table.blocked_tids()),
+                    "blocked": shard.table.blocked_count(),
                     "queued": sum(
                         len(state.queue)
                         for state in shard.table.resources()

@@ -92,6 +92,21 @@ class Telemetry:
         ).inc()
         self.trace.timed_out(tid)
 
+    def batch(self, size: int) -> None:
+        """One ``batch`` frame carrying ``size`` pipelined sub-ops."""
+        if not self.enabled:
+            return
+        self.registry.histogram(
+            "repro_batch_size",
+            help="sub-operations per batch frame",
+            buckets=COUNT_BUCKETS,
+        ).observe(size)
+        self.registry.counter(
+            "repro_batch_saved_roundtrips_total",
+            help="network round-trips avoided by batching (size-1 "
+            "per batch)",
+        ).inc(max(size - 1, 0))
+
     def finish(self, tid: int, aborted: bool = False) -> None:
         """Transaction end: close its spans, forget its pending wait."""
         if not self.enabled:

@@ -44,6 +44,9 @@ class ServiceStats:
         "wait_timeouts",
         "commits",
         "aborts",
+        "batches",
+        "batched_ops",
+        "batch_saved_roundtrips",
         "detector_passes",
         "deadlocks_resolved",
         "abort_free_resolutions",

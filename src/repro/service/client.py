@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import asyncio
 import threading
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from ..core.errors import TransactionAborted
 from ..core.modes import LockMode, parse_mode
@@ -229,6 +229,77 @@ class AsyncLockClient:
     async def abort(self, tid: int) -> None:
         await self._call("abort", tid=tid)
 
+    # -- pipelined batches -------------------------------------------------
+
+    async def batch(self, ops: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        """Submit pipelined sub-ops in one ``batch`` frame.
+
+        ``ops`` is a list of sub-op dicts (``begin``/``lock``/``commit``/
+        ``abort``, see :mod:`repro.service.protocol`).  Returns the
+        per-op result list; a failed sub-op reports its error in place
+        (``{"ok": false, "error": ...}``) without failing the frame.
+        ``lock`` sub-ops never wait — a contended request answers
+        ``"blocked"`` and stays queued.
+        """
+        response = await self._call("batch", ops=list(ops))
+        return list(response["results"])
+
+    def pipeline(self) -> "LockPipeline":
+        """A builder that collects sub-ops and submits them as one
+        ``batch`` frame: ``p = client.pipeline(); p.lock(...);
+        await p.submit()``."""
+        return LockPipeline(self)
+
+    async def acquire_many(
+        self,
+        tid: int,
+        accesses: Iterable[Tuple[str, "LockMode | str"]],
+        timeout: Optional[float] = None,
+    ) -> bool:
+        """Acquire every ``(rid, mode)`` for ``tid``, pipelining the
+        whole lock set into one frame.
+
+        Locks that grant immediately cost one round-trip for the entire
+        set; each blocked one falls back to an individual waiting
+        ``acquire`` (same queue position — batch locks stay queued).
+        Returns True when every lock ended up granted, False when any
+        wait timed out.  Raises :class:`TransactionAborted` if a
+        detection pass chose ``tid`` as victim.
+        """
+        accesses = list(accesses)
+        if not accesses:
+            return True
+        ops = [
+            {
+                "op": "lock",
+                "tid": tid,
+                "rid": rid,
+                "mode": mode.name if isinstance(mode, LockMode) else str(mode),
+            }
+            for rid, mode in accesses
+        ]
+        all_granted = True
+        for (rid, mode), result in zip(accesses, await self.batch(ops)):
+            if not result.get("ok"):
+                detail = result.get("error") or {}
+                raise ServiceError(
+                    str(detail.get("code", "error")),
+                    str(detail.get("message", "batched lock failed")),
+                )
+            status = result.get("status")
+            if status == "granted":
+                continue
+            if status == "aborted":
+                raise TransactionAborted(tid)
+            if status == "blocked":
+                if not await self.acquire(tid, rid, mode, timeout=timeout):
+                    all_granted = False
+                continue
+            raise ServiceError(
+                "bad-status", "unexpected lock status {!r}".format(status)
+            )
+        return all_granted
+
     # -- detection and introspection ----------------------------------------------
 
     async def detect(self) -> RemoteDetectionResult:
@@ -273,6 +344,56 @@ class AsyncLockClient:
 
     async def deadlocked(self) -> bool:
         return bool((await self._call("deadlocked"))["deadlocked"])
+
+
+class LockPipeline:
+    """Collects sub-ops for one ``batch`` frame.
+
+    Each builder method appends a sub-op and returns ``self`` so calls
+    chain; :meth:`submit` sends everything in one frame, returns the
+    per-op results and clears the builder for reuse.
+    """
+
+    def __init__(self, client: AsyncLockClient) -> None:
+        self._client = client
+        self._ops: List[Dict[str, Any]] = []
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def begin(self, tid: Optional[int] = None) -> "LockPipeline":
+        op: Dict[str, Any] = {"op": "begin"}
+        if tid is not None:
+            op["tid"] = tid
+        self._ops.append(op)
+        return self
+
+    def lock(
+        self, tid: int, rid: str, mode: "LockMode | str"
+    ) -> "LockPipeline":
+        self._ops.append({
+            "op": "lock",
+            "tid": tid,
+            "rid": rid,
+            "mode": mode.name if isinstance(mode, LockMode) else str(mode),
+        })
+        return self
+
+    def commit(self, tid: int) -> "LockPipeline":
+        self._ops.append({"op": "commit", "tid": tid})
+        return self
+
+    def abort(self, tid: int) -> "LockPipeline":
+        self._ops.append({"op": "abort", "tid": tid})
+        return self
+
+    async def submit(self) -> List[Dict[str, Any]]:
+        """Send the collected sub-ops as one frame; empty builder is a
+        no-op returning ``[]``.  Clears the builder either way."""
+        ops, self._ops = self._ops, []
+        if not ops:
+            return []
+        return await self._client.batch(ops)
 
 
 #: Slack added to the caller's lock timeout before the cross-thread wait
@@ -341,6 +462,28 @@ class RemoteLockManager:
 
     def abort(self, tid: int) -> None:
         self._run(self._client.abort(tid))
+
+    def batch(self, ops: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        """Submit one pipelined ``batch`` frame (see
+        :meth:`AsyncLockClient.batch`)."""
+        return self._run(self._client.batch(ops))
+
+    def acquire_many(
+        self,
+        tid: int,
+        accesses: Iterable[Tuple[str, LockMode]],
+        timeout: Optional[float] = None,
+    ) -> bool:
+        """Acquire a whole lock set in one frame, falling back to
+        waiting ``acquire`` calls for the contended ones."""
+        accesses = list(accesses)
+        outer = None
+        if timeout is not None:
+            outer = timeout * max(len(accesses), 1) + _NETWORK_SLACK
+        return self._run(
+            self._client.acquire_many(tid, accesses, timeout=timeout),
+            outer,
+        )
 
     # -- detection ------------------------------------------------------------
 

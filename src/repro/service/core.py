@@ -31,16 +31,25 @@ import time
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..core.errors import ReproError
-from ..core.modes import LockMode
+from ..core.modes import LockMode, parse_mode
 from ..core.victim import CostTable
 from ..lockmgr.sharded import ShardedLockCore, resolve_shard_count
 from ..obs.instrument import Telemetry
 from .admin import ServiceStats
-from .protocol import ServiceError, event_to_dict
+from .protocol import MAX_BATCH_OPS, ServiceError, event_to_dict
 
 #: Bounds on a client-requested lease, seconds.
 MIN_LEASE = 0.05
 MAX_LEASE = 3600.0
+
+
+def _batch_error(op, code: str, message: str) -> dict:
+    """One failed sub-op's in-place result within a batch response."""
+    return {
+        "op": op,
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }
 
 
 class Session:
@@ -154,7 +163,7 @@ class ServiceCore:
         registry.gauge(
             "repro_blocked_transactions",
             help="transactions currently blocked in the lock table",
-            fn=lambda: float(len(self.manager.table.blocked_tids())),
+            fn=lambda: float(self.manager.table.blocked_count()),
         )
         registry.gauge(
             "repro_lock_shards",
@@ -172,7 +181,7 @@ class ServiceCore:
                 "repro_shard_blocked",
                 labels={"shard": str(shard.index)},
                 help="transactions blocked in this shard",
-                fn=lambda s=shard: float(len(s.table.blocked_tids())),
+                fn=lambda s=shard: float(s.table.blocked_count()),
             )
 
     # -- sessions ----------------------------------------------------------
@@ -374,6 +383,91 @@ class ServiceCore:
         else:
             self.stats.commits += 1
         return [event_to_dict(event) for event in grants]
+
+    def batch_step(self, session: Session, ops) -> List[dict]:
+        """Apply a pipelined batch of sub-operations back-to-back.
+
+        ``ops`` is the wire frame's list of sub-op dicts
+        (``begin``/``lock``/``commit``/``abort``).  The whole batch runs
+        inside one writer pass: no pump, detection pass or competing
+        request interleaves between its sub-ops, and the parked-wait
+        pump runs once after the batch — the per-frame analogue of a
+        single shard pass.
+
+        ``lock`` sub-ops never wait (a blocking request would stall the
+        writer for every other client): a request that cannot be granted
+        immediately answers ``"blocked"`` and stays queued, exactly like
+        ``wait=False``, so the client can fall back to an individual
+        waiting ``lock``.
+
+        Returns one result dict per sub-op, in order.  A failed sub-op
+        reports its error in place and the batch continues — partial
+        results mirror what the same ops issued sequentially would have
+        produced.
+        """
+        if not isinstance(ops, list) or not ops:
+            raise ServiceError(
+                "bad-request", "batch needs a non-empty list of ops"
+            )
+        if len(ops) > MAX_BATCH_OPS:
+            raise ServiceError(
+                "batch-too-large",
+                "batch of {} ops exceeds the {} op limit".format(
+                    len(ops), MAX_BATCH_OPS
+                ),
+            )
+        self.stats.batches += 1
+        self.stats.batched_ops += len(ops)
+        self.stats.batch_saved_roundtrips += len(ops) - 1
+        self.telemetry.batch(len(ops))
+        return [self._batch_one(session, frame) for frame in ops]
+
+    def _batch_one(self, session: Session, frame) -> dict:
+        name = frame.get("op") if isinstance(frame, dict) else None
+        try:
+            if not isinstance(frame, dict):
+                raise ServiceError(
+                    "bad-request", "batch sub-op must be an object"
+                )
+            if name == "begin":
+                tid = self.begin_step(session, frame.get("tid"))
+                return {"op": name, "ok": True, "tid": tid}
+            if name == "lock":
+                tid = int(frame["tid"])
+                status, event, _ = self.lock_step(
+                    session,
+                    tid,
+                    str(frame["rid"]),
+                    parse_mode(frame["mode"]),
+                    wait=False,
+                )
+                return {
+                    "op": name,
+                    "ok": True,
+                    "tid": tid,
+                    "status": status,
+                    "event": event,
+                }
+            if name in ("commit", "abort"):
+                tid = int(frame["tid"])
+                grants = self.finish_step(
+                    session, tid, aborting=name == "abort"
+                )
+                return {"op": name, "ok": True, "tid": tid, "grants": grants}
+            raise ServiceError(
+                "bad-op",
+                "operation {!r} cannot be batched".format(name),
+            )
+        except ServiceError as exc:
+            return _batch_error(name, exc.code, exc.message)
+        except KeyError as exc:
+            return _batch_error(
+                name, "bad-request", "missing field {}".format(exc)
+            )
+        except (ValueError, TypeError) as exc:
+            return _batch_error(name, "bad-request", str(exc))
+        except ReproError as exc:
+            return _batch_error(name, "error", str(exc))
 
     def detect_step(self):
         """One periodic detection-resolution pass plus stats."""

@@ -22,9 +22,28 @@ Responses::
      "error": {"code": "not-owner", "message": "..."}}
 
 Operations (see :mod:`repro.service.server` for semantics): ``hello``,
-``heartbeat``, ``begin``, ``lock``, ``commit``, ``abort``, ``detect``,
-``inspect``, ``graph``, ``stats``, ``dump``, ``holding``,
+``heartbeat``, ``begin``, ``lock``, ``commit``, ``abort``, ``batch``,
+``detect``, ``inspect``, ``graph``, ``stats``, ``dump``, ``holding``,
 ``deadlocked``, ``goodbye``.
+
+The ``batch`` op pipelines up to :data:`MAX_BATCH_OPS` sub-operations
+(``begin``/``lock``/``commit``/``abort``) in one frame; the server
+applies them back-to-back on its writer task — one queue pass, one
+response frame — and answers a ``results`` list with one entry per
+sub-op (each either ``{"op", "ok": true, ...}`` with that op's usual
+fields or ``{"op", "ok": false, "error": {...}}``; a failed sub-op does
+not abort the rest of the batch).  ``lock`` sub-ops never wait inside a
+batch: a request that cannot be granted immediately reports
+``"blocked"`` (staying queued, exactly like ``wait=false``)::
+
+    {"v": 1, "id": 9, "op": "batch", "ops": [
+        {"op": "lock", "tid": 3, "rid": "R1", "mode": "IS"},
+        {"op": "lock", "tid": 3, "rid": "R2", "mode": "X"}]}
+    {"v": 1, "id": 9, "ok": true, "results": [
+        {"op": "lock", "ok": true, "tid": 3, "status": "granted",
+         "event": {...}},
+        {"op": "lock", "ok": true, "tid": 3, "status": "blocked",
+         "event": {...}}]}
 
 Lock-manager events and detection results travel as plain dicts built by
 :func:`event_to_dict` / :func:`detection_to_dict` and are rebuilt into
@@ -50,6 +69,11 @@ WIRE_VERSION = 1
 #: Hard cap on one frame's payload — a garbled length prefix must not
 #: make the reader try to allocate gigabytes.
 MAX_FRAME = 8 * 1024 * 1024
+
+#: Hard cap on the sub-operations one ``batch`` frame may carry — a
+#: batch runs to completion on the writer task, so its length bounds how
+#: long one client can monopolize the queue.
+MAX_BATCH_OPS = 256
 
 _HEADER = struct.Struct(">I")
 

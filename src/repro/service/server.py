@@ -395,6 +395,12 @@ class LockServer:
         )
         await send(ok(frame.get("id"), tid=tid, grants=grants))
 
+    async def _op_batch(self, session, frame, send) -> None:
+        results = await self._submit(
+            lambda: self.core.batch_step(session, frame.get("ops"))
+        )
+        await send(ok(frame.get("id"), results=results))
+
     async def _op_detect(self, session, frame, send) -> None:
         result = await self._submit(self.core.detect_step)
         await send(ok(frame.get("id"), **detection_to_dict(result)))
@@ -464,6 +470,7 @@ class LockServer:
         "lock": _op_lock,
         "commit": _op_commit,
         "abort": _op_abort,
+        "batch": _op_batch,
         "detect": _op_detect,
         "inspect": _op_inspect,
         "graph": _op_graph,

@@ -44,6 +44,36 @@ class TestBackendsPassOracles:
         assert report.ok, report.summary_lines()
         assert report.oracle_stats.service_checks > 100
 
+    def test_oracles_cover_the_summary_caches(self):
+        # The explorer's per-step table oracle is verify_table, which
+        # cross-checks the memoized queue summaries (per-mode counts,
+        # group masks, AV-prefix boundary) against a from-scratch
+        # rescan on every reached state — so a short sweep over both
+        # backends re-proves the incremental invalidation on thousands
+        # of scheduler transitions.
+        from repro.core.verify import verify_table
+        from tests.conftest import build_example_41_by_requests
+
+        report = run_check(
+            CheckConfig(
+                seed=23,
+                schedules=20,
+                backends=("concurrent", "service"),
+            )
+        )
+        assert report.ok, report.summary_lines()
+        assert report.oracle_stats.state_checks > 100
+        # And the oracle it runs does include the cache rules: poison
+        # one cached mask on a known-good state and it must fire.
+        table = build_example_41_by_requests()
+        state = next(iter(table.resources()))
+        assert verify_table(table) == []
+        state._granted_mask = 0
+        assert any(
+            violation.rule == "cache-granted-mask"
+            for violation in verify_table(table)
+        )
+
     def test_races_exhausts_its_whole_tree(self):
         report = run_check(
             CheckConfig(seed=0, schedules=200, backends=("races",),

@@ -1,0 +1,238 @@
+"""Fast-lane equivalence: the optimized paths pinned to their oracles.
+
+Three families, one per hot-path fast lane:
+
+* **Bitmask algebra ⟷ matrices.**  ``COMPAT_MASKS``/``CONFLICT_MASKS``/
+  ``SUP_OF_MASK`` are compile-time projections of the paper's Comp and
+  Conv matrices; every answer the integer path gives must equal the
+  dict-lookup path on the same inputs.
+* **Memoized summaries ⟷ from-scratch rescan.**  Whatever state real
+  scheduler operations reach, the incrementally-maintained per-mode
+  counts, group masks and AV-prefix boundary must equal a rescan — and
+  ``conversion_compatible`` must equal the reference pairwise check.
+* **Batch ⟷ sequential.**  A ``batch`` frame's per-op results and the
+  resulting lock table must be byte-identical to issuing the same ops
+  one frame at a time.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.modes import (
+    ALL_MODES,
+    COMPATIBILITY,
+    CONVERSION,
+    MODE_COUNT,
+    REQUESTABLE_MODES,
+    SUP_OF_MASK,
+    LockMode,
+    compatible,
+    convert,
+    mask_compatible,
+    mask_of,
+    modes_in_mask,
+    supremum,
+    total_mode,
+)
+from repro.core.verify import verify_table
+from repro.lockmgr import scheduler
+from repro.lockmgr.lock_table import LockTable
+from repro.service.core import ServiceCore
+
+MODES = list(REQUESTABLE_MODES)
+
+mode_st = st.sampled_from(list(ALL_MODES))
+mode_set_st = st.lists(mode_st, max_size=6)
+
+
+# -- bitmask algebra vs the matrices ---------------------------------------
+
+
+class TestMaskAlgebra:
+    def test_compatible_equals_matrix_everywhere(self):
+        for a in ALL_MODES:
+            for b in ALL_MODES:
+                assert compatible(a, b) == COMPATIBILITY[(a, b)]
+                assert convert(a, b) is CONVERSION[(a, b)]
+
+    def test_sup_of_mask_equals_supremum_everywhere(self):
+        for mask in range(1 << MODE_COUNT):
+            assert SUP_OF_MASK[mask] is supremum(modes_in_mask(mask))
+
+    @given(modes=mode_set_st, probe=mode_st)
+    def test_mask_compatible_equals_pairwise_matrix(self, modes, probe):
+        assert mask_compatible(mask_of(modes), probe) == all(
+            COMPATIBILITY[(held, probe)] for held in modes
+        )
+
+    @given(
+        entries=st.lists(st.tuples(mode_st, mode_st), max_size=6)
+    )
+    def test_total_mode_equals_sup_of_union_mask(self, entries):
+        flat = [mode for pair in entries for mode in pair]
+        assert total_mode(entries) is SUP_OF_MASK[mask_of(flat)]
+
+
+# -- cached summaries vs rescans on reachable states -----------------------
+
+
+def apply_ops(ops: List[Tuple[int, int, int, int]]) -> LockTable:
+    """Random-but-reachable states, built through real scheduler ops
+    (kind 0-3 request, kind 4 finish; blocked requesters are skipped as
+    the sequential model demands)."""
+    table = LockTable()
+    for kind, tid, rid_index, mode_index in ops:
+        tid = tid + 1
+        if kind >= 4:
+            scheduler.release_all(table, tid)
+            continue
+        if table.is_blocked(tid):
+            continue
+        scheduler.request(
+            table,
+            tid,
+            "R{}".format(rid_index),
+            MODES[mode_index % len(MODES)],
+        )
+    return table
+
+
+ops_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=0, max_value=7),
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=0, max_value=4),
+    ),
+    max_size=60,
+)
+
+
+def reference_conversion_compatible(state, holder, wanted) -> bool:
+    """The pre-mask check: scan every *other* holder pairwise."""
+    return all(
+        COMPATIBILITY[(other.granted, wanted)]
+        for other in state.holders
+        if other is not holder
+    )
+
+
+class TestSummaryCaches:
+    @settings(max_examples=120)
+    @given(ops=ops_strategy)
+    def test_summaries_match_rescan(self, ops):
+        table = apply_ops(ops)
+        # verify_table cross-checks every cached summary (counts,
+        # masks, AV boundary) against a from-scratch rescan.
+        assert verify_table(table) == []
+
+    @settings(max_examples=120)
+    @given(ops=ops_strategy)
+    def test_av_prefix_matches_scan(self, ops):
+        for state in apply_ops(ops).resources():
+            boundary = 0
+            for entry in state.queue:
+                if not COMPATIBILITY[(state.total, entry.blocked)]:
+                    break
+                boundary += 1
+            assert state.av_prefix_length() == boundary
+
+    @settings(max_examples=120)
+    @given(ops=ops_strategy, probe=st.sampled_from(MODES))
+    def test_conversion_compatible_matches_pairwise_scan(self, ops, probe):
+        for state in apply_ops(ops).resources():
+            for holder in state.holders:
+                assert state.conversion_compatible(
+                    holder, probe
+                ) == reference_conversion_compatible(state, holder, probe)
+
+    def test_verify_catches_poisoned_caches(self):
+        # The oracle has teeth: corrupt each cached summary directly
+        # and the matching violation fires.
+        table = apply_ops([(0, 0, 0, 1), (0, 1, 0, 2), (0, 2, 0, 4)])
+        state = next(iter(table.resources()))
+        state._granted_mask ^= 1 << LockMode.X
+        rules = {v.rule for v in verify_table(table)}
+        assert "cache-granted-mask" in rules
+        state.recompute_total()
+        assert verify_table(table) == []
+        state._granted_counts[LockMode.S] += 1
+        rules = {v.rule for v in verify_table(table)}
+        assert "cache-granted-counts" in rules
+
+
+# -- batch vs sequential through the service core --------------------------
+
+
+def batch_ops_strategy():
+    lock = st.tuples(
+        st.just("lock"),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=0, max_value=4),
+    )
+    finish = st.tuples(
+        st.sampled_from(["commit", "abort"]),
+        st.integers(min_value=1, max_value=4),
+        st.just(0),
+        st.just(0),
+    )
+    return st.lists(
+        st.one_of(lock, lock, lock, finish), min_size=1, max_size=12
+    )
+
+
+def to_frames(ops) -> List[dict]:
+    frames = []
+    for name, tid, rid_index, mode_index in ops:
+        if name == "lock":
+            frames.append({
+                "op": "lock",
+                "tid": tid,
+                "rid": "R{}".format(rid_index),
+                "mode": MODES[mode_index % len(MODES)].name,
+            })
+        else:
+            frames.append({"op": name, "tid": tid})
+    return frames
+
+
+def run_sequential(frames) -> Tuple[List[dict], str]:
+    """Reference: each frame applied as its own single-op request."""
+    core = ServiceCore()
+    session = core.open_session()
+    results = [core.batch_step(session, [frame])[0] for frame in frames]
+    return results, str(core.manager.table)
+
+
+def run_batched(frames) -> Tuple[List[dict], str]:
+    core = ServiceCore()
+    session = core.open_session()
+    results = core.batch_step(session, frames)
+    return results, str(core.manager.table)
+
+
+class TestBatchEquivalence:
+    @settings(max_examples=120)
+    @given(ops=batch_ops_strategy())
+    def test_batch_equals_sequential(self, ops):
+        frames = to_frames(ops)
+        sequential, seq_table = run_sequential(frames)
+        batched, batch_table = run_batched(frames)
+        assert batched == sequential
+        assert batch_table == seq_table
+
+    @settings(max_examples=60)
+    @given(ops=batch_ops_strategy())
+    def test_batch_counters_account_every_op(self, ops):
+        frames = to_frames(ops)
+        core = ServiceCore()
+        session = core.open_session()
+        core.batch_step(session, frames)
+        assert core.stats.batches == 1
+        assert core.stats.batched_ops == len(frames)
+        assert core.stats.batch_saved_roundtrips == len(frames) - 1

@@ -111,6 +111,34 @@ class TestSimulate:
         assert "commits" in capsys.readouterr().out
 
 
+class TestProfile:
+    def test_prints_hot_functions(self, capsys):
+        code = main(
+            ["profile", "--duration", "20", "--terminals", "3",
+             "--resources", "24", "--top", "10"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "profiled park-periodic" in out
+        assert "cumulative" in out
+        assert "ncalls" in out
+
+    def test_writes_pstats_file(self, tmp_path, capsys):
+        import pstats
+
+        target = tmp_path / "run.pstats"
+        code = main(
+            ["profile", "--duration", "20", "--terminals", "3",
+             "--resources", "24", "--sort", "tottime",
+             "--out", str(target)]
+        )
+        assert code == 0
+        assert "pstats profile written to" in capsys.readouterr().out
+        # The dump is a loadable pstats file.
+        stats = pstats.Stats(str(target))
+        assert stats.total_calls > 0
+
+
 class TestServiceCommands:
     @pytest.fixture
     def running_service(self):

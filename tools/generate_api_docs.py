@@ -57,6 +57,7 @@ error     {"v": 1, "id": 7, "ok": false,
 | `begin` | `tid?` | `tid` (server-assigned when omitted) |
 | `lock` | `tid`, `rid`, `mode`, `wait?`, `timeout?` | `status`: `granted` / `blocked` / `timeout` / `aborted`, plus the `event` |
 | `commit`, `abort` | `tid` | `grants` handed to waiters by the release |
+| `batch` | `ops` (≤ 256 sub-ops: `begin`/`lock`/`commit`/`abort`) | `results`, one entry per sub-op in order, each that op's usual fields plus `ok` — or `{"ok": false, "error": {...}}` in place |
 | `detect` | — | one detection-resolution pass (`deadlock_found`, `abort_free`, `aborted`, `repositions`, ...) |
 | `inspect` | — | operator `report`, `resources`, `blocked` |
 | `graph` | `dot?` | H/W-TWBG `edges`, `cycles`, `text`, optional `dot` |
@@ -67,6 +68,15 @@ error     {"v": 1, "id": 7, "ok": false,
 | `spans` | `limit?` | request-lifecycle span log: `total`, `open`, `spans` (see `docs/OBSERVABILITY.md`) |
 | `holding`, `deadlocked` | `tid` / — | per-transaction locks / any cycle present |
 | `goodbye` | — | clean detach (still sweeps the session's transactions) |
+
+A `batch` frame pipelines its sub-ops back-to-back on the server's
+writer task — one queue pass, one response frame — so an uncontended
+transaction (`begin` + N `lock`s + `commit`) costs one round-trip
+instead of N+2.  `lock` sub-ops never wait inside a batch: a contended
+request answers `blocked` and **stays queued**, so the client falls back
+to an individual waiting `lock` that resumes the same position
+(`AsyncLockClient.acquire_many` does exactly this).  A failed sub-op
+reports its error in place; the rest of the batch still runs.
 
 A timed-out `lock` leaves the request **queued**: retrying the same
 `lock` resumes the same queue position (never a duplicate entry).
