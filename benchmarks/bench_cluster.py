@@ -1,0 +1,296 @@
+"""Cluster scaling sweep: what moving detection off the serving path buys.
+
+The regime is PR 4's X7 sweep carried over the wire: a large standing
+RST (ballast readers holding S locks for the whole run) and an
+aggressive periodic-detection cadence.  The single-process baseline —
+one ``LockServer`` with ``shards=4`` and its own in-process detector,
+the exact server ``repro serve --shards 4`` runs — executes every pass
+*on the writer queue*, so each pass stops request serving for the time
+it takes to snapshot and walk the whole table.  A cluster inverts that:
+workers carry no detector, each pass only pins a worker for the time it
+takes to serialize its ``crc32(rid) % N`` slice, and the merge plus the
+Section-5 machinery run in the coordinator, off every worker's serving
+path.
+
+Both sides get the *same* requested cadence (``DETECTOR_PERIOD`` of
+rest between passes) and the same closed-loop client workload —
+``THREADS`` threads each committing ``TXNS_PER_THREAD`` short
+``acquire_many``-batched transactions through a
+:class:`~repro.cluster.client.ClusterLockManager`.  What differs is the
+architecture, and the records keep it honest: each one carries the
+number of detection passes that actually ran during the measured
+window, because the coordinator's wire pass is far more expensive than
+an in-band pass — the cluster trades detection *latency* for serving
+throughput that no longer depends on pass cost.
+
+Scored best-of-``REPEATS`` windows over one warm table (ballast is
+loaded once per topology).  The headline claim is ``4 workers ≥ 2.5x``
+the single-process baseline (the checked-in result shows it); the
+in-test assertion is a generous 1.5x tripwire so a noisy CI box cannot
+flake the suite while a real regression still fails it.  Every knob
+reads an ``REPRO_BENCH_CLUSTER_*`` override so the CI smoke job can run
+a seconds-long miniature of the same sweep.
+"""
+
+import os
+import random
+import threading
+import time
+
+from repro.cluster import ClusterSupervisor
+from repro.cluster.client import ClusterLockManager
+from repro.core.errors import TransactionAborted
+from repro.core.modes import LockMode
+from repro.service.protocol import ServiceError
+
+
+def _env_int(name, default):
+    return int(os.environ.get(name, default))
+
+
+#: Worker-process counts swept against the single-process baseline.
+WORKER_COUNTS = tuple(
+    int(part)
+    for part in os.environ.get("REPRO_BENCH_CLUSTER_WORKERS", "1,2,4,8").split(",")
+)
+#: Standing table: ballast readers that keep every detection pass busy.
+BALLAST_READERS = _env_int("REPRO_BENCH_CLUSTER_BALLAST", 16384)
+#: One ``acquire_many`` frame per ballast batch (the wire batch cap).
+BALLAST_BATCH = 256
+#: Rest between detection passes — both architectures get the same.
+DETECTOR_PERIOD = float(os.environ.get("REPRO_BENCH_CLUSTER_PERIOD", "0.005"))
+#: The baseline mirrors PR 4's sharded server.
+BASELINE_SHARDS = 4
+#: Client workload: low contention, measuring the serving path.
+WORKLOAD_RESOURCES = 256
+WRITE_FRACTION = 0.2
+MIN_TXN = 1
+MAX_TXN = 3
+THREADS = _env_int("REPRO_BENCH_CLUSTER_THREADS", 8)
+TXNS_PER_THREAD = _env_int("REPRO_BENCH_CLUSTER_TXNS", 20)
+REPEATS = _env_int("REPRO_BENCH_CLUSTER_REPEATS", 3)
+LOCK_TIMEOUT = 120.0
+
+
+def load_ballast(manager):
+    """Fill the standing RST: long-lived readers, one S lock each,
+    batched into full wire frames.  Under the partitioned map the rids
+    spread across workers by ``crc32``; the single-process baseline
+    takes them all."""
+    for batch in range(BALLAST_READERS // BALLAST_BATCH):
+        tid = 1_000_000 + batch
+        pairs = [
+            ("ballast-{}".format(batch * BALLAST_BATCH + i), LockMode.S)
+            for i in range(BALLAST_BATCH)
+        ]
+        assert manager.acquire_many(tid, pairs, timeout=LOCK_TIMEOUT)
+
+
+def run_window(manager, window):
+    """One closed-loop measurement window: every thread commits its
+    quota of short batched transactions; returns (tx/s, commits).
+
+    A batched acquisition can deadlock even under sorted rid order
+    (free locks grant immediately, contended ones park), so a victim
+    restarts its transaction under a fresh tid — the same discipline
+    :func:`repro.sim.realtime.run_realtime` applies."""
+    committed = [0] * THREADS
+    barrier = threading.Barrier(THREADS + 1)
+
+    def client(slot):
+        rng = random.Random(1009 * window + slot)
+        barrier.wait()
+        base = 10_000_000 + window * 1_000_000 + slot * 100_000
+        for n in range(TXNS_PER_THREAD):
+            size = rng.randint(MIN_TXN, MAX_TXN)
+            rids = sorted(
+                {
+                    "r-{}".format(rng.randrange(WORKLOAD_RESOURCES))
+                    for _ in range(size)
+                }
+            )
+            pairs = [
+                (
+                    rid,
+                    LockMode.X
+                    if rng.random() < WRITE_FRACTION
+                    else LockMode.S,
+                )
+                for rid in rids
+            ]
+            for attempt in range(10):
+                tid = base + n * 10 + attempt
+                try:
+                    assert manager.acquire_many(
+                        tid, pairs, timeout=LOCK_TIMEOUT
+                    )
+                    manager.commit(tid)
+                    committed[slot] += 1
+                    break
+                except TransactionAborted:
+                    try:
+                        manager.abort(tid)
+                    except (TransactionAborted, ServiceError):
+                        pass
+
+    threads = [
+        threading.Thread(target=client, args=(slot,))
+        for slot in range(THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    total = sum(committed)
+    return total / wall, total, wall
+
+
+def detector_passes(supervisor, manager, mode):
+    """How many detection passes have run so far (either architecture)."""
+    if mode == "single-process":
+        return sum(row["detector_passes"] for row in manager.stats())
+    counter = supervisor.registry.get("repro_cluster_detector_passes_total")
+    return int(counter.value) if counter is not None else 0
+
+
+def run_topology(mode, workers):
+    """Measure one topology: ballast once, then best-of-REPEATS windows.
+
+    ``single-process`` is the PR 4 baseline behind the same wire client:
+    one worker process, four in-process shards, the detector in-band on
+    the server's writer queue.  ``cluster`` puts the detector in the
+    supervisor's coordinator instead.
+    """
+    single = mode == "single-process"
+    supervisor = ClusterSupervisor(
+        workers=1 if single else workers,
+        shards_per_worker=BASELINE_SHARDS if single else 1,
+        period=None if single else DETECTOR_PERIOD,
+        worker_period=DETECTOR_PERIOD if single else None,
+    )
+    with supervisor:
+        manager = ClusterLockManager(supervisor.endpoints())
+        try:
+            load_ballast(manager)
+            runs = []
+            passes = []
+            for window in range(REPEATS):
+                before = detector_passes(supervisor, manager, mode)
+                throughput, commits, wall = run_window(manager, window)
+                assert commits == THREADS * TXNS_PER_THREAD
+                after = detector_passes(supervisor, manager, mode)
+                runs.append(throughput)
+                passes.append((after - before) / wall)
+            return runs, passes
+        finally:
+            manager.close()
+
+
+def run_columns(runs):
+    """Per-window scalars for the record (the schema's summary values
+    must be numeric, so the runs become one column each)."""
+    return {
+        "throughput_run_{}".format(index): round(value, 1)
+        for index, value in enumerate(runs)
+    }
+
+
+def test_cluster_scaling_sweep(record_result, record_metrics):
+    """Closed-loop wire throughput: in-band detection vs coordinator."""
+    results = {}
+    base_runs, base_passes = run_topology("single-process", 1)
+    results["single"] = (max(base_runs), base_runs, max(base_passes))
+    record_metrics(
+        "cluster_scaling",
+        dict(
+            {
+                "throughput_best": round(max(base_runs), 1),
+                "detector_passes_per_s": round(max(base_passes), 1),
+            },
+            **run_columns(base_runs),
+        ),
+        params={
+            "mode": "single-process",
+            "workers": 1,
+            "shards_per_worker": BASELINE_SHARDS,
+            "ballast_readers": BALLAST_READERS,
+            "detector_period": DETECTOR_PERIOD,
+            "threads": THREADS,
+            "txns_per_thread": TXNS_PER_THREAD,
+        },
+    )
+
+    for workers in WORKER_COUNTS:
+        runs, passes = run_topology("cluster", workers)
+        results[workers] = (max(runs), runs, max(passes))
+        record_metrics(
+            "cluster_scaling",
+            dict(
+                {
+                    "throughput_best": round(max(runs), 1),
+                    "detector_passes_per_s": round(max(passes), 1),
+                    "vs_single_process": round(
+                        max(runs) / results["single"][0], 2
+                    ),
+                },
+                **run_columns(runs),
+            ),
+            params={
+                "mode": "cluster",
+                "workers": workers,
+                "shards_per_worker": 1,
+                "ballast_readers": BALLAST_READERS,
+                "detector_period": DETECTOR_PERIOD,
+                "threads": THREADS,
+                "txns_per_thread": TXNS_PER_THREAD,
+            },
+        )
+
+    base_best = results["single"][0]
+    lines = [
+        "cluster scaling sweep ({} threads x {} txns, {} workload "
+        "resources, {} ballast readers, detector period {}s)".format(
+            THREADS, TXNS_PER_THREAD, WORKLOAD_RESOURCES,
+            BALLAST_READERS, DETECTOR_PERIOD,
+        ),
+        "baseline: one process, shards={}, detector in-band on the "
+        "writer queue; cluster: N worker processes, detector in the "
+        "coordinator".format(BASELINE_SHARDS),
+        "{:>22} {:>12} {:>10} {:>10}  {}".format(
+            "topology", "best tx/s", "vs single", "passes/s", "runs"
+        ),
+    ]
+    ordering = [("single-process s{}".format(BASELINE_SHARDS), "single")]
+    ordering += [
+        ("cluster w{}".format(workers), workers) for workers in WORKER_COUNTS
+    ]
+    for label, key in ordering:
+        best, runs, pass_rate = results[key]
+        lines.append(
+            "{:>22} {:>12} {:>9.2f}x {:>10.1f}  {}".format(
+                label,
+                round(best),
+                best / base_best,
+                pass_rate,
+                " ".join(str(round(value)) for value in runs),
+            )
+        )
+    record_result("X10_cluster_scaling", "\n".join(lines))
+
+    # The architectural claim only holds under real detector pressure:
+    # with a small ballast an in-band pass is cheap and the baseline
+    # legitimately wins, so a scaled-down smoke run (the CI cluster job)
+    # exercises the machinery without gating on the ratio.
+    if BALLAST_READERS < 8192:
+        return
+    # Every cluster topology must beat the in-band baseline outright.
+    for workers in WORKER_COUNTS:
+        assert results[workers][0] > base_best, (workers, results)
+    # The headline claim is >= 2.5x at four workers (the checked-in
+    # result shows it); the gate is a 1.5x tripwire so one noisy CI run
+    # cannot flake the suite while a real regression still trips it.
+    if 4 in results:
+        assert results[4][0] >= 1.5 * base_best, results

@@ -132,6 +132,10 @@ def _build(backend: str, config: CheckConfig, workload_seed: int,
         )
     if backend == "sharded":
         return EquivalenceModel(programs, continuous=continuous)
+    if backend == "cluster":
+        from .cluster import ClusterModel
+
+        return ClusterModel(programs, continuous=continuous)
     raise ValueError("unknown backend {!r}".format(backend))
 
 

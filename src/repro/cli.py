@@ -46,6 +46,7 @@ dumps; anything else is parsed as the paper's notation, e.g.::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -87,12 +88,16 @@ def read_table(path: str) -> LockTable:
     return load_table(LockTable(), text)
 
 
-def parse_costs(pairs: List[str]) -> CostTable:
+def parse_cost_pairs(pairs: List[str]) -> dict:
     costs = {}
     for pair in pairs:
         tid, _, value = pair.partition("=")
         costs[int(tid.lstrip("Tt"))] = float(value)
-    return CostTable(costs)
+    return costs
+
+
+def parse_costs(pairs: List[str]) -> CostTable:
+    return CostTable(parse_cost_pairs(pairs))
 
 
 def cmd_inspect(args) -> int:
@@ -272,6 +277,39 @@ def cmd_serve(args) -> int:
 
     from .service.server import LockServer
 
+    workers = args.workers
+    if workers > 1 and args.continuous:
+        # Same rule as --shards: the continuous companion detector
+        # needs the whole wait graph in one process.
+        print(
+            "warning: --continuous needs the whole wait graph in one "
+            "process and forces --workers 1; ignoring --workers "
+            "{}".format(workers),
+            file=sys.stderr,
+        )
+        workers = 1
+    if workers > 1:
+        return _serve_cluster(args, workers)
+
+    if args.continuous:
+        from .lockmgr.sharded import SHARDS_ENV, env_default_shards
+
+        requested = (
+            env_default_shards() if args.shards is None else args.shards
+        )
+        if requested > 1:
+            source = (
+                "{}={}".format(SHARDS_ENV, os.environ.get(SHARDS_ENV))
+                if args.shards is None
+                else "--shards {}".format(args.shards)
+            )
+            print(
+                "warning: --continuous needs the whole wait graph in "
+                "one process and forces --shards 1; ignoring "
+                "{}".format(source),
+                file=sys.stderr,
+            )
+
     server = LockServer(
         costs=parse_costs(args.cost),
         continuous=args.continuous,
@@ -302,6 +340,47 @@ def cmd_serve(args) -> int:
 
     try:
         asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _serve_cluster(args, workers: int) -> int:
+    import logging
+    import time
+
+    from .cluster import ClusterSupervisor
+
+    logging.basicConfig(
+        level=logging.INFO, format="%(levelname)s %(name)s: %(message)s"
+    )
+    supervisor = ClusterSupervisor(
+        workers=workers,
+        host=args.host,
+        base_port=args.port,
+        period=None if args.period <= 0 else args.period,
+        lease=args.lease,
+        costs=parse_cost_pairs(args.cost),
+    )
+    try:
+        with supervisor:
+            print(
+                "lock cluster up: {} workers at {} "
+                "(detector period={}, lease={}s)".format(
+                    workers,
+                    ", ".join(
+                        "{}:{}".format(host, port)
+                        for host, port in supervisor.endpoints()
+                    ),
+                    supervisor.period
+                    if supervisor.period is not None
+                    else "off",
+                    args.lease,
+                ),
+                flush=True,
+            )
+            while True:
+                time.sleep(1.0)
     except KeyboardInterrupt:
         pass
     return 0
@@ -367,7 +446,24 @@ def cmd_remote(args) -> int:
 
 
 def cmd_top(args) -> int:
-    from .obs.top import run_top
+    from .obs.top import parse_endpoints, run_cluster_top, run_top
+
+    if args.cluster:
+        try:
+            endpoints = parse_endpoints(args.cluster)
+        except ValueError as exc:
+            print("bad --cluster spec: {}".format(exc), file=sys.stderr)
+            return 2
+        try:
+            run_cluster_top(
+                endpoints,
+                interval=args.interval,
+                iterations=1 if args.once else None,
+                clear=not args.once,
+            )
+        except KeyboardInterrupt:
+            pass
+        return 0
 
     try:
         run_top(
@@ -591,6 +687,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--continuous forces 1)",
     )
     serve_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes; >1 runs the cluster supervisor with "
+        "one partitioned lock server per worker on port..port+N-1 "
+        "(--continuous forces 1)",
+    )
+    serve_cmd.add_argument(
         "--cost",
         action="append",
         default=[],
@@ -631,6 +735,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--once", action="store_true",
         help="print one dashboard frame and exit",
     )
+    top_cmd.add_argument(
+        "--cluster",
+        metavar="HOST:PORT,...",
+        help="poll a worker fleet instead of one server and render the "
+        "per-worker cluster view",
+    )
     top_cmd.set_defaults(run=cmd_top)
 
     trace_cmd = commands.add_parser(
@@ -662,7 +772,7 @@ def build_parser() -> argparse.ArgumentParser:
     check_cmd.add_argument(
         "--backends",
         nargs="*",
-        choices=["concurrent", "service", "races", "sharded"],
+        choices=["concurrent", "service", "races", "sharded", "cluster"],
         help="which models to explore (default: concurrent service)",
     )
     check_cmd.add_argument("--actors", type=int, default=3)

@@ -1,0 +1,206 @@
+"""The cluster topology without sockets.
+
+:class:`LocalCluster` wires N in-process
+:class:`~repro.lockmgr.sharded.ShardedLockCore` worker cores (one
+shard each) to the very same coordinator the wire cluster runs —
+plans and replies even round-trip through JSON, so the explorer's
+``cluster`` backend exercises the exact wire representations without
+process-spawn latency.  The cores share one first-lock sequence
+counter, mirroring the cross-process counter
+:mod:`repro.cluster.worker` installs, which is what keeps the merged
+snapshot byte-identical to a single-process
+:class:`~repro.lockmgr.sharded.ShardedLockCore` fed the same request
+stream (the property :mod:`repro.check.cluster` pins down).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from typing import Any, Dict, List, Optional, Set
+
+from ..core.errors import LockTableError
+from ..core.hw_twbg import HWTWBG, build_graph
+from ..core.modes import LockMode
+from ..core.victim import CostTable
+from ..lockmgr.events import Granted
+from ..lockmgr.lock_table import LockTable
+from ..lockmgr.sharded import ShardedLockCore
+from ..lockmgr import scheduler
+from .coordinator import (
+    ClusterDetection,
+    apply_resolution_plan,
+    merge_snapshots,
+    run_cluster_pass,
+    worker_of,
+)
+
+
+class LocalTransport:
+    """Coordinator transport over in-process cores.
+
+    Every payload, plan and reply round-trips through JSON so the
+    in-process cluster speaks exactly the wire dialect — a shape only
+    JSON can carry (string keys, lists, no tuples) is exercised here
+    the same way the socket path exercises it.
+    """
+
+    def __init__(self, cluster: "LocalCluster") -> None:
+        self._cluster = cluster
+
+    @staticmethod
+    def _wire(payload: Any) -> Any:
+        return json.loads(json.dumps(payload))
+
+    def snapshot_all(self) -> List[Optional[Dict[str, Any]]]:
+        return [
+            self._wire(core.snapshot_payload())
+            for core in self._cluster.cores
+        ]
+
+    def resolve(self, index: int, plan: Dict[str, Any]) -> Dict[str, Any]:
+        return self._wire(
+            apply_resolution_plan(
+                self._cluster.cores[index], self._wire(plan)
+            )
+        )
+
+
+class LocalCluster:
+    """N worker cores, one shared sequence counter, one coordinator.
+
+    The single-process stand-in for a worker fleet: the same routing
+    (``crc32(rid) % workers``), the same cross-worker Axiom-1 check the
+    sharded core applies across shards, and the same periodic pass —
+    driven synchronously, so the schedule explorer can single-step it.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        costs: Optional[CostTable] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("a cluster needs at least one worker")
+        self.costs = costs if costs is not None else CostTable()
+        self._counter = itertools.count()
+        self.cores: List[ShardedLockCore] = [
+            ShardedLockCore(
+                shards=1,
+                costs=self.costs,
+                sequence_source=self._counter.__next__,
+            )
+            for _ in range(workers)
+        ]
+        #: tid -> worker indexes the transaction has touched.
+        self._affinity: Dict[int, Set[int]] = {}
+        self._transport = LocalTransport(self)
+        self.last_pass = None
+
+    # -- routing ---------------------------------------------------------
+
+    @property
+    def workers(self) -> int:
+        return len(self.cores)
+
+    def worker_index(self, rid: str) -> int:
+        return worker_of(rid, len(self.cores))
+
+    def core_for(self, rid: str) -> ShardedLockCore:
+        return self.cores[self.worker_index(rid)]
+
+    # -- the locking surface ---------------------------------------------
+
+    def lock(self, tid: int, rid: str, mode: LockMode) -> scheduler.RequestOutcome:
+        """Route one request to the owning worker core.
+
+        Mirrors the client's view: an abort observed on *any* worker
+        latches (the cluster client learns of a victimization from one
+        worker and stops issuing for that transaction everywhere), and
+        Axiom 1 holds cluster-wide, not merely per worker.
+        """
+        index = self.worker_index(rid)
+        if self.was_aborted(tid):
+            raise LockTableError(
+                "transaction {} was aborted and cannot lock".format(tid)
+            )
+        blocked_rid = self.blocked_at(tid)
+        if blocked_rid is not None and (
+            self.worker_index(blocked_rid) != index
+        ):
+            raise LockTableError(
+                "transaction {} is already blocked at {} and cannot "
+                "also wait at {}".format(tid, blocked_rid, rid)
+            )
+        outcome = self.cores[index].lock(tid, rid, mode)
+        self._affinity.setdefault(tid, set()).add(index)
+        return outcome
+
+    def finish(self, tid: int) -> List[Granted]:
+        """End ``tid`` on every worker it touched, strict 2PL."""
+        grants: List[Granted] = []
+        for index in sorted(self._affinity.pop(tid, ())):
+            grants.extend(self.cores[index].finish(tid))
+        return grants
+
+    # -- deadlock handling -----------------------------------------------
+
+    def detect(self) -> ClusterDetection:
+        """One cross-worker periodic pass (the coordinator, inline)."""
+        result = run_cluster_pass(
+            self._transport, len(self.cores), self.costs
+        )
+        self.last_pass = result.cluster
+        return result
+
+    # -- introspection ---------------------------------------------------
+
+    def merged_table(self) -> LockTable:
+        """The cluster-wide RST, merged exactly as the coordinator
+        merges it (through the wire payloads)."""
+        merged, _, _ = merge_snapshots(self._transport.snapshot_all())
+        return merged
+
+    def blocked_at(self, tid: int) -> Optional[str]:
+        for core in self.cores:
+            rid = core.blocked_at(tid)
+            if rid is not None:
+                return rid
+        return None
+
+    def is_blocked(self, tid: int) -> bool:
+        return self.blocked_at(tid) is not None
+
+    def was_aborted(self, tid: int) -> bool:
+        return any(core.was_aborted(tid) for core in self.cores)
+
+    def holding(self, tid: int) -> Dict[str, LockMode]:
+        held: Dict[str, LockMode] = {}
+        for core in self.cores:
+            held.update(core.holding(tid))
+        return held
+
+    def graph(self) -> HWTWBG:
+        return build_graph(self.merged_table().snapshot())
+
+    def deadlocked(self) -> bool:
+        return self.graph().has_cycle()
+
+    def worker_summaries(self) -> List[Dict[str, int]]:
+        """Per-worker load figures (one row per worker core)."""
+        rows: List[Dict[str, int]] = []
+        for index, core in enumerate(self.cores):
+            summary = core.shard_summaries()[0]
+            rows.append(
+                {
+                    "worker": index,
+                    "resources": summary["resources"],
+                    "blocked": summary["blocked"],
+                    "queued": summary["queued"],
+                    "epoch": summary["epoch"],
+                }
+            )
+        return rows
+
+    def __str__(self) -> str:
+        return str(self.merged_table())

@@ -1,0 +1,304 @@
+"""The cluster supervisor: spawn, monitor, reap, detect.
+
+:class:`ClusterSupervisor` owns a worker fleet end to end:
+
+* **Spawn** — N :func:`~repro.cluster.worker.worker_main` processes,
+  each a ``LockServer`` bound to its own port (ephemeral ports are read
+  back through a ready queue), all sharing one cross-process first-lock
+  sequence counter.
+* **Monitor** — a reaper thread polls the fleet; a worker that dies is
+  ``join``-ed (no zombies), logged with its exit code on the
+  ``repro.cluster`` logger and counted in
+  ``repro_cluster_worker_deaths_total``.  Its partition's resources
+  become unavailable until an operator restarts the cluster — see
+  ``docs/CLUSTER.md`` for the failure model.
+* **Detect** — a detector thread runs the coordinator's
+  snapshot-merge-detect-resolve pass (:func:`run_cluster_pass`) every
+  ``period`` seconds over a :class:`WireClusterTransport`, feeding the
+  supervisor's metrics registry (``repro_cluster_*``).
+
+The supervisor is the process that *owns* the cost table the detector
+selects victims with (workers never run detection), mirroring the
+single-process servers where detector and cost table live together.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import queue
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.victim import CostTable
+from ..obs.metrics import MetricsRegistry
+from .client import WireClusterTransport
+from .coordinator import ClusterDetection, run_cluster_pass
+from .worker import worker_main
+
+LOGGER_NAME = "repro.cluster"
+
+
+@dataclass
+class WorkerHandle:
+    """One spawned worker process and its bound address."""
+
+    index: int
+    process: multiprocessing.Process
+    host: Optional[str] = None
+    port: Optional[int] = None
+    reaped: bool = False
+
+    @property
+    def alive(self) -> bool:
+        return not self.reaped and self.process.exitcode is None
+
+
+class ClusterSupervisor:
+    """Spawns and runs a worker fleet (see module docstring).
+
+    ``period=None`` disables the background detector thread — callers
+    then drive :meth:`detect` explicitly (tests, the explorer-style
+    harnesses).  ``start_method`` picks the multiprocessing start
+    method; the default prefers ``fork`` where available (fast spawns,
+    and the supervisor starts its own threads only *after* forking)
+    and falls back to ``spawn``.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        host: str = "127.0.0.1",
+        base_port: int = 0,
+        period: Optional[float] = 0.05,
+        lease: float = 5.0,
+        costs: Optional[Dict[int, float]] = None,
+        shards_per_worker: int = 1,
+        worker_period: Optional[float] = None,
+        start_method: Optional[str] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("a cluster needs at least one worker")
+        self.workers = workers
+        self.host = host
+        self.base_port = base_port
+        self.period = period
+        self.lease = lease
+        self.shards_per_worker = shards_per_worker
+        self.worker_period = worker_period
+        self.costs = CostTable(dict(costs or {}))
+        self._worker_costs = dict(costs or {})
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.log = logging.getLogger(LOGGER_NAME)
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._ctx = multiprocessing.get_context(start_method)
+        self._handles: List[WorkerHandle] = []
+        self._counter = None
+        self._stop = threading.Event()
+        self._threads: List[threading.Thread] = []
+        self._transport: Optional[WireClusterTransport] = None
+        self._detect_lock = threading.Lock()
+        self.last_detection: Optional[ClusterDetection] = None
+        self._started = False
+        self.registry.gauge(
+            "repro_cluster_workers",
+            help="worker processes this supervisor spawned",
+            fn=lambda: float(len(self._handles)),
+        )
+        self.registry.gauge(
+            "repro_cluster_workers_alive",
+            help="worker processes currently alive",
+            fn=lambda: float(
+                sum(1 for handle in self._handles if handle.alive)
+            ),
+        )
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self, timeout: float = 30.0) -> "ClusterSupervisor":
+        """Spawn the fleet, wait for every worker to report its bound
+        address, then start the reaper (and detector) threads."""
+        if self._started:
+            return self
+        self._counter = self._ctx.Value("q", 0)
+        ready = self._ctx.Queue()
+        for index in range(self.workers):
+            port = 0 if self.base_port == 0 else self.base_port + index
+            process = self._ctx.Process(
+                target=worker_main,
+                args=(index, self.host, port, ready, self._counter),
+                kwargs={
+                    "lease": self.lease,
+                    "shards": self.shards_per_worker,
+                    "period": self.worker_period,
+                    "costs": self._worker_costs,
+                },
+                name="repro-cluster-worker-{}".format(index),
+                daemon=True,
+            )
+            process.start()
+            self._handles.append(WorkerHandle(index=index, process=process))
+        try:
+            for _ in range(self.workers):
+                index, host, port = ready.get(timeout=timeout)
+                self._handles[index].host = host
+                self._handles[index].port = port
+        except queue.Empty:
+            self.close()
+            raise RuntimeError(
+                "cluster workers failed to report ready within "
+                "{}s".format(timeout)
+            )
+        self._transport = WireClusterTransport(
+            self.endpoints(), lease=max(self.lease, 30.0)
+        )
+        self._started = True
+        reaper = threading.Thread(
+            target=self._reaper_loop, name="repro-cluster-reaper", daemon=True
+        )
+        reaper.start()
+        self._threads.append(reaper)
+        if self.period is not None:
+            detector = threading.Thread(
+                target=self._detector_loop,
+                name="repro-cluster-detector",
+                daemon=True,
+            )
+            detector.start()
+            self._threads.append(detector)
+        self.log.info(
+            "cluster up: %d worker(s) at %s",
+            self.workers,
+            ", ".join(
+                "{}:{}".format(host, port) for host, port in self.endpoints()
+            ),
+        )
+        return self
+
+    def endpoints(self) -> List[Tuple[str, int]]:
+        """Index-aligned ``(host, port)`` of every worker."""
+        return [(handle.host, handle.port) for handle in self._handles]
+
+    def close(self) -> None:
+        """Stop the threads, the transport and every worker process."""
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self._threads.clear()
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None
+        for handle in self._handles:
+            if handle.process.exitcode is None:
+                handle.process.terminate()
+        for handle in self._handles:
+            handle.process.join(timeout=5.0)
+            handle.reaped = True
+        self._started = False
+
+    def __enter__(self) -> "ClusterSupervisor":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- monitoring ------------------------------------------------------
+
+    def poll_workers(self) -> List[WorkerHandle]:
+        """Reap workers that died since the last poll (join + log +
+        count); returns the handles reaped by this call."""
+        reaped: List[WorkerHandle] = []
+        for handle in self._handles:
+            if handle.reaped or handle.process.exitcode is None:
+                continue
+            handle.process.join()
+            handle.reaped = True
+            reaped.append(handle)
+            self.log.warning(
+                "worker %d (pid %s, %s:%s) exited with code %s; reaped — "
+                "its partition is unavailable until the cluster restarts",
+                handle.index,
+                handle.process.pid,
+                handle.host,
+                handle.port,
+                handle.process.exitcode,
+            )
+            self.registry.counter(
+                "repro_cluster_worker_deaths_total",
+                help="worker processes that exited and were reaped",
+            ).inc()
+        return reaped
+
+    def dead_workers(self) -> List[int]:
+        return [
+            handle.index for handle in self._handles if not handle.alive
+        ]
+
+    def _reaper_loop(self) -> None:
+        while not self._stop.wait(0.2):
+            self.poll_workers()
+
+    # -- detection -------------------------------------------------------
+
+    def detect(self) -> ClusterDetection:
+        """One cross-process detection-resolution pass, now."""
+        with self._detect_lock:
+            result = run_cluster_pass(
+                self._transport, self.workers, self.costs
+            )
+        self.last_detection = result
+        self._absorb(result)
+        return result
+
+    def _detector_loop(self) -> None:
+        while not self._stop.wait(self.period):
+            try:
+                self.detect()
+            except Exception:
+                if self._stop.is_set():
+                    return
+                self.log.exception("cluster detection pass failed")
+
+    def _absorb(self, result: ClusterDetection) -> None:
+        counters = self.registry.counter
+        counters(
+            "repro_cluster_detector_passes_total",
+            help="cross-process detection passes",
+        ).inc()
+        counters(
+            "repro_cluster_deadlocks_resolved_total",
+            help="cycles resolved by the cluster detector",
+        ).inc(len(result.resolutions))
+        counters(
+            "repro_cluster_victims_aborted_total",
+            help="victims aborted by the cluster detector",
+        ).inc(len(result.aborted))
+        counters(
+            "repro_cluster_repositionings_total",
+            help="TDR-2 repositionings applied across the cluster",
+        ).inc(len(result.repositions))
+        info = result.cluster
+        if info is None:
+            return
+        counters(
+            "repro_cluster_cross_worker_cycles_total",
+            help="resolved cycles spanning more than one worker process",
+        ).inc(info.cross_worker_cycles)
+        counters(
+            "repro_cluster_stale_resolutions_total",
+            help="victims or repositionings dropped as stale",
+        ).inc(info.stale_victims + info.stale_repositions)
+        self.registry.histogram(
+            "repro_cluster_pass_seconds",
+            help="wall-clock seconds per cross-process pass",
+        ).observe(info.pass_seconds)
+        for index, seconds in enumerate(info.snapshot_seconds):
+            self.registry.histogram(
+                "repro_cluster_snapshot_seconds",
+                labels={"worker": str(index)},
+                help="seconds each worker spent serializing its slice",
+            ).observe(seconds)

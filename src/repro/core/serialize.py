@@ -51,29 +51,34 @@ def check_version(data: Dict[str, Any], what: str = "dump") -> int:
     return version
 
 
+def state_to_dict(state) -> Dict[str, Any]:
+    """One :class:`~repro.core.requests.ResourceState` as a JSON-ready
+    dict — the per-resource entry of a :func:`table_to_dict` dump, also
+    used by shard snapshots that serialize states without a table."""
+    return {
+        "rid": state.rid,
+        "total": state.total.name,
+        "holders": [
+            {
+                "tid": holder.tid,
+                "granted": holder.granted.name,
+                "blocked": holder.blocked.name,
+            }
+            for holder in state.holders
+        ],
+        "queue": [
+            {"tid": waiter.tid, "mode": waiter.blocked.name}
+            for waiter in state.queue
+        ],
+    }
+
+
 def table_to_dict(table: LockTable) -> Dict[str, Any]:
     """Dump a lock table to a JSON-ready dict."""
-    resources = []
-    for state in table.resources():
-        resources.append(
-            {
-                "rid": state.rid,
-                "total": state.total.name,
-                "holders": [
-                    {
-                        "tid": holder.tid,
-                        "granted": holder.granted.name,
-                        "blocked": holder.blocked.name,
-                    }
-                    for holder in state.holders
-                ],
-                "queue": [
-                    {"tid": waiter.tid, "mode": waiter.blocked.name}
-                    for waiter in state.queue
-                ],
-            }
-        )
-    return {"v": FORMAT_VERSION, "resources": resources}
+    return {
+        "v": FORMAT_VERSION,
+        "resources": [state_to_dict(state) for state in table.resources()],
+    }
 
 
 def table_from_dict(data: Dict[str, Any]) -> LockTable:

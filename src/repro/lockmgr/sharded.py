@@ -68,6 +68,7 @@ from __future__ import annotations
 
 import os
 import threading
+import warnings
 import zlib
 from dataclasses import dataclass, field
 from time import perf_counter
@@ -106,9 +107,24 @@ def resolve_shard_count(
 ) -> int:
     """Resolve a ``shards`` argument: ``None`` means the environment
     default, and continuous detection forces a single shard (the rooted
-    at-block check is a whole-graph operation)."""
+    at-block check is a whole-graph operation).  Overriding an explicit
+    multi-shard request this way warns instead of failing — the request
+    may come from an environment-wide ``REPRO_SHARDS`` default that a
+    continuous component legitimately cannot honour."""
     count = env_default_shards() if shards is None else max(1, int(shards))
     if continuous:
+        if count > 1:
+            source = (
+                "{}={}".format(SHARDS_ENV, os.environ.get(SHARDS_ENV))
+                if shards is None
+                else "shards={}".format(shards)
+            )
+            warnings.warn(
+                "continuous detection needs a whole-graph rooted check "
+                "and forces shards=1; ignoring {}".format(source),
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return 1
     return count
 
@@ -278,6 +294,7 @@ class ShardedLockCore:
         costs: Optional[CostTable] = None,
         continuous: bool = False,
         listener: Optional[Callable[[object], None]] = None,
+        sequence_source: Optional[Callable[[], int]] = None,
     ) -> None:
         from ..core.continuous import ContinuousDetector
         from ..core.detection import PeriodicDetector
@@ -295,8 +312,12 @@ class ShardedLockCore:
         #: possibly know the transaction.
         self._affinity: Dict[int, Set[int]] = {}
         #: rid -> global first-lock sequence (see module docstring).
+        #: ``sequence_source`` swaps the local counter for an external
+        #: one — a cluster shares a cross-process counter so merged
+        #: worker snapshots keep the *cluster-wide* first-lock order.
         self._seq: Dict[str, int] = {}
         self._next_seq = 0
+        self._sequence_source = sequence_source
         self._txn_lock = threading.Lock()
         self._detect_lock = threading.RLock()
         self._periodic = (
@@ -354,8 +375,11 @@ class ShardedLockCore:
                     # First lock (or re-lock after drop_if_free): the
                     # resource re-enters the global iteration order at
                     # the end, exactly like a dict delete + re-insert.
-                    self._seq[rid] = self._next_seq
-                    self._next_seq += 1
+                    if self._sequence_source is not None:
+                        self._seq[rid] = int(self._sequence_source())
+                    else:
+                        self._seq[rid] = self._next_seq
+                        self._next_seq += 1
                 self._affinity.setdefault(tid, set()).add(shard.index)
             blocked_rid = self.blocked_at(tid)
             if blocked_rid is not None and (
@@ -468,41 +492,28 @@ class ShardedLockCore:
     def _apply_staged(self, staged, blocked_at_snapshot, result, info):
         """Replay the staged resolutions against the live shards, in the
         order the detector produced them: repositionings (Step 2), then
-        victim releases (Step 3), then change-list sweeps."""
+        victim releases (Step 3), then change-list sweeps.  Built on the
+        same resolution primitives a cluster coordinator uses to route a
+        merged snapshot's resolutions to worker cores over the wire."""
         applied_rids: List[str] = []
         for resolution in staged.resolutions:
             chosen = resolution.chosen
             if not isinstance(chosen, RepositionCandidate):
                 continue
-            shard = self.shard_for(chosen.rid)
-            with shard.mutex:
-                try:
-                    scheduler.reposition_queue(
-                        shard.table, chosen.rid,
-                        list(chosen.av), list(chosen.st),
-                    )
-                except (LockTableError, UnknownResourceError):
-                    # The live queue moved on since the snapshot; the
-                    # repositioning no longer matches and is dropped.
-                    info.stale_repositions += 1
-                    continue
-                shard.epoch += 1
-            applied_rids.append(chosen.rid)
-            result.repositions.append(
-                Repositioned(rid=chosen.rid, delayed=tuple(chosen.st))
+            event = self.apply_reposition(
+                chosen.rid, chosen.av, chosen.st, publish=False
             )
+            if event is None:
+                # The live queue moved on since the snapshot; the
+                # repositioning no longer matches and is dropped.
+                info.stale_repositions += 1
+                continue
+            applied_rids.append(chosen.rid)
+            result.repositions.append(event)
         for tid in staged.aborted:
-            snap_rid = blocked_at_snapshot.get(tid)
-            confirmed = False
-            if snap_rid is not None:
-                shard = self.shard_for(snap_rid)
-                with shard.mutex:
-                    if shard.table.blocked_at(tid) == snap_rid:
-                        with self._txn_lock:
-                            already = tid in self._aborted
-                            if not already:
-                                self._aborted.add(tid)
-                        confirmed = not already
+            confirmed, grants = self.abort_victim(
+                tid, blocked_at_snapshot.get(tid), publish=False
+            )
             if not confirmed:
                 # Granted (or finished) since the snapshot — no longer
                 # deadlocked, so aborting it would be waste: spare it,
@@ -511,25 +522,141 @@ class ShardedLockCore:
                 info.stale_victims += 1
                 result.spared.append(tid)
                 continue
-            with self._txn_lock:
-                indexes = sorted(self._affinity.get(tid, ()))
-            for index in indexes:
-                shard = self.shards[index]
-                with shard.mutex:
-                    result.grants.extend(
-                        scheduler.release_all(shard.table, tid)
-                    )
-                    shard.epoch += 1
-            self.costs.forget(tid)
+            result.grants.extend(grants)
             result.aborted.append(tid)
         for rid in applied_rids:
-            shard = self.shard_for(rid)
+            result.grants.extend(self.sweep_resource(rid, publish=False))
+
+    # -- resolution primitives (shared with the cluster coordinator) -------
+
+    def snapshot_payload(self) -> Dict[str, object]:
+        """Serialize this core's RST slice for a cluster coordinator.
+
+        Epoch-stamped deep copies of every shard (each held briefly
+        under its own mutex), presented in this core's first-lock order
+        with the live resources' sequence numbers attached, so a
+        coordinator can merge several workers' slices into one global
+        RST ordered by the cluster-wide first-lock sequence (workers
+        share a sequence counter via ``sequence_source``).
+        """
+        from ..core.serialize import FORMAT_VERSION, state_to_dict
+
+        started = perf_counter()
+        states: List[ResourceState] = []
+        epochs: List[int] = []
+        for shard in self.shards:
             with shard.mutex:
-                if rid in shard.table:
-                    events = scheduler.sweep(shard.table, rid)
-                    if events:
-                        shard.epoch += 1
-                    result.grants.extend(events)
+                states.extend(shard.table.snapshot())
+                epochs.append(shard.epoch)
+        order = self.sequence_map()
+        fallback = len(order)
+        states.sort(key=lambda state: order.get(state.rid, fallback))
+        return {
+            "v": FORMAT_VERSION,
+            "table": {
+                "v": FORMAT_VERSION,
+                "resources": [state_to_dict(state) for state in states],
+            },
+            "sequence": {
+                state.rid: order[state.rid]
+                for state in states
+                if state.rid in order
+            },
+            "epochs": epochs,
+            "seconds": perf_counter() - started,
+        }
+
+    def abort_victim(
+        self,
+        tid: int,
+        expected_rid: Optional[str],
+        publish: bool = True,
+    ):
+        """Confirm-and-abort one deadlock victim chosen from a snapshot.
+
+        The staleness re-check of the periodic protocol: ``tid`` must
+        still be blocked at ``expected_rid`` (where the snapshot saw
+        it) or the victim is stale and left untouched.  When confirmed,
+        marks the transaction aborted and frees everything it holds or
+        waits for on this core.  Returns ``(confirmed, grants)``.
+        """
+        if expected_rid is None:
+            return False, []
+        shard = self.shard_for(expected_rid)
+        with shard.mutex:
+            if shard.table.blocked_at(tid) != expected_rid:
+                return False, []
+            with self._txn_lock:
+                if tid in self._aborted:
+                    return False, []
+                self._aborted.add(tid)
+        grants = self._release_as_victim(tid)
+        if publish:
+            self._publish(Aborted(tid, "deadlock victim"))
+            self._publish(*grants)
+        return True, grants
+
+    def release_victim(self, tid: int, publish: bool = True) -> List[Granted]:
+        """Free a victim's entries on this core without re-confirming.
+
+        The cross-process counterpart of the victim-release loop: when a
+        cluster victim blocks on *another* worker, that worker confirms
+        via :meth:`abort_victim` and every other worker holding the
+        victim's locks frees them through here.
+        """
+        with self._txn_lock:
+            self._aborted.add(tid)
+        grants = self._release_as_victim(tid)
+        if publish:
+            self._publish(*grants)
+        return grants
+
+    def _release_as_victim(self, tid: int) -> List[Granted]:
+        """Release everything ``tid`` holds or waits for, keeping the
+        affinity entry so the owner's eventual ``finish`` still routes."""
+        with self._txn_lock:
+            indexes = sorted(self._affinity.get(tid, ()))
+        grants: List[Granted] = []
+        for index in indexes:
+            shard = self.shards[index]
+            with shard.mutex:
+                grants.extend(scheduler.release_all(shard.table, tid))
+                shard.epoch += 1
+        self.costs.forget(tid)
+        return grants
+
+    def apply_reposition(
+        self, rid: str, av, st, publish: bool = True
+    ) -> Optional[Repositioned]:
+        """Re-validate and apply one staged TDR-2 repositioning against
+        the live queue of ``rid``.  Returns the event, or None when the
+        live queue moved on since the snapshot (the stale case)."""
+        shard = self.shard_for(rid)
+        with shard.mutex:
+            try:
+                scheduler.reposition_queue(
+                    shard.table, rid, list(av), list(st)
+                )
+            except (LockTableError, UnknownResourceError):
+                return None
+            shard.epoch += 1
+        event = Repositioned(rid=rid, delayed=tuple(st))
+        if publish:
+            self._publish(event)
+        return event
+
+    def sweep_resource(self, rid: str, publish: bool = True) -> List[Granted]:
+        """Run the change-list sweep over one repositioned resource."""
+        shard = self.shard_for(rid)
+        with shard.mutex:
+            if rid not in shard.table:
+                return []
+            events = scheduler.sweep(shard.table, rid)
+            if events:
+                shard.epoch += 1
+        if publish:
+            self._publish(*events)
+        return events
 
     def _absorb(self, result) -> None:
         for tid in result.aborted:

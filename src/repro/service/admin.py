@@ -58,6 +58,13 @@ class ServiceStats:
         "lease_expiries",
         "rude_disconnects",
         "protocol_errors",
+        # Cluster-worker counters: snapshots served to a coordinator
+        # and resolutions it routed back to this worker.
+        "snapshots_served",
+        "cluster_victims_aborted",
+        "cluster_repositionings",
+        "cluster_releases",
+        "cluster_stale_resolutions",
     )
 
     def __init__(

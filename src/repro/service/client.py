@@ -49,6 +49,7 @@ class AsyncLockClient:
         self._reader_task: Optional[asyncio.Task] = None
         self._heartbeat_task: Optional[asyncio.Task] = None
         self._closed = False
+        self._conn_error: Optional[Exception] = None
         self.session: Optional[str] = None
         self.lease: Optional[float] = None
         self.server_info: Dict[str, Any] = {}
@@ -150,12 +151,21 @@ class AsyncLockClient:
             self._fail_pending(ConnectionError("server closed the connection"))
 
     def _fail_pending(self, exc: Exception) -> None:
+        # Remember the terminal error: once the read loop is gone, any
+        # *future* request would park a response future nobody can ever
+        # complete — _send_raw uses this to fail fast instead.
+        if self._conn_error is None:
+            self._conn_error = exc
         for future in self._pending.values():
             if not future.done():
                 future.set_exception(exc)
         self._pending.clear()
 
     async def _send_raw(self, op: str, **fields: Any) -> Dict[str, Any]:
+        if self._conn_error is not None:
+            raise ConnectionError(
+                "connection lost: {}".format(self._conn_error)
+            )
         request_id = self._next_id
         self._next_id += 1
         future = asyncio.get_event_loop().create_future()
@@ -305,6 +315,18 @@ class AsyncLockClient:
     async def detect(self) -> RemoteDetectionResult:
         """Ask the server for one periodic detection-resolution pass."""
         return RemoteDetectionResult(await self._call("detect"))
+
+    async def snapshot(self) -> Dict[str, Any]:
+        """The server's RST slice for a cluster coordinator: the
+        versioned table dump plus each live resource's cluster-wide
+        first-lock sequence number (see :mod:`repro.cluster`)."""
+        return dict((await self._call("snapshot"))["snapshot"])
+
+    async def resolve(self, plan: Dict[str, Any]) -> Dict[str, Any]:
+        """Apply a coordinator resolution plan on the server (the
+        ``resolve`` op: repositions / victims / releases / sweeps, each
+        re-checked against live state).  Returns the per-item reply."""
+        return dict((await self._call("resolve", plan=plan))["reply"])
 
     async def heartbeat(self) -> float:
         """Explicit lease renewal; returns the remaining lease time."""

@@ -112,6 +112,7 @@ class ServiceCore:
         clock: Callable[[], float] = time.monotonic,
         telemetry: Optional[Telemetry] = None,
         shards: Optional[int] = None,
+        sequence_source: Optional[Callable[[], int]] = None,
     ) -> None:
         self.continuous = continuous
         #: Resolved shard count (``None`` means the ``REPRO_SHARDS``
@@ -127,11 +128,15 @@ class ServiceCore:
             if telemetry is not None
             else Telemetry(clock=lambda: self.clock())
         )
+        # ``sequence_source`` is the cluster seam: a worker process
+        # draws first-lock sequence numbers from a counter shared with
+        # its siblings, so merged snapshots keep the cluster-wide order.
         self.manager = ShardedLockCore(
             shards=self.shards,
             costs=costs,
             continuous=continuous,
             listener=self.telemetry.on_event,
+            sequence_source=sequence_source,
         )
         self.stats = ServiceStats(registry=self.telemetry.registry)
         self.sessions: Dict[str, Session] = {}
@@ -476,6 +481,47 @@ class ServiceCore:
         self.telemetry.detection(result, time.perf_counter() - started)
         self.stats.absorb_detection(result)
         return result
+
+    def snapshot_step(self) -> dict:
+        """Serialize this worker's RST slice for a cluster coordinator
+        (the ``snapshot`` op)."""
+        self.stats.snapshots_served += 1
+        return self.manager.snapshot_payload()
+
+    def resolve_step(self, plan) -> dict:
+        """Apply one coordinator resolution plan (the ``resolve`` op).
+
+        Runs on the writer like every other mutation, so the pump after
+        it wakes the plan's victims (their parked waits resolve
+        ``aborted``) and grantees exactly like a local detection pass.
+        """
+        from ..cluster.coordinator import apply_resolution_plan
+
+        if not isinstance(plan, dict):
+            raise ServiceError(
+                "bad-request", "resolve needs a plan object"
+            )
+        try:
+            reply = apply_resolution_plan(self.manager, plan)
+        except (KeyError, ValueError, TypeError) as exc:
+            raise ServiceError(
+                "bad-request", "malformed resolution plan: {}".format(exc)
+            )
+        # No telemetry.finish here: the manager publishes the Aborted
+        # event, which closes the victim's span through the listener —
+        # the same path a local detection pass takes.
+        for row in reply["victims"]:
+            if row["confirmed"]:
+                self.stats.cluster_victims_aborted += 1
+            else:
+                self.stats.cluster_stale_resolutions += 1
+        for row in reply["repositions"]:
+            if row["applied"]:
+                self.stats.cluster_repositionings += 1
+            else:
+                self.stats.cluster_stale_resolutions += 1
+        self.stats.cluster_releases += len(reply["releases"])
+        return reply
 
     def pump(self) -> List[ParkedWait]:
         """Resolve parked ``lock`` waits against the manager's current

@@ -23,8 +23,35 @@ Responses::
 
 Operations (see :mod:`repro.service.server` for semantics): ``hello``,
 ``heartbeat``, ``begin``, ``lock``, ``commit``, ``abort``, ``batch``,
-``detect``, ``inspect``, ``graph``, ``stats``, ``dump``, ``holding``,
-``deadlocked``, ``goodbye``.
+``detect``, ``snapshot``, ``resolve``, ``inspect``, ``graph``,
+``stats``, ``dump``, ``holding``, ``deadlocked``, ``goodbye``.
+
+The ``snapshot`` and ``resolve`` ops are the cluster detector's two
+rounds (:mod:`repro.cluster.coordinator`).  ``snapshot`` answers this
+worker's RST slice — the versioned lock-table dump of
+:mod:`repro.core.serialize` plus each live resource's cluster-wide
+first-lock sequence number, its per-shard epochs and the serialize
+time::
+
+    {"v": 1, "id": 4, "op": "snapshot"}
+    {"v": 1, "id": 4, "ok": true, "snapshot": {
+        "v": 1, "table": {"v": 1, "resources": [...]},
+        "sequence": {"R1": 17, ...}, "epochs": [42], "seconds": 0.0003}}
+
+``resolve`` routes a coordinator's staged resolutions back to the
+owning worker; every item is re-checked against live state (a stale
+repositioning answers ``applied: false``, a stale victim
+``confirmed: false`` — never guessed at)::
+
+    {"v": 1, "id": 5, "op": "resolve", "plan": {
+        "repositions": [{"rid": "R1", "av": [3], "st": [8]}],
+        "victims": [{"tid": 2, "rid": "R2"}],
+        "releases": [2], "sweeps": ["R1"]}}
+    {"v": 1, "id": 5, "ok": true, "reply": {
+        "repositions": [{"rid": "R1", "applied": true, "delayed": [8]}],
+        "victims": [{"tid": 2, "confirmed": true, "grants": [...]}],
+        "releases": [{"tid": 2, "grants": []}],
+        "sweeps": [{"rid": "R1", "grants": [...]}]}}
 
 The ``batch`` op pipelines up to :data:`MAX_BATCH_OPS` sub-operations
 (``begin``/``lock``/``commit``/``abort``) in one frame; the server

@@ -88,6 +88,7 @@ class LockServer:
         lease: float = 5.0,
         telemetry=None,
         shards: Optional[int] = None,
+        sequence_source=None,
     ) -> None:
         self.core = ServiceCore(
             costs=costs,
@@ -95,6 +96,7 @@ class LockServer:
             lease=lease,
             telemetry=telemetry,
             shards=shards,
+            sequence_source=sequence_source,
         )
         self.continuous = continuous
         self.period = period
@@ -405,6 +407,16 @@ class LockServer:
         result = await self._submit(self.core.detect_step)
         await send(ok(frame.get("id"), **detection_to_dict(result)))
 
+    async def _op_snapshot(self, session, frame, send) -> None:
+        payload = await self._submit(self.core.snapshot_step)
+        await send(ok(frame.get("id"), snapshot=payload))
+
+    async def _op_resolve(self, session, frame, send) -> None:
+        reply = await self._submit(
+            lambda: self.core.resolve_step(frame.get("plan"))
+        )
+        await send(ok(frame.get("id"), reply=reply))
+
     async def _op_inspect(self, session, frame, send) -> None:
         payload = await self._submit(
             lambda: admin.inspect_payload(self.manager)
@@ -472,6 +484,8 @@ class LockServer:
         "abort": _op_abort,
         "batch": _op_batch,
         "detect": _op_detect,
+        "snapshot": _op_snapshot,
+        "resolve": _op_resolve,
         "inspect": _op_inspect,
         "graph": _op_graph,
         "dump": _op_dump,

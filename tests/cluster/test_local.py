@@ -1,0 +1,255 @@
+"""The in-process cluster: routing, the merged snapshot, and the
+coordinator pass against the paper's printed deadlocks.
+
+The centerpiece mirrors the sharded satellite regression one level up:
+Examples 4.1 and 5.1 with their two resources owned by *different
+worker cores* must resolve exactly as the single-process sharded
+detector resolves the same state — 4.1 abort-free by TDR-2, 5.1 by
+aborting the walkthrough's victim on every worker it touched — with
+the plans and replies round-tripping through JSON on the way.
+"""
+
+import pytest
+
+from repro.cluster import LocalCluster, merge_snapshots
+from repro.cluster.local import LocalTransport
+from repro.core.errors import LockTableError
+from repro.core.modes import LockMode
+from repro.core.victim import CostTable
+from repro.lockmgr.sharded import ShardedLockCore
+
+from ..lockmgr.test_sharded import (
+    EXAMPLE_51_COSTS,
+    feed_example_41,
+    feed_example_51,
+)
+
+
+def rids_on_distinct_workers(cluster: LocalCluster, count: int = 2):
+    """The first ``count`` resource ids owned by pairwise distinct
+    workers (probed, so the tests do not bake in the hash)."""
+    assert cluster.workers >= count
+    found = {}
+    i = 0
+    while len(found) < count:
+        i += 1
+        rid = "R{}".format(i)
+        index = cluster.worker_index(rid)
+        if index not in found:
+            found[index] = rid
+    return list(found.values())
+
+
+class TestRoutingSurface:
+    def test_lock_routes_to_the_owning_core(self):
+        cluster = LocalCluster(workers=4)
+        a, b = rids_on_distinct_workers(cluster)
+        assert cluster.lock(1, a, LockMode.S).granted
+        assert cluster.lock(1, b, LockMode.X).granted
+        assert cluster.holding(1) == {a: LockMode.S, b: LockMode.X}
+        assert cluster.worker_index(a) != cluster.worker_index(b)
+        assert a in cluster.core_for(a).table.resource_ids()
+        assert a not in cluster.core_for(b).table.resource_ids()
+
+    def test_finish_releases_on_every_touched_worker(self):
+        cluster = LocalCluster(workers=4)
+        a, b = rids_on_distinct_workers(cluster)
+        assert cluster.lock(1, a, LockMode.X).granted
+        assert cluster.lock(1, b, LockMode.X).granted
+        assert not cluster.lock(2, a, LockMode.S).granted
+        assert not cluster.lock(3, b, LockMode.S).granted
+        grants = cluster.finish(1)
+        assert {event.tid for event in grants} == {2, 3}
+        assert cluster.holding(1) == {}
+
+    def test_cross_worker_double_wait_violates_axiom_1(self):
+        cluster = LocalCluster(workers=4)
+        a, b = rids_on_distinct_workers(cluster)
+        assert cluster.lock(1, a, LockMode.X).granted
+        assert cluster.lock(2, b, LockMode.X).granted
+        assert not cluster.lock(3, a, LockMode.S).granted
+        with pytest.raises(LockTableError):
+            cluster.lock(3, b, LockMode.S)
+
+    def test_abort_latches_cluster_wide(self):
+        cluster = LocalCluster(workers=2)
+        a, b = rids_on_distinct_workers(cluster)
+        assert cluster.lock(1, a, LockMode.X).granted
+        cluster.cores[cluster.worker_index(a)]._aborted.add(1)
+        with pytest.raises(LockTableError):
+            cluster.lock(1, b, LockMode.S)
+
+
+class TestMergedSnapshot:
+    def test_merged_table_keeps_global_first_lock_order(self):
+        cluster = LocalCluster(workers=4)
+        reference = ShardedLockCore(shards=4)
+        rids = ["R{}".format(i) for i in (9, 2, 14, 5, 1)]
+        for tid, rid in enumerate(rids, start=1):
+            assert cluster.lock(tid, rid, LockMode.S).granted
+            assert reference.lock(tid, rid, LockMode.S).granted
+        assert cluster.merged_table().resource_ids() == rids
+        assert str(cluster.merged_table()) == str(reference.table)
+
+    def test_unreachable_worker_slice_is_absent_not_fatal(self):
+        cluster = LocalCluster(workers=2)
+        a, b = rids_on_distinct_workers(cluster)
+        assert cluster.lock(1, a, LockMode.S).granted
+        assert cluster.lock(2, b, LockMode.S).granted
+        down = cluster.worker_index(b)
+        payloads = cluster._transport.snapshot_all()
+        payloads[down] = None
+        merged, unreachable, _ = merge_snapshots(payloads)
+        assert unreachable == [down]
+        assert merged.resource_ids() == [a]
+
+
+class TestClusterDetection:
+    @pytest.mark.parametrize("workers", [2, 3, 4])
+    def test_example_41_across_workers_is_abort_free(self, workers):
+        cluster = LocalCluster(workers=workers)
+        r1, r2 = rids_on_distinct_workers(cluster)
+        feed_example_41(cluster, r1, r2)
+        assert cluster.deadlocked()
+        result = cluster.detect()
+        assert result.deadlock_found
+        assert result.abort_free
+        assert result.aborted == []
+        assert [
+            (event.rid, tuple(event.delayed))
+            for event in result.repositions
+        ] == [(r2, (8,))]
+        assert [event.tid for event in result.grants] == [9]
+        info = result.cluster
+        assert info is not None and info.workers == workers
+        assert info.cross_worker_cycles >= 1
+        assert info.stale_victims == 0 and info.stale_repositions == 0
+        assert info.unreachable_workers == []
+        assert not cluster.deadlocked()
+        assert not any(cluster.was_aborted(tid) for tid in range(1, 10))
+
+    def test_example_51_across_workers_routes_the_abort(self):
+        """The TDR-1 walkthrough: the victim (T2) is blocked on one
+        worker but holds locks on the other; the abort must release it
+        everywhere and spare T3."""
+        cluster = LocalCluster(
+            workers=4, costs=CostTable(dict(EXAMPLE_51_COSTS))
+        )
+        r1, r2 = rids_on_distinct_workers(cluster)
+        feed_example_51(cluster, r1, r2)
+        result = cluster.detect()
+        assert result.aborted == [2]
+        assert result.spared == [3]
+        assert [event.tid for event in result.grants] == [3]
+        assert result.cluster.cross_worker_cycles >= 1
+        assert cluster.was_aborted(2)
+        assert cluster.holding(2) == {}
+        assert not cluster.deadlocked()
+
+    @pytest.mark.parametrize("example,costs", [
+        (feed_example_41, None),
+        (feed_example_51, EXAMPLE_51_COSTS),
+    ])
+    def test_matches_the_sharded_resolution(self, example, costs):
+        def build_costs():
+            return CostTable(dict(costs)) if costs else None
+
+        cluster = LocalCluster(workers=4, costs=build_costs())
+        r1, r2 = rids_on_distinct_workers(cluster)
+        example(cluster, r1, r2)
+        reference = ShardedLockCore(shards=4, costs=build_costs())
+        example(reference, r1, r2)
+        ours, theirs = cluster.detect(), reference.detect()
+        assert ours.aborted == theirs.aborted
+        assert ours.spared == theirs.spared
+        assert [
+            (event.rid, tuple(event.delayed)) for event in ours.repositions
+        ] == [
+            (event.rid, tuple(event.delayed))
+            for event in theirs.repositions
+        ]
+        assert sorted(
+            (event.tid, event.rid) for event in ours.grants
+        ) == sorted((event.tid, event.rid) for event in theirs.grants)
+        assert str(cluster.merged_table()) == str(reference.table)
+
+    def test_pass_on_a_clean_cluster_does_nothing(self):
+        cluster = LocalCluster(workers=4)
+        a, b = rids_on_distinct_workers(cluster)
+        assert cluster.lock(1, a, LockMode.S).granted
+        assert not cluster.lock(2, a, LockMode.X).granted
+        assert cluster.lock(3, b, LockMode.X).granted
+        result = cluster.detect()
+        assert not result.deadlock_found
+        assert result.aborted == [] and result.repositions == []
+        assert result.cluster.cross_worker_cycles == 0
+
+    def test_x_cycle_across_workers_needs_one_victim(self):
+        cluster = LocalCluster(workers=4)
+        a, b = rids_on_distinct_workers(cluster)
+        assert cluster.lock(1, a, LockMode.X).granted
+        assert cluster.lock(2, b, LockMode.X).granted
+        assert not cluster.lock(1, b, LockMode.X).granted
+        assert not cluster.lock(2, a, LockMode.X).granted
+        result = cluster.detect()
+        assert result.deadlock_found
+        assert len(result.aborted) == 1
+        assert not cluster.deadlocked()
+        survivor = ({1, 2} - set(result.aborted)).pop()
+        assert cluster.holding(survivor) == {a: LockMode.X, b: LockMode.X}
+
+
+class TestStaleness:
+    """The wire pass re-checks every resolution against live state —
+    a transaction that moved between snapshot and resolve is spared,
+    counted, and never guessed at."""
+
+    def test_victim_that_unblocked_after_the_snapshot_is_spared(self):
+        cluster = LocalCluster(workers=4)
+        a, b = rids_on_distinct_workers(cluster)
+        assert cluster.lock(1, a, LockMode.X).granted
+        assert cluster.lock(2, b, LockMode.X).granted
+        assert not cluster.lock(1, b, LockMode.X).granted
+        assert not cluster.lock(2, a, LockMode.X).granted
+
+        transport = LocalTransport(cluster)
+        real_snapshot = transport.snapshot_all
+
+        def racing_snapshot():
+            payloads = real_snapshot()
+            # After the snapshot is taken, both parties commit: the
+            # deadlock the coordinator is about to resolve is gone.
+            cluster.finish(1)
+            cluster.finish(2)
+            return payloads
+
+        transport.snapshot_all = racing_snapshot
+        from repro.cluster.coordinator import run_cluster_pass
+
+        result = run_cluster_pass(transport, cluster.workers, cluster.costs)
+        assert result.deadlock_found  # the snapshot showed a cycle
+        assert result.aborted == []  # ... but nobody died for it
+        assert result.cluster.stale_victims == len(result.resolutions)
+        assert not any(cluster.was_aborted(tid) for tid in (1, 2))
+
+    def test_reposition_against_a_moved_queue_is_dropped(self):
+        cluster = LocalCluster(workers=4)
+        r1, r2 = rids_on_distinct_workers(cluster)
+        feed_example_41(cluster, r1, r2)
+
+        transport = LocalTransport(cluster)
+        real_snapshot = transport.snapshot_all
+
+        def racing_snapshot():
+            payloads = real_snapshot()
+            # T8 (the transaction TDR-2 wants to delay) gives up and
+            # leaves the queue before the plan arrives.
+            cluster.core_for(r2).finish(8)
+            return payloads
+
+        transport.snapshot_all = racing_snapshot
+        from repro.cluster.coordinator import run_cluster_pass
+
+        result = run_cluster_pass(transport, cluster.workers, cluster.costs)
+        assert result.repositions == []
+        assert result.cluster.stale_repositions >= 1

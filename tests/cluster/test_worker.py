@@ -1,0 +1,25 @@
+"""The worker entry point's cross-process sequence counter.
+
+The counter is the keystone of merged-snapshot fidelity: every worker
+stamps a resource's *first lock* with a cluster-unique, monotonically
+increasing number, so the coordinator's merge reproduces the iteration
+order of a single-process table fed the same request stream."""
+
+import multiprocessing
+
+from repro.cluster.worker import make_sequence_source
+
+
+class TestSequenceSource:
+    def test_counts_from_zero_without_gaps(self):
+        counter = multiprocessing.get_context().Value("q", 0)
+        source = make_sequence_source(counter)
+        assert [source() for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_two_sources_share_the_counter(self):
+        counter = multiprocessing.get_context().Value("q", 0)
+        one = make_sequence_source(counter)
+        two = make_sequence_source(counter)
+        seen = [one(), two(), one(), two()]
+        assert seen == sorted(seen)
+        assert len(set(seen)) == 4

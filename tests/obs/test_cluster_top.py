@@ -1,0 +1,101 @@
+"""The cluster dashboard renderer and endpoint parsing (pure units —
+no sockets; samples are hand-built in the wire payload shape)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.top import (
+    Sample,
+    parse_endpoints,
+    render_cluster_dashboard,
+)
+
+
+def worker_sample(when, stats=None, blocked=(), resources=0):
+    return Sample(
+        when,
+        {"counters": [], "gauges": [], "histograms": []},
+        stats or {},
+        {"blocked": list(blocked), "resources": resources},
+    )
+
+
+class TestParseEndpoints:
+    def test_hosts_and_ports(self):
+        assert parse_endpoints("10.0.0.1:7411,10.0.0.2:7411") == [
+            ("10.0.0.1", 7411),
+            ("10.0.0.2", 7411),
+        ]
+
+    def test_bare_ports_mean_localhost(self):
+        assert parse_endpoints("7411,7412") == [
+            ("127.0.0.1", 7411),
+            ("127.0.0.1", 7412),
+        ]
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ValueError):
+            parse_endpoints(" , ")
+
+
+class TestRenderClusterDashboard:
+    ENDPOINTS = [("127.0.0.1", 7411), ("127.0.0.1", 7412)]
+
+    def test_per_worker_rows_and_totals(self):
+        samples = [
+            worker_sample(
+                1.0,
+                stats={
+                    "grants": 5,
+                    "blocks": 1,
+                    "commits": 2,
+                    "aborts": 0,
+                    "snapshots_served": 3,
+                    "cluster_victims_aborted": 1,
+                    "cluster_repositionings": 2,
+                    "cluster_stale_resolutions": 0,
+                },
+                blocked=[4],
+                resources=7,
+            ),
+            worker_sample(
+                1.0,
+                stats={"grants": 8, "blocks": 0, "commits": 4, "aborts": 1},
+                resources=3,
+            ),
+        ]
+        text = render_cluster_dashboard(samples, self.ENDPOINTS)
+        assert "workers 2" in text and "alive 2" in text
+        assert "worker 0" in text and "worker 1" in text
+        assert "grants 13" in text  # 5 + 8
+        assert "commits 6" in text
+        assert "snapshots 3" in text
+        assert "victims 1" in text
+        assert "repositions 2" in text
+
+    def test_down_worker_renders_as_down(self):
+        samples = [worker_sample(1.0, stats={"grants": 1}), None]
+        text = render_cluster_dashboard(samples, self.ENDPOINTS)
+        assert "alive 1" in text
+        assert "down w1" in text
+        assert "127.0.0.1:7412  DOWN" in text
+
+    def test_rates_derive_from_previous_frame(self):
+        def frame(when, requests):
+            sample = worker_sample(when, stats={"grants": 0})
+            sample.metrics["counters"] = [
+                {
+                    "name": "repro_lock_requests_total",
+                    "labels": {},
+                    "value": requests,
+                }
+            ]
+            return sample
+
+        previous = [frame(0.0, 100.0), None]
+        current = [frame(2.0, 300.0), None]
+        text = render_cluster_dashboard(
+            current, self.ENDPOINTS, previous=previous
+        )
+        assert "req/s   100.0" in text

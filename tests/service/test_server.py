@@ -388,3 +388,31 @@ class TestIntrospectionOps:
                     assert excinfo.value.code == "bad-op"
 
         asyncio.run(go())
+
+
+class TestDeadConnection:
+    def test_send_after_idle_eof_fails_fast(self):
+        """EOF arriving while *no* request is pending must not leave the
+        client looking healthy: the read loop is gone, so a later call
+        would park a response future nobody can ever complete.  The
+        client remembers the terminal error and fails the send
+        immediately instead of hanging until some outer timeout."""
+
+        async def go():
+            server = LockServer(period=None)
+            await server.start("127.0.0.1", 0)
+            client = await AsyncLockClient.connect(
+                server.host, server.port, heartbeat=False
+            )
+            try:
+                await server.aclose()  # drops the idle connection
+                await asyncio.wait_for(client._reader_task, timeout=5.0)
+                loop = asyncio.get_event_loop()
+                start = loop.time()
+                with pytest.raises(ConnectionError):
+                    await client.stats()
+                assert loop.time() - start < 1.0
+            finally:
+                await client.close()
+
+        asyncio.run(go())

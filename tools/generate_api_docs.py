@@ -67,6 +67,8 @@ error     {"v": 1, "id": 7, "ok": false,
 | `metrics` | — | full telemetry: registry snapshot `metrics`, Prometheus `text`, `enabled` |
 | `spans` | `limit?` | request-lifecycle span log: `total`, `open`, `spans` (see `docs/OBSERVABILITY.md`) |
 | `holding`, `deadlocked` | `tid` / — | per-transaction locks / any cycle present |
+| `snapshot` | — | this worker's H/W-TWBG slice: versioned `table` entries in first-lock order plus the `sequence` map (cluster coordinators merge these; see `docs/CLUSTER.md`) |
+| `resolve` | `plan` (`victims`, `repositions`, `releases`, `sweeps`) | one routed resolution applied on the writer: per-item `confirmed`/`applied` flags and the `grants` the resolution woke — stale items are reported, not applied |
 | `goodbye` | — | clean detach (still sweeps the session's transactions) |
 
 A `batch` frame pipelines its sub-ops back-to-back on the server's
@@ -88,15 +90,21 @@ CLI entry points:
 
 ```
 python -m repro serve  --port 7411 --period 0.5 --lease 5 [--continuous]
+python -m repro serve  --port 7411 --workers 4            # cluster supervisor
 python -m repro remote report|graph|dump|stats|metrics|log|detect --port 7411
 python -m repro top --port 7411 [--interval 1.0] [--once]
+python -m repro top --cluster 7411,7412,7413,7414 [--once]
 python -m repro trace-export --port 7411 [--out spans.jsonl] [--limit N]
 ```
 
 `remote metrics` prints the Prometheus text exposition; `top` renders a
-refreshing operator dashboard from `metrics`/`stats`/`inspect`;
-`trace-export` dumps the span log as JSON-lines.  The full metric
-catalog and span schema live in `docs/OBSERVABILITY.md`.
+refreshing operator dashboard from `metrics`/`stats`/`inspect` (with
+`--cluster` it polls every worker and adds per-worker rows plus
+coordinator totals); `trace-export` dumps the span log as JSON-lines.
+`serve --workers N` spawns N single-shard worker processes on
+consecutive ports with the cross-process detector in the supervisor —
+topology, routing and failure modes live in `docs/CLUSTER.md`.  The
+full metric catalog and span schema live in `docs/OBSERVABILITY.md`.
 """
 
 
