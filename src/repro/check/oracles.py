@@ -28,7 +28,11 @@ bookkeeping the networked stack relies on:
 * **spans** — after a schedule fully drains, the telemetry span log is
   complete: every request-lifecycle span reached a terminal state
   (released/aborted/timed-out), no grant is still marked live, and no
-  first-block timestamp is left pending.
+  first-block timestamp is left pending;
+* **recovery** — after a ``server-restart`` fault, the journal replay
+  rebuilt a byte-identical RST/TST, every live lease survived with its
+  transactions, no closed/expired session resurrected, and no lock
+  survived without an owner.
 """
 
 from __future__ import annotations
@@ -252,6 +256,79 @@ def check_service(core) -> List[OracleFailure]:
     return failures
 
 
+def check_recovery(
+    before_dump: str, core, expected_sessions
+) -> List[OracleFailure]:
+    """Session survival across a kill-and-restart (the ``server-restart``
+    fault).
+
+    ``before_dump`` is the canonical JSON dump of the pre-crash lock
+    table, ``core`` the replica rebuilt from the journal, and
+    ``expected_sessions`` maps each *live* pre-crash sid to the tids it
+    owned.  Checks: the rebuilt RST/TST is byte-identical; every live
+    lease survived with exactly its transactions; no closed or expired
+    session resurrected; and every table-active transaction is either
+    owned by a survivor or marked aborted.
+    """
+    import json
+
+    from ..core.serialize import table_to_dict
+
+    failures: List[OracleFailure] = []
+    after_dump = json.dumps(
+        table_to_dict(core.manager.table), sort_keys=True
+    )
+    if after_dump != before_dump:
+        failures.append(
+            OracleFailure(
+                "recovery",
+                "rebuilt lock table differs from the pre-crash table "
+                "(journal replay is not byte-identical)",
+            )
+        )
+    for sid, tids in expected_sessions.items():
+        session = core.sessions.get(sid)
+        if session is None or session.closed:
+            failures.append(
+                OracleFailure(
+                    "recovery",
+                    "live lease {} did not survive the restart".format(sid),
+                )
+            )
+            continue
+        if set(session.tids) != set(tids):
+            failures.append(
+                OracleFailure(
+                    "recovery",
+                    "session {} resumed with tids {} but owned {} before "
+                    "the crash".format(
+                        sid, sorted(session.tids), sorted(tids)
+                    ),
+                )
+            )
+    for sid in core.sessions:
+        if sid not in expected_sessions:
+            failures.append(
+                OracleFailure(
+                    "recovery",
+                    "session {} resurrected: it was closed or expired "
+                    "before the crash".format(sid),
+                )
+            )
+    owned = set(core.owners)
+    for tid in core.manager.table.active_tids():
+        if tid not in owned and not core.manager.was_aborted(tid):
+            failures.append(
+                OracleFailure(
+                    "recovery",
+                    "T{} holds or waits in the rebuilt table but no "
+                    "recovered session owns it (lock resurrected for a "
+                    "dead session?)".format(tid),
+                )
+            )
+    return failures
+
+
 def check_spans(telemetry) -> List[OracleFailure]:
     """Span-lifecycle completeness (run once a schedule fully drains).
 
@@ -308,6 +385,7 @@ class OracleStats:
     service_checks: int = 0
     span_checks: int = 0
     equivalence_checks: int = 0
+    recovery_checks: int = 0
     failures: int = 0
 
     def absorb(self, other: "OracleStats") -> None:
@@ -316,4 +394,5 @@ class OracleStats:
         self.service_checks += other.service_checks
         self.span_checks += other.span_checks
         self.equivalence_checks += other.equivalence_checks
+        self.recovery_checks += other.recovery_checks
         self.failures += other.failures

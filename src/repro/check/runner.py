@@ -89,12 +89,13 @@ class CheckReport:
                 ),
             ),
             "oracle checks: {} state, {} detection, {} service, "
-            "{} span, {} equivalence".format(
+            "{} span, {} equivalence, {} recovery".format(
                 stats.state_checks,
                 stats.detection_checks,
                 stats.service_checks,
                 stats.span_checks,
                 stats.equivalence_checks,
+                stats.recovery_checks,
             ),
             "trace digest: {}".format(self.trace_digest),
         ]

@@ -22,7 +22,14 @@ replaced by explicit, schedulable events:
   mid-flight;
 * **disconnect** — a session drops rudely at an arbitrary point
   (including mid-detection, between a pass choosing a victim and the
-  client learning of it).
+  client learning of it);
+* **server restart** — the whole service dies (``kill -9``) and a
+  replacement rebuilds itself from the session journal
+  (:func:`~repro.service.journal.recover_into`): the session-survival
+  oracle (:func:`~repro.check.oracles.check_recovery`) demands a
+  byte-identical table, surviving live leases, no resurrected
+  sessions — then the surviving clients resume by token and re-send
+  their in-flight requests against the replica.
 
 Fault transitions are budgeted per schedule so that adversarial
 scheduling stays finite: with budgets exhausted the system must drain,
@@ -31,10 +38,14 @@ which turns the step budget into a genuine progress oracle.
 
 from __future__ import annotations
 
+import itertools
+import json
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.hw_twbg import build_graph
+from ..core.serialize import table_to_dict
 from ..service.core import ParkedWait, ServiceCore, Session
+from ..service.journal import SessionJournal, recover_into
 from ..service.protocol import ServiceError
 from ..sim.workload import Program
 from .concurrent import ScheduleResult
@@ -42,6 +53,7 @@ from .oracles import (
     OracleFailure,
     OracleStats,
     check_detection,
+    check_recovery,
     check_service,
     check_spans,
     check_state,
@@ -97,8 +109,18 @@ class ServiceModel:
 
     def run(self, scheduler: VirtualScheduler) -> ScheduleResult:
         clock = VirtualClock()
+        # Deterministic tokens and an in-memory journal: the virtual
+        # clock doubles as the wall clock, so journaled lease deadlines
+        # are schedulable facts rather than wall-time races.
+        tokens = itertools.count(1)
+        token_source = lambda: "tok{}".format(next(tokens))  # noqa: E731
         core = ServiceCore(
-            continuous=self.continuous, lease=self.lease, clock=clock
+            continuous=self.continuous,
+            lease=self.lease,
+            clock=clock,
+            journal=SessionJournal(),
+            wall=clock,
+            token_source=token_source,
         )
         sessions = [
             core.open_session() for _ in range(self.session_count)
@@ -116,12 +138,13 @@ class ServiceModel:
             "disconnect": 1 if self.faults else 0,
             "dup-commit": 1 if self.faults else 0,
             "dup-lock": 1 if self.faults else 0,
+            "restart": 1 if self.faults else 0,
         }
         last_commit: List[Tuple[Session, int]] = []
         counters: Dict[str, int] = {
             "grants": 0, "blocks": 0, "commits": 0, "aborts": 0,
             "detects": 0, "restarts": 0, "timeouts": 0,
-            "expiries": 0, "disconnects": 0,
+            "expiries": 0, "disconnects": 0, "server_restarts": 0,
         }
         stats = OracleStats()
         result = ScheduleResult(ok=True, steps=0, counters=counters,
@@ -144,7 +167,7 @@ class ServiceModel:
 
         def deliver_lock(client: _Client) -> List[OracleFailure]:
             access = client.program.accesses[client.pc]
-            client.session.touch(clock())
+            core.touch_session(client.session)
             status, _event, parked = core.lock_step(
                 client.session, client.tid, access.rid, access.mode
             )
@@ -160,7 +183,7 @@ class ServiceModel:
             return []
 
         def deliver_commit(client: _Client) -> List[OracleFailure]:
-            client.session.touch(clock())
+            core.touch_session(client.session)
             core.finish_step(client.session, client.tid, aborting=False)
             counters["commits"] += 1
             last_commit.append((client.session, client.tid))
@@ -259,6 +282,68 @@ class ServiceModel:
                 )
             ]
 
+        def server_restart() -> List[OracleFailure]:
+            """kill -9 the service; a replica recovers from the journal.
+
+            The durable prefix is exactly the appended records (an
+            in-memory journal has no torn tail), so the replica's table
+            must be byte-identical and every live lease must survive.
+            Clients then resume: parked waits are forgotten client-side
+            (the reply future died with the connection) and the next
+            enabled transition re-sends the in-flight lock frame, which
+            lands on the replayed queue position.
+            """
+            nonlocal core
+            budgets["restart"] -= 1
+            counters["server_restarts"] += 1
+            now = clock()
+            before = json.dumps(
+                table_to_dict(core.manager.table), sort_keys=True
+            )
+            # Survival is judged by the *durable* expiry: a renew the
+            # throttle had not yet journaled is legitimately lost with
+            # the crash (in this model the virtual clock makes the two
+            # deadlines coincide, so nothing is lost).
+            expected = {
+                sid: sorted(session.tids)
+                for sid, session in core.sessions.items()
+                if not session.closed and now <= session.journaled_expiry
+            }
+            journal = SessionJournal.from_records(core.journal.records())
+            replica = ServiceCore(
+                continuous=self.continuous,
+                lease=self.lease,
+                clock=clock,
+                journal=None,
+                wall=clock,
+                token_source=token_source,
+            )
+            recover_into(replica, journal, now=now)
+            stats.recovery_checks += 1
+            failures = check_recovery(before, replica, expected)
+            core = replica
+            # Rewire the model's client-side state to the replica.
+            by_sid = {s.sid: s for s in replica.sessions.values()}
+            sessions[:] = list(by_sid.values())
+            del last_commit[:]  # dup-commit must not target dead Sessions
+            for client in clients:
+                if client.done:
+                    continue
+                client.parked = None
+                survivor = by_sid.get(client.session.sid)
+                if survivor is None:
+                    # Reaped or closed before the crash: mark the
+                    # client's view closed so the reconnect transition
+                    # fires and opens a fresh session on the replica.
+                    stale = Session(
+                        client.session.sid, client.session.lease, now
+                    )
+                    stale.closed = True
+                    client.session = stale
+                else:
+                    client.session = survivor
+            return failures
+
         for step in range(self.max_steps):
             transitions: List[
                 Tuple[str, Callable[[], List[OracleFailure]]]
@@ -327,6 +412,8 @@ class ServiceModel:
                         break
             if budgets["dup-commit"] > 0 and last_commit:
                 transitions.append(("dup-commit", dup_commit))
+            if budgets["restart"] > 0:
+                transitions.append(("server-restart", server_restart))
 
             if alive == 0:
                 result.steps = step

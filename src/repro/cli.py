@@ -316,6 +316,8 @@ def cmd_serve(args) -> int:
         period=None if args.period <= 0 else args.period,
         lease=args.lease,
         shards=args.shards,
+        journal_path=args.journal,
+        journal_fsync=args.journal_fsync,
     )
 
     async def run() -> None:
@@ -331,6 +333,20 @@ def cmd_serve(args) -> int:
             ),
             flush=True,
         )
+        if server.recovery is not None and server.recovery.replayed:
+            report = server.recovery
+            print(
+                "recovered from journal: {} records replayed in "
+                "{:.3f}s, epoch {}, {} leases honored, {} "
+                "reaped".format(
+                    report.replayed,
+                    report.seconds,
+                    server.restart_epoch,
+                    report.leases_honored,
+                    report.leases_reaped,
+                ),
+                flush=True,
+            )
         try:
             await server.serve_forever()
         except asyncio.CancelledError:
@@ -361,6 +377,7 @@ def _serve_cluster(args, workers: int) -> int:
         period=None if args.period <= 0 else args.period,
         lease=args.lease,
         costs=parse_cost_pairs(args.cost),
+        journal_dir=args.journal,
     )
     try:
         with supervisor:
@@ -700,6 +717,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=[],
         metavar="TID=COST",
         help="victim cost for a transaction (repeatable)",
+    )
+    serve_cmd.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="journal sessions and locks to PATH and replay it on "
+        "start (crash-safe restart); with --workers > 1 PATH is a "
+        "directory holding one journal per worker",
+    )
+    serve_cmd.add_argument(
+        "--journal-fsync",
+        choices=["always", "batch", "never"],
+        default="batch",
+        help="fsync policy for the journal (default: batch — one "
+        "fsync per writer pass)",
     )
     serve_cmd.set_defaults(run=cmd_serve)
 

@@ -20,7 +20,12 @@ server-side half of that is the connection-lost sweep in
 :class:`~repro.service.server.LockServer`; the client-side half here
 converts the dropped connection into a structured
 ``ServiceError("worker-down", ...)`` and latches the worker as down so
-subsequent calls fail immediately instead of re-dialing a dead port.
+in-flight traffic fails immediately instead of re-dialing a dead port.
+The latch is not terminal: the next call against a latched worker
+attempts one reconnect — resuming the journaled session by token when
+the supervisor restarted the worker from its journal, falling back to a
+fresh ``hello`` (dropping that worker's transaction registrations) —
+and un-latches on success.
 """
 
 from __future__ import annotations
@@ -173,6 +178,8 @@ class ClusterLockManager:
         if not endpoints:
             raise ValueError("a cluster client needs at least one endpoint")
         self._endpoints = [(host, int(port)) for host, port in endpoints]
+        self._lease = lease
+        self._connect_timeout = connect_timeout
         self._costs = CostTable(dict(costs or {}))
         self._loop = asyncio.new_event_loop()
         self._thread = threading.Thread(
@@ -183,6 +190,10 @@ class ClusterLockManager:
         self._thread.start()
         self._closed = False
         self._mutex = threading.Lock()
+        # Serializes recovery attempts so two threads hitting the same
+        # latched worker do not both dial it (network I/O happens here,
+        # never under ``_mutex``).
+        self._reconnect_lock = threading.Lock()
         #: tid -> worker indexes the transaction is registered on.
         self._registered: Dict[int, Set[int]] = {}
         self._down: Set[int] = set()
@@ -214,20 +225,25 @@ class ClusterLockManager:
             timeout
         )
 
-    def _call(self, index: int, coro, timeout: Optional[float] = None):
+    def _call(self, index: int, make, timeout: Optional[float] = None):
         """Run one worker call, converting a lost connection into a
-        structured ``worker-down`` error and latching the worker."""
+        structured ``worker-down`` error and latching the worker.
+
+        ``make`` is a *factory* ``client -> coroutine``, invoked only
+        once the worker's connection is known good — a pre-built
+        coroutine would be bound to whatever client object existed
+        before recovery replaced it.  A call against a latched worker
+        first attempts one reconnect (resuming the journaled session
+        when the restarted worker honors it); success un-latches, and
+        only a failed redial keeps answering ``worker-down`` fast.
+        """
         with self._mutex:
-            if index in self._down:
-                coro.close()  # never scheduled; silence the warning
-                raise ServiceError(
-                    "worker-down",
-                    "worker {} at {}:{} is down".format(
-                        index, *self._endpoints[index]
-                    ),
-                )
+            down = index in self._down
+        if down:
+            self._try_recover(index)
+        client = self._clients[index]
         try:
-            return self._run(coro, timeout)
+            return self._run(make(client), timeout)
         except (ConnectionError, OSError) as exc:
             with self._mutex:
                 self._down.add(index)
@@ -241,12 +257,65 @@ class ClusterLockManager:
                 ),
             ) from exc
 
+    def _try_recover(self, index: int) -> None:
+        """Un-latch ``index`` by reconnecting, or raise ``worker-down``.
+
+        Resume-by-token first: a worker restarted from its journal still
+        holds this client's session and registered transactions.  A
+        fresh ``hello`` is the fallback — the old session (and with it
+        every ``begin`` registration on that worker) is gone, so the
+        per-transaction registration marks are dropped and the next
+        operation re-registers.
+        """
+        with self._reconnect_lock:
+            with self._mutex:
+                if index not in self._down:
+                    return  # another thread recovered it already
+            old = self._clients[index]
+            host, port = self._endpoints[index]
+            client = None
+            if old is not None and old.session and old.token:
+                try:
+                    client = self._run(
+                        AsyncLockClient.resume(
+                            host, port, old.session, old.token
+                        ),
+                        timeout=self._connect_timeout,
+                    )
+                except Exception:
+                    client = None
+            if client is None:
+                try:
+                    client = self._run(
+                        AsyncLockClient.connect(
+                            host, port, lease=self._lease
+                        ),
+                        timeout=self._connect_timeout,
+                    )
+                except Exception as exc:
+                    raise ServiceError(
+                        "worker-down",
+                        "worker {} at {}:{} is down "
+                        "(reconnect failed: {})".format(index, host, port, exc),
+                    ) from exc
+                with self._mutex:
+                    for workers in self._registered.values():
+                        workers.discard(index)
+            if old is not None:
+                try:
+                    self._run(old._teardown(), timeout=2.0)
+                except Exception:
+                    pass
+            self._clients[index] = client
+            with self._mutex:
+                self._down.discard(index)
+
     def _ensure_registered(self, tid: int, index: int) -> None:
         with self._mutex:
             workers = self._registered.setdefault(tid, set())
             if index in workers:
                 return
-        self._call(index, self._clients[index].begin(tid))
+        self._call(index, lambda client: client.begin(tid))
         with self._mutex:
             self._registered[tid].add(index)
 
@@ -255,7 +324,7 @@ class ClusterLockManager:
     def begin(self, tid: Optional[int] = None) -> int:
         """Register a transaction; fresh ids come from worker 0."""
         if tid is None:
-            tid = self._call(0, self._clients[0].begin(None))
+            tid = self._call(0, lambda client: client.begin(None))
             with self._mutex:
                 self._registered.setdefault(tid, set()).add(0)
             return tid
@@ -275,7 +344,7 @@ class ClusterLockManager:
         outer = None if timeout is None else timeout + _NETWORK_SLACK
         return self._call(
             index,
-            self._clients[index].acquire(tid, rid, mode, timeout=timeout),
+            lambda client: client.acquire(tid, rid, mode, timeout=timeout),
             outer,
         )
 
@@ -338,11 +407,12 @@ class ClusterLockManager:
             workers = sorted(self._registered.pop(tid, ()))
         error: Optional[ServiceError] = None
         for index in workers:
-            client = self._clients[index]
             try:
                 self._call(
                     index,
-                    client.abort(tid) if aborting else client.commit(tid),
+                    lambda client: (
+                        client.abort(tid) if aborting else client.commit(tid)
+                    ),
                 )
             except ServiceError as exc:
                 if exc.code != "worker-down":
@@ -367,7 +437,9 @@ class ClusterLockManager:
             workers = sorted(self._registered.get(tid, ()))
         held: Dict[str, LockMode] = {}
         for index in workers:
-            held.update(self._call(index, self._clients[index].holding(tid)))
+            held.update(
+                self._call(index, lambda client: client.holding(tid))
+            )
         return held
 
     def deadlocked(self) -> bool:
@@ -384,9 +456,11 @@ class ClusterLockManager:
         """Per-worker ``stats`` payloads, index-aligned; a down worker
         contributes ``None``."""
         rows: List[Optional[Dict[str, Any]]] = []
-        for index, client in enumerate(self._clients):
+        for index in range(len(self._clients)):
             try:
-                rows.append(self._call(index, client.stats()))
+                rows.append(
+                    self._call(index, lambda client: client.stats())
+                )
             except ServiceError:
                 rows.append(None)
         return rows

@@ -9,9 +9,15 @@
 * **Monitor** — a reaper thread polls the fleet; a worker that dies is
   ``join``-ed (no zombies), logged with its exit code on the
   ``repro.cluster`` logger and counted in
-  ``repro_cluster_worker_deaths_total``.  Its partition's resources
-  become unavailable until an operator restarts the cluster — see
-  ``docs/CLUSTER.md`` for the failure model.
+  ``repro_cluster_worker_deaths_total``.  With ``journal_dir`` set the
+  supervisor *restarts* the dead worker on its previous port: the
+  replacement replays ``journal_dir/worker-<i>.jsonl`` and rebuilds its
+  table slice (journaled cluster-wide sequence numbers keep the merged
+  order intact), counted in ``repro_cluster_worker_restarts_total`` and
+  bounded by ``max_worker_restarts`` per worker.  Without a journal
+  directory the partition stays unavailable until an operator restarts
+  the cluster — see ``docs/CLUSTER.md`` and ``docs/DURABILITY.md`` for
+  the failure model.
 * **Detect** — a detector thread runs the coordinator's
   snapshot-merge-detect-resolve pass (:func:`run_cluster_pass`) every
   ``period`` seconds over a :class:`WireClusterTransport`, feeding the
@@ -26,6 +32,7 @@ from __future__ import annotations
 
 import logging
 import multiprocessing
+import os
 import queue
 import threading
 from dataclasses import dataclass
@@ -49,6 +56,8 @@ class WorkerHandle:
     host: Optional[str] = None
     port: Optional[int] = None
     reaped: bool = False
+    #: Times this slot was respawned from its journal after a death.
+    restarts: int = 0
 
     @property
     def alive(self) -> bool:
@@ -78,6 +87,8 @@ class ClusterSupervisor:
         worker_period: Optional[float] = None,
         start_method: Optional[str] = None,
         registry: Optional[MetricsRegistry] = None,
+        journal_dir: Optional[str] = None,
+        max_worker_restarts: int = 3,
     ) -> None:
         if workers < 1:
             raise ValueError("a cluster needs at least one worker")
@@ -88,6 +99,8 @@ class ClusterSupervisor:
         self.lease = lease
         self.shards_per_worker = shards_per_worker
         self.worker_period = worker_period
+        self.journal_dir = journal_dir
+        self.max_worker_restarts = max_worker_restarts
         self.costs = CostTable(dict(costs or {}))
         self._worker_costs = dict(costs or {})
         self.registry = registry if registry is not None else MetricsRegistry()
@@ -125,23 +138,12 @@ class ClusterSupervisor:
         if self._started:
             return self
         self._counter = self._ctx.Value("q", 0)
+        if self.journal_dir is not None:
+            os.makedirs(self.journal_dir, exist_ok=True)
         ready = self._ctx.Queue()
         for index in range(self.workers):
             port = 0 if self.base_port == 0 else self.base_port + index
-            process = self._ctx.Process(
-                target=worker_main,
-                args=(index, self.host, port, ready, self._counter),
-                kwargs={
-                    "lease": self.lease,
-                    "shards": self.shards_per_worker,
-                    "period": self.worker_period,
-                    "costs": self._worker_costs,
-                },
-                name="repro-cluster-worker-{}".format(index),
-                daemon=True,
-            )
-            process.start()
-            self._handles.append(WorkerHandle(index=index, process=process))
+            self._handles.append(self._spawn(index, port, ready))
         try:
             for _ in range(self.workers):
                 index, host, port = ready.get(timeout=timeout)
@@ -179,6 +181,33 @@ class ClusterSupervisor:
         )
         return self
 
+    def _spawn(self, index: int, port: int, ready) -> WorkerHandle:
+        """Start one worker process for slot ``index`` on ``port``."""
+        kwargs = {
+            "lease": self.lease,
+            "shards": self.shards_per_worker,
+            "period": self.worker_period,
+            "costs": self._worker_costs,
+        }
+        if self.journal_dir is not None:
+            kwargs["journal_path"] = self.journal_path(index)
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(index, self.host, port, ready, self._counter),
+            kwargs=kwargs,
+            name="repro-cluster-worker-{}".format(index),
+            daemon=True,
+        )
+        process.start()
+        return WorkerHandle(index=index, process=process)
+
+    def journal_path(self, index: int) -> str:
+        """Where worker ``index`` journals (one file per slot, reused
+        across restarts)."""
+        return os.path.join(
+            self.journal_dir, "worker-{}.jsonl".format(index)
+        )
+
     def endpoints(self) -> List[Tuple[str, int]]:
         """Index-aligned ``(host, port)`` of every worker."""
         return [(handle.host, handle.port) for handle in self._handles]
@@ -210,17 +239,17 @@ class ClusterSupervisor:
 
     def poll_workers(self) -> List[WorkerHandle]:
         """Reap workers that died since the last poll (join + log +
-        count); returns the handles reaped by this call."""
+        count), restarting each from its journal when the supervisor is
+        durable; returns the handles reaped by this call."""
         reaped: List[WorkerHandle] = []
-        for handle in self._handles:
+        for handle in list(self._handles):
             if handle.reaped or handle.process.exitcode is None:
                 continue
             handle.process.join()
             handle.reaped = True
             reaped.append(handle)
             self.log.warning(
-                "worker %d (pid %s, %s:%s) exited with code %s; reaped — "
-                "its partition is unavailable until the cluster restarts",
+                "worker %d (pid %s, %s:%s) exited with code %s; reaped",
                 handle.index,
                 handle.process.pid,
                 handle.host,
@@ -231,7 +260,56 @@ class ClusterSupervisor:
                 "repro_cluster_worker_deaths_total",
                 help="worker processes that exited and were reaped",
             ).inc()
+            if (
+                self.journal_dir is not None
+                and self._started
+                and not self._stop.is_set()
+                and handle.restarts < self.max_worker_restarts
+            ):
+                self._restart_worker(handle)
+            else:
+                self.log.warning(
+                    "worker %d's partition is unavailable until the "
+                    "cluster restarts",
+                    handle.index,
+                )
         return reaped
+
+    def _restart_worker(self, handle: WorkerHandle) -> Optional[WorkerHandle]:
+        """Respawn a dead worker on its previous port; the replacement
+        replays its journal and rebuilds the partition's table slice.
+        Clients then un-latch by resuming their journaled sessions."""
+        ready = self._ctx.Queue()
+        replacement = self._spawn(handle.index, handle.port or 0, ready)
+        replacement.restarts = handle.restarts + 1
+        try:
+            _, host, port = ready.get(timeout=30.0)
+        except queue.Empty:
+            self.log.error(
+                "worker %d failed to come back within 30s; giving up on "
+                "this restart", handle.index,
+            )
+            if replacement.process.exitcode is None:
+                replacement.process.terminate()
+            replacement.process.join(timeout=5.0)
+            replacement.reaped = True
+            return None
+        replacement.host, replacement.port = host, port
+        self._handles[handle.index] = replacement
+        self.registry.counter(
+            "repro_cluster_worker_restarts_total",
+            help="dead workers respawned from their journals",
+        ).inc()
+        self.log.info(
+            "worker %d restarted from %s at %s:%s (restart %d of %d)",
+            handle.index,
+            self.journal_path(handle.index),
+            host,
+            port,
+            replacement.restarts,
+            self.max_worker_restarts,
+        )
+        return replacement
 
     def dead_workers(self) -> List[int]:
         return [

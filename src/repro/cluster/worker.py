@@ -51,6 +51,7 @@ def worker_main(
     period: Optional[float] = None,
     costs: Optional[Dict[int, float]] = None,
     continuous: bool = False,
+    journal_path: Optional[str] = None,
 ) -> None:
     """Run one worker server until the process is terminated.
 
@@ -60,7 +61,11 @@ def worker_main(
     for a cluster).  ``shards``/``period``/``continuous`` exist so the
     cluster benchmark can also spawn its single-process baseline (a
     worker with in-process shards and its own detector) through the
-    same entry point.
+    same entry point.  ``journal_path`` makes the worker durable: it
+    journals sessions and locks there, and — when the supervisor
+    respawns it after a death — rebuilds its table slice from the same
+    file (journaled ``lock`` records carry the cluster-wide sequence
+    number, so the merged order survives the restart).
     """
     from ..core.victim import CostTable
     from ..service.server import LockServer
@@ -80,6 +85,7 @@ def worker_main(
         lease=lease,
         shards=shards,
         sequence_source=source,
+        journal_path=journal_path,
     )
 
     async def run() -> None:

@@ -349,6 +349,29 @@ class ShardedLockCore:
         with self._txn_lock:
             return dict(self._seq)
 
+    def sequence_of(self, rid: str) -> Optional[int]:
+        """The first-lock sequence number of ``rid`` (None if never
+        locked); journaled so replay can re-assert the same order."""
+        with self._txn_lock:
+            return self._seq.get(rid)
+
+    def restore_sequence(self, rid: str, seq: Optional[int]) -> None:
+        """Force ``rid``'s first-lock sequence to the journaled value.
+
+        Journal replay calls :meth:`lock` (which draws a *fresh*
+        number) and then overwrites it with the recorded one, so the
+        rebuilt merged-table iteration order is byte-identical to the
+        pre-crash table even when a cluster sibling advanced the shared
+        counter in the meantime.  With the local counter, the next
+        fresh draw is bumped past every restored value.
+        """
+        if seq is None:
+            return
+        with self._txn_lock:
+            self._seq[rid] = int(seq)
+            if self._sequence_source is None:
+                self._next_seq = max(self._next_seq, int(seq) + 1)
+
     @property
     def table(self):
         """The RST: the real table single-shard, a merged read-only view

@@ -23,6 +23,7 @@ mirror of :class:`~repro.lockmgr.concurrent.ConcurrentLockManager`.
 from .admin import ServiceStats, render_stats
 from .client import AsyncLockClient, RemoteLockManager
 from .core import ParkedWait, ServiceCore, Session
+from .journal import RecoveryReport, SessionJournal, recover_into
 from .loopback import LoopbackServer
 from .protocol import (
     MAX_FRAME,
@@ -40,13 +41,16 @@ __all__ = [
     "MAX_FRAME",
     "ParkedWait",
     "ProtocolError",
+    "RecoveryReport",
     "RemoteDetectionResult",
     "RemoteLockManager",
     "ServiceCore",
     "ServiceError",
     "ServiceStats",
     "Session",
+    "SessionJournal",
     "WIRE_VERSION",
+    "recover_into",
     "render_stats",
     "serve",
 ]

@@ -65,6 +65,15 @@ class ServiceStats:
         "cluster_repositionings",
         "cluster_releases",
         "cluster_stale_resolutions",
+        # Durability counters: journal traffic, resumed sessions and
+        # what the last restart's journal replay did.
+        "sessions_resumed",
+        "journal_records",
+        "journal_flushes",
+        "recovery_records_replayed",
+        "recovery_leases_honored",
+        "recovery_leases_reaped",
+        "recovery_replay_errors",
     )
 
     def __init__(

@@ -53,6 +53,18 @@ class AsyncLockClient:
         self.session: Optional[str] = None
         self.lease: Optional[float] = None
         self.server_info: Dict[str, Any] = {}
+        #: Resume credential from the handshake: present it to a
+        #: restarted server (:meth:`resume`) to reclaim the session.
+        self.token: Optional[str] = None
+        #: The server's restart epoch as of the handshake; every
+        #: response carries the current one (:attr:`last_epoch`), so a
+        #: jump means the server was reincarnated mid-conversation.
+        self.epoch: int = 0
+        self.last_epoch: int = 0
+        #: Transaction ids the server reported live at resume time.
+        self.resumed_tids: List[int] = []
+        self._host: Optional[str] = None
+        self._port: Optional[int] = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -75,14 +87,55 @@ class AsyncLockClient:
         except BaseException:
             await client._teardown()
             raise
-        client.session = response["session"]
-        client.lease = float(response["lease"])
-        client.server_info = dict(response.get("server", {}))
+        client._absorb_handshake(response, host, port)
         if heartbeat:
             client._heartbeat_task = asyncio.ensure_future(
                 client._heartbeat_loop()
             )
         return client
+
+    @classmethod
+    async def resume(
+        cls,
+        host: str,
+        port: int,
+        session: str,
+        token: str,
+        heartbeat: bool = True,
+    ) -> "AsyncLockClient":
+        """Reclaim a session a restarted server recovered from its
+        journal: ``resume`` instead of ``hello`` as the first frame,
+        presenting the :attr:`token` from the original handshake.
+        Raises :class:`ServiceError` (``unknown-session``/``bad-token``/
+        ``session-busy``) when the server will not honor it."""
+        reader, writer = await asyncio.open_connection(host, port)
+        client = cls(reader, writer)
+        client._reader_task = asyncio.ensure_future(client._read_loop())
+        try:
+            response = await client._call(
+                "resume", session=session, token=token
+            )
+        except BaseException:
+            await client._teardown()
+            raise
+        client._absorb_handshake(response, host, port)
+        if heartbeat:
+            client._heartbeat_task = asyncio.ensure_future(
+                client._heartbeat_loop()
+            )
+        return client
+
+    def _absorb_handshake(
+        self, response: Dict[str, Any], host: str, port: int
+    ) -> None:
+        self.session = response["session"]
+        self.lease = float(response["lease"])
+        self.server_info = dict(response.get("server", {}))
+        self.token = response.get("token")
+        self.epoch = int(response.get("epoch", 0))
+        self.last_epoch = self.epoch
+        self.resumed_tids = [int(tid) for tid in response.get("tids", [])]
+        self._host, self._port = host, port
 
     async def close(self) -> None:
         """Say goodbye (clean detach) and drop the connection."""
@@ -142,6 +195,8 @@ class AsyncLockClient:
                 frame = await read_frame(self._reader)
                 if frame is None:
                     break
+                if "epoch" in frame:
+                    self.last_epoch = int(frame["epoch"])
                 future = self._pending.pop(frame.get("id"), None)
                 if future is not None and not future.done():
                     future.set_result(frame)

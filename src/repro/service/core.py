@@ -27,6 +27,7 @@ must be invoked from one logical thread of control.
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
@@ -66,6 +67,16 @@ class Session:
         #: Opaque handle with a ``close()`` method (the server stores the
         #: asyncio stream writer; tests store fakes; may stay None).
         self.transport = None
+        #: Resume credential, handed out at open and demanded by the
+        #: ``resume`` op after a server restart.
+        self.token: Optional[str] = None
+        #: Lease deadline on the *wall* clock — the journaled form.  The
+        #: monotonic ``deadline`` dies with the process; this one is
+        #: what a restarted server judges survival against.
+        self.wall_deadline = self.deadline
+        #: The expiry last made durable; renews are only journaled when
+        #: the lease has drifted past half its length (throttling).
+        self.journaled_expiry = self.deadline
 
     def touch(self, now: float) -> None:
         """Renew the lease (any received frame counts as a heartbeat)."""
@@ -113,6 +124,9 @@ class ServiceCore:
         telemetry: Optional[Telemetry] = None,
         shards: Optional[int] = None,
         sequence_source: Optional[Callable[[], int]] = None,
+        journal=None,
+        wall: Callable[[], float] = time.time,
+        token_source: Optional[Callable[[], str]] = None,
     ) -> None:
         self.continuous = continuous
         #: Resolved shard count (``None`` means the ``REPRO_SHARDS``
@@ -120,6 +134,15 @@ class ServiceCore:
         self.shards = resolve_shard_count(shards, continuous=continuous)
         self.lease = lease
         self.clock = clock
+        #: Wall clock for journaled lease deadlines (the monotonic
+        #: ``clock`` is meaningless across a restart); the explorer
+        #: installs its virtual clock for both.
+        self.wall = wall
+        #: Optional :class:`~repro.service.journal.SessionJournal`; None
+        #: keeps the service purely in-memory (every ``_journal_append``
+        #: becomes a no-op).
+        self.journal = journal
+        self._token_source = token_source
         # The telemetry clock reads through ``self.clock`` so a later
         # reassignment (the server installs its loop clock, the explorer
         # a virtual clock) is picked up automatically.
@@ -189,6 +212,24 @@ class ServiceCore:
                 fn=lambda s=shard: float(s.table.blocked_count()),
             )
 
+    # -- journaling --------------------------------------------------------
+
+    def _journal_append(self, kind: str, **fields) -> None:
+        """Append one durability record (no-op without a journal).
+
+        Called *after* the mutation it describes succeeded, so the
+        journal never records an operation the table rejected; the
+        server's writer loop flushes once per pass before replies are
+        delivered (group commit)."""
+        if self.journal is not None:
+            self.journal.append(kind, **fields)
+            self.stats.journal_records += 1
+
+    def _new_token(self) -> str:
+        if self._token_source is not None:
+            return str(self._token_source())
+        return os.urandom(8).hex()
+
     # -- sessions ----------------------------------------------------------
 
     def open_session(
@@ -199,8 +240,56 @@ class ServiceCore:
         session = Session("S{}".format(self._next_sid), lease, self.clock())
         self._next_sid += 1
         session.transport = transport
+        session.token = self._new_token()
+        session.wall_deadline = self.wall() + lease
+        session.journaled_expiry = session.wall_deadline
         self.sessions[session.sid] = session
         self.stats.sessions_opened += 1
+        self._journal_append(
+            "open",
+            sid=session.sid,
+            token=session.token,
+            lease=lease,
+            expires=session.wall_deadline,
+        )
+        return session
+
+    def touch_session(self, session: Session) -> None:
+        """Renew a session's lease on both clocks; journals a ``renew``
+        only once the durable expiry lags by more than half a lease, so
+        heartbeats cost one record per half-lease, not one per frame."""
+        session.touch(self.clock())
+        session.wall_deadline = self.wall() + session.lease
+        if session.wall_deadline - session.journaled_expiry > session.lease / 2:
+            self._journal_append(
+                "renew", sid=session.sid, expires=session.wall_deadline
+            )
+            session.journaled_expiry = session.wall_deadline
+
+    def resume_session(self, sid, token, transport=None) -> Session:
+        """Re-attach a client to a lease that survived a restart (the
+        ``resume`` op).  The token is the credential: a wrong or missing
+        one is rejected without leaking whether the session exists."""
+        session = self.sessions.get(str(sid))
+        if session is None or session.closed:
+            raise ServiceError(
+                "unknown-session",
+                "session {} is not resumable".format(sid),
+            )
+        if not token or session.token != str(token):
+            raise ServiceError(
+                "bad-token",
+                "resume token does not match session {}".format(sid),
+            )
+        if session.transport is not None and not session.detached:
+            raise ServiceError(
+                "session-busy",
+                "session {} is attached to a live connection".format(sid),
+            )
+        session.transport = transport
+        session.detached = False
+        self.stats.sessions_resumed += 1
+        self.touch_session(session)
         return session
 
     def close_session(self, session: Session) -> None:
@@ -216,6 +305,7 @@ class ServiceCore:
         session.closed = True
         self.sessions.pop(session.sid, None)
         self.stats.sessions_closed += 1
+        self._journal_append("close", sid=session.sid)
         tids = sorted(session.tids)
         if tids:
             self.stats.aborts += len(tids)
@@ -293,7 +383,10 @@ class ServiceCore:
             self._next_tid += 1
         else:
             tid = int(tid)
+        fresh = tid not in self.owners
         self.claim(tid, session)
+        if fresh:
+            self._journal_append("begin", sid=session.sid, tid=tid)
         return tid
 
     def lock_step(
@@ -322,6 +415,14 @@ class ServiceCore:
             self.telemetry.request(tid, rid, mode)
             started = time.perf_counter()
             outcome = self.manager.lock(tid, rid, mode)
+            self._journal_append(
+                "lock",
+                sid=session.sid,
+                tid=tid,
+                rid=rid,
+                mode=mode.name,
+                seq=self.manager.sequence_of(rid),
+            )
             event = event_to_dict(outcome.event)
             if self.continuous and self.manager.last_detection:
                 # The continuous pass ran inside manager.lock; its
@@ -382,6 +483,9 @@ class ServiceCore:
         self.claim(tid, session)
         self.telemetry.finish(tid, aborted=aborting)
         grants = self.manager.finish(tid)
+        self._journal_append(
+            "finish", sid=session.sid, tid=tid, ab=aborting
+        )
         self.release_claim(tid)
         if aborting:
             self.stats.aborts += 1
@@ -480,6 +584,11 @@ class ServiceCore:
         result = self.manager.detect()
         self.telemetry.detection(result, time.perf_counter() - started)
         self.stats.absorb_detection(result)
+        if result.deadlock_found:
+            # A clean pass leaves the table untouched: journaling only
+            # the resolving passes keeps replay byte-identical without
+            # one record per detector tick.
+            self._journal_append("detect")
         return result
 
     def snapshot_step(self) -> dict:
@@ -507,6 +616,7 @@ class ServiceCore:
             raise ServiceError(
                 "bad-request", "malformed resolution plan: {}".format(exc)
             )
+        self._journal_append("resolve", plan=plan)
         # No telemetry.finish here: the manager publishes the Aborted
         # event, which closes the victim's span through the listener —
         # the same path a local detection pass takes.

@@ -1,0 +1,372 @@
+"""The session journal: WAL-style durability for the lock service.
+
+A :class:`~repro.service.core.ServiceCore` is a deterministic state
+machine driven by a strictly serial operation stream (the server's
+single-writer rule).  That makes durability an *operation log* problem,
+not a state-snapshot problem: append one record at every point the
+core mutates the lock manager or the session table, and a restarted
+server replays the log through the very same code paths to rebuild
+RST/TST **byte-identically** — the merged-table dump of the recovered
+core equals the dump of the crashed one at the last durable record.
+
+Record kinds (one JSON object per line)::
+
+    ("boot")                                  server (re)start marker
+    ("open",   sid, token, lease, expires)    session admitted
+    ("renew",  sid, expires)                  lease pushed out (throttled)
+    ("close",  sid)                           session closed/expired/reaped
+    ("begin",  sid, tid)                      transaction claimed
+    ("lock",   sid, tid, rid, mode, seq)      manager.lock() invoked
+    ("finish", sid, tid, ab)                  commit (ab=false) or abort
+    ("detect", )                              periodic pass that resolved
+    ("resolve", plan)                         coordinator resolution plan
+
+``lock`` records carry the global first-lock sequence number assigned
+to the resource, so replay re-asserts the recorded iteration order
+(:meth:`~repro.lockmgr.sharded.ShardedLockCore.restore_sequence`)
+instead of re-drawing from a live counter — which is what keeps a
+restarted *cluster worker* byte-identical even though its siblings kept
+advancing the shared cross-process counter while it was down.
+
+Durability model — group commit.  ``append`` buffers; :meth:`flush`
+writes the buffered lines and fsyncs according to the ``fsync`` policy
+(``"batch"`` — the default — fsyncs once per flush; ``"always"``
+flushes-and-fsyncs inside every append; ``"never"`` leaves syncing to
+the OS).  The server calls ``flush`` once per writer pass, *after* the
+operation ran but *before* its reply future is delivered, so the hot
+path pays one fsync per pass, never per op, and no client ever holds a
+reply whose records could still be lost.
+
+Torn tails.  Every line is ``crc32(body) + " " + body``; the loader
+stops at the first line that is truncated, undecodable or fails its
+checksum and counts the remainder as corrupt tail.  A ``kill -9``
+mid-write therefore recovers to the longest durable prefix — a state
+the server actually passed through — which is the property the
+crash-at-every-record suite in ``tests/properties`` pins down.
+
+Restart epochs.  Every recovery appends a ``boot`` record; the count of
+boot records is the server's *restart epoch*, stamped into every wire
+response so clients can observe that they are talking to a reincarnation
+(and resume by session token — the ``resume`` op).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Dict, List, Optional
+
+#: Accepted values for the ``fsync`` policy knob.
+FSYNC_POLICIES = ("always", "batch", "never")
+
+
+def encode_record(record: Dict[str, Any]) -> str:
+    """One journal line: crc32 of the canonical body, space, body."""
+    body = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    crc = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
+    return "{:08x} {}".format(crc, body)
+
+
+def decode_record(line: str) -> Optional[Dict[str, Any]]:
+    """Parse one journal line; None when truncated or corrupt."""
+    if len(line) < 10 or line[8] != " ":
+        return None
+    prefix, body = line[:8], line[9:]
+    try:
+        crc = int(prefix, 16)
+    except ValueError:
+        return None
+    if zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF != crc:
+        return None
+    try:
+        record = json.loads(body)
+    except ValueError:
+        return None
+    if not isinstance(record, dict) or "kind" not in record:
+        return None
+    return record
+
+
+class SessionJournal:
+    """Append-only session/lease/lock journal (see module docstring).
+
+    ``path=None`` keeps the journal purely in memory — the explorer's
+    restart fault and the property suites journal thousands of
+    schedules without touching a filesystem.  With a path, appended
+    records buffer until :meth:`flush` (group commit); opening an
+    existing file loads its durable prefix first, so construction *is*
+    crash recovery's read side.
+    """
+
+    def __init__(self, path: Optional[str] = None, fsync: str = "batch") -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                "fsync policy must be one of {}, got {!r}".format(
+                    FSYNC_POLICIES, fsync
+                )
+            )
+        self.path = path
+        self.fsync = fsync
+        self._records: List[Dict[str, Any]] = []
+        self._pending: List[str] = []
+        self._file = None
+        #: Lines beyond the durable prefix dropped at load time.
+        self.corrupt_tail = 0
+        #: Lifetime counters (mirrored into ``ServiceStats``).
+        self.appended = 0
+        self.flushes = 0
+        self.fsyncs = 0
+        if path is not None:
+            if os.path.exists(path):
+                with open(path, "r", encoding="utf-8") as handle:
+                    self._load_text(handle.read())
+            self._file = open(path, "a", encoding="utf-8")
+
+    # -- loading -----------------------------------------------------------
+
+    def _load_text(self, text: str) -> None:
+        lines = text.splitlines()
+        for position, line in enumerate(lines):
+            if not line.strip():
+                continue
+            record = decode_record(line)
+            if record is None:
+                # Torn or corrupt: everything from here on is not part
+                # of the durable prefix.
+                self.corrupt_tail = len(lines) - position
+                break
+            self._records.append(record)
+
+    @classmethod
+    def from_text(cls, text: str) -> "SessionJournal":
+        """An in-memory journal holding ``text``'s durable prefix."""
+        journal = cls()
+        journal._load_text(text)
+        return journal
+
+    @classmethod
+    def from_records(cls, records: List[Dict[str, Any]]) -> "SessionJournal":
+        """An in-memory journal holding copies of ``records`` (the
+        property suites use this to cut at record boundaries)."""
+        journal = cls()
+        journal._records = [dict(record) for record in records]
+        return journal
+
+    # -- appending ---------------------------------------------------------
+
+    def append(self, kind: str, **fields: Any) -> Dict[str, Any]:
+        record: Dict[str, Any] = {"kind": kind}
+        record.update(fields)
+        self._records.append(record)
+        self.appended += 1
+        if self._file is not None:
+            self._pending.append(encode_record(record))
+            if self.fsync == "always":
+                self.flush()
+        return record
+
+    def append_boot(self) -> None:
+        """Mark a server (re)start; bumps :attr:`epoch`."""
+        self.append("boot")
+
+    def flush(self) -> int:
+        """Write buffered records (one fsync per call under the default
+        ``"batch"`` policy); returns the number of lines written."""
+        if not self._pending or self._file is None:
+            return 0
+        lines, self._pending = self._pending, []
+        self._file.write("\n".join(lines) + "\n")
+        self._file.flush()
+        if self.fsync != "never":
+            os.fsync(self._file.fileno())
+            self.fsyncs += 1
+        self.flushes += 1
+        return len(lines)
+
+    def close(self) -> None:
+        if self._file is not None:
+            self.flush()
+            self._file.close()
+            self._file = None
+
+    def abandon(self) -> None:
+        """Drop unflushed records and close without syncing — the
+        in-process stand-in for ``kill -9`` (tests use it to crash a
+        server at an exact record boundary)."""
+        self._pending = []
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    # -- introspection -----------------------------------------------------
+
+    def records(self) -> List[Dict[str, Any]]:
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def epoch(self) -> int:
+        """Restart epoch: how many times a server booted on this
+        journal (the envelope's ``epoch`` field)."""
+        return sum(
+            1 for record in self._records if record.get("kind") == "boot"
+        )
+
+    def to_text(self) -> str:
+        """The full journal as line-encoded text (tests corrupt this)."""
+        return "\n".join(
+            encode_record(record) for record in self._records
+        )
+
+
+@dataclass
+class RecoveryReport:
+    """What one journal replay did (also mirrored into stats/gauges)."""
+
+    replayed: int = 0
+    boots: int = 0
+    sessions_restored: int = 0
+    leases_honored: int = 0
+    leases_reaped: int = 0
+    replay_errors: int = 0
+    corrupt_tail: int = 0
+    seconds: float = 0.0
+    #: sid -> sorted tids of every lease honored (clients resume these).
+    honored: Dict[str, List[int]] = field(default_factory=dict)
+
+
+def recover_into(core, journal: SessionJournal, now: Optional[float] = None):
+    """Rebuild a **fresh** :class:`ServiceCore` from ``journal``.
+
+    Replays every record through the same manager/session code the live
+    server ran (telemetry muted — replay is not traffic), re-asserting
+    journaled first-lock sequence numbers so the rebuilt RST/TST is
+    byte-identical to the pre-crash table at the last durable record.
+    Then stamps a ``boot`` record, honors every still-live lease
+    (sessions stay registered, detached, awaiting ``resume``) and reaps
+    the expired ones — each reap appending its own ``close`` record so
+    a second restart does not resurrect it.
+
+    ``now`` is the wall-clock instant leases are judged against
+    (defaults to ``core.wall()``).  Attaches ``journal`` to ``core``
+    and returns a :class:`RecoveryReport`.
+    """
+    from ..core.errors import ReproError
+    from ..core.modes import parse_mode
+    from ..cluster.coordinator import apply_resolution_plan
+    from .core import Session
+
+    started = perf_counter()
+    report = RecoveryReport(corrupt_tail=journal.corrupt_tail)
+    core.journal = None  # replay must never re-journal itself
+    was_enabled = core.telemetry.enabled
+    core.telemetry.enabled = False
+    try:
+        for record in journal.records():
+            kind = record.get("kind")
+            try:
+                if kind == "boot":
+                    report.boots += 1
+                elif kind == "open":
+                    sid = str(record["sid"])
+                    session = Session(
+                        sid, float(record["lease"]), core.clock()
+                    )
+                    session.token = record.get("token")
+                    session.wall_deadline = float(record["expires"])
+                    session.journaled_expiry = session.wall_deadline
+                    core.sessions[sid] = session
+                    report.sessions_restored += 1
+                    if sid.startswith("S"):
+                        try:
+                            core._next_sid = max(
+                                core._next_sid, int(sid[1:]) + 1
+                            )
+                        except ValueError:
+                            pass
+                elif kind == "renew":
+                    session = core.sessions.get(str(record["sid"]))
+                    if session is not None:
+                        session.wall_deadline = float(record["expires"])
+                        session.journaled_expiry = session.wall_deadline
+                elif kind == "close":
+                    session = core.sessions.get(str(record["sid"]))
+                    if session is not None:
+                        core.close_session(session)
+                elif kind == "begin":
+                    session = core.sessions[str(record["sid"])]
+                    tid = int(record["tid"])
+                    core.claim(tid, session)
+                    core._next_tid = max(core._next_tid, tid + 1)
+                elif kind == "lock":
+                    rid = str(record["rid"])
+                    core.manager.lock(
+                        int(record["tid"]), rid, parse_mode(record["mode"])
+                    )
+                    core.manager.restore_sequence(rid, record.get("seq"))
+                elif kind == "finish":
+                    core.manager.finish(int(record["tid"]))
+                    core.release_claim(int(record["tid"]))
+                elif kind == "detect":
+                    core.manager.detect()
+                elif kind == "resolve":
+                    apply_resolution_plan(core.manager, record["plan"])
+                # Unknown kinds are skipped: a newer server's records
+                # must not wedge an older reader mid-recovery.
+            except (ReproError, KeyError, ValueError, TypeError):
+                report.replay_errors += 1
+            report.replayed += 1
+        core.pump()
+    finally:
+        core.telemetry.enabled = was_enabled
+
+    # The journal is live again: the boot marker and the reap closes
+    # below are this incarnation's first durable records.
+    core.journal = journal
+    journal.append_boot()
+    now = core.wall() if now is None else now
+    for session in sorted(core.sessions.values(), key=lambda s: s.sid):
+        if now > session.wall_deadline:
+            core.stats.lease_expiries += 1
+            core.close_session(session)  # appends the close record
+            report.leases_reaped += 1
+        else:
+            # Honor the lease: re-anchor the (monotonic) deadline to
+            # the wall-clock remainder and wait for a resume.
+            remaining = session.wall_deadline - now
+            session.deadline = core.clock() + remaining
+            session.detached = True
+            session.transport = None
+            report.leases_honored += 1
+            report.honored[session.sid] = sorted(session.tids)
+    journal.flush()
+    report.seconds = perf_counter() - started
+
+    stats = core.stats
+    stats.recovery_records_replayed += report.replayed
+    stats.recovery_leases_honored += report.leases_honored
+    stats.recovery_leases_reaped += report.leases_reaped
+    stats.recovery_replay_errors += report.replay_errors
+    registry = core.telemetry.registry
+    registry.gauge(
+        "repro_recovery_seconds",
+        help="wall-clock seconds the last journal replay took",
+    ).set(report.seconds)
+    registry.gauge(
+        "repro_recovery_records_replayed",
+        help="journal records replayed by the last recovery",
+    ).set(float(report.replayed))
+    registry.gauge(
+        "repro_recovery_leases_honored",
+        help="still-live leases restored by the last recovery",
+    ).set(float(report.leases_honored))
+    registry.gauge(
+        "repro_recovery_leases_reaped",
+        help="expired leases reaped by the last recovery",
+    ).set(float(report.leases_reaped))
+    return report

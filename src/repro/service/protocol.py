@@ -22,9 +22,25 @@ Responses::
      "error": {"code": "not-owner", "message": "..."}}
 
 Operations (see :mod:`repro.service.server` for semantics): ``hello``,
-``heartbeat``, ``begin``, ``lock``, ``commit``, ``abort``, ``batch``,
-``detect``, ``snapshot``, ``resolve``, ``inspect``, ``graph``,
-``stats``, ``dump``, ``holding``, ``deadlocked``, ``goodbye``.
+``resume``, ``heartbeat``, ``begin``, ``lock``, ``commit``, ``abort``,
+``batch``, ``detect``, ``snapshot``, ``resolve``, ``inspect``,
+``graph``, ``stats``, ``dump``, ``holding``, ``deadlocked``,
+``goodbye``.
+
+A journaled server stamps its **restart epoch** (how many times it has
+booted on its journal) into every response frame as ``epoch``; a jump
+mid-conversation tells the client the server was reincarnated.  The
+``hello`` reply carries a per-session ``token``; after a restart the
+client's first frame may be ``resume`` instead of ``hello``, presenting
+session id and token to reclaim a lease the server recovered from its
+journal (the reply lists the session's surviving ``tids``)::
+
+    {"v": 1, "id": 1, "op": "resume", "session": "S3", "token": "9f2c..."}
+    {"v": 1, "id": 1, "ok": true, "epoch": 2, "session": "S3",
+     "lease": 5.0, "token": "9f2c...", "tids": [7], "server": {...}}
+
+A server that cannot honor it answers ``unknown-session`` (closed,
+reaped or never journaled), ``bad-token`` or ``session-busy``.
 
 The ``snapshot`` and ``resolve`` ops are the cluster detector's two
 rounds (:mod:`repro.cluster.coordinator`).  ``snapshot`` answers this

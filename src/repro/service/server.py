@@ -48,6 +48,7 @@ from ..core.modes import parse_mode
 from ..core.victim import CostTable
 from . import admin
 from .core import MAX_LEASE, MIN_LEASE, ParkedWait, ServiceCore, Session
+from .journal import SessionJournal, recover_into
 from .protocol import (
     ProtocolError,
     ServiceError,
@@ -89,6 +90,9 @@ class LockServer:
         telemetry=None,
         shards: Optional[int] = None,
         sequence_source=None,
+        journal_path: Optional[str] = None,
+        journal_fsync: str = "batch",
+        journal=None,
     ) -> None:
         self.core = ServiceCore(
             costs=costs,
@@ -101,6 +105,17 @@ class LockServer:
         self.continuous = continuous
         self.period = period
         self.lease = lease
+        # The journal is built here but only replayed and attached in
+        # :meth:`start` — recovery wants the loop clock installed first.
+        if journal is None and journal_path is not None:
+            journal = SessionJournal(journal_path, fsync=journal_fsync)
+        self._journal = journal
+        #: How many times a server booted on this journal; stamped into
+        #: every outgoing frame so clients can see a reincarnation.
+        self.restart_epoch = 0
+        #: The :class:`~repro.service.journal.RecoveryReport` of the
+        #: start-time replay (None when running without a journal).
+        self.recovery = None
         self.host: Optional[str] = None
         self.port: Optional[int] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -139,6 +154,11 @@ class LockServer:
         back from :attr:`port`)."""
         self._loop = asyncio.get_running_loop()
         self.core.clock = self._loop.time
+        if self._journal is not None:
+            # Replay the durable prefix (a fresh journal replays zero
+            # records), stamp this boot, honor/reap leases.
+            self.recovery = recover_into(self.core, self._journal)
+            self.restart_epoch = self._journal.epoch
         self._tasks.append(asyncio.ensure_future(self._writer_loop()))
         self._tasks.append(asyncio.ensure_future(self._reaper_loop()))
         if self.period is not None:
@@ -164,6 +184,18 @@ class LockServer:
             task.cancel()
         await asyncio.gather(*self._tasks, return_exceptions=True)
         self._tasks.clear()
+        if self.core.journal is not None:
+            self.core.journal.close()
+
+    async def crash(self) -> None:
+        """Tear down as if ``kill -9`` hit after the last flush: drop
+        the journal's unwritten tail and journal *nothing* during
+        shutdown (no close records), so a successor replaying the file
+        sees exactly the durable prefix.  Test hook."""
+        journal, self.core.journal = self.core.journal, None
+        if journal is not None:
+            journal.abandon()
+        await self.aclose()
 
     # -- the single-writer queue -------------------------------------------
 
@@ -188,6 +220,13 @@ class LockServer:
                 if not future.done():
                     future.set_result(result)
             self.core.pump()
+            # Group commit: everything this pass journaled goes durable
+            # in one write+fsync.  The submitter coroutines woken by
+            # set_result above cannot run until this task yields at the
+            # queue await, so no reply ever precedes its records.
+            if self.core.journal is not None:
+                if self.core.journal.flush():
+                    self.core.stats.journal_flushes += 1
 
     # -- background tasks ------------------------------------------------------
 
@@ -215,6 +254,7 @@ class LockServer:
         tasks: Set[asyncio.Task] = set()
 
         async def send(message: dict) -> None:
+            message.setdefault("epoch", self.restart_epoch)
             async with write_lock:
                 writer.write(encode_frame(message))
                 await writer.drain()
@@ -223,29 +263,50 @@ class LockServer:
             first = await read_frame(reader)
             if first is None:
                 return
-            if first.get("op") != "hello":
+            handshake = first.get("op")
+            if handshake not in ("hello", "resume"):
                 await send(
                     error(
                         first.get("id"),
                         "handshake",
-                        "first frame must be a hello",
+                        "first frame must be a hello or a resume",
                     )
                 )
                 return
-            session = self.core.open_session(
-                lease=first.get("lease"), transport=writer
-            )
+            # Both handshakes run on the writer so their journal
+            # records are flushed before the reply goes out.
+            try:
+                if handshake == "resume":
+                    session = await self._submit(
+                        lambda: self.core.resume_session(
+                            first.get("session"),
+                            first.get("token"),
+                            transport=writer,
+                        )
+                    )
+                else:
+                    session = await self._submit(
+                        lambda: self.core.open_session(
+                            lease=first.get("lease"), transport=writer
+                        )
+                    )
+            except ServiceError as exc:
+                await send(error(first.get("id"), exc.code, exc.message))
+                return
             await send(
                 ok(
                     first.get("id"),
                     session=session.sid,
                     lease=session.lease,
+                    token=session.token,
+                    tids=sorted(session.tids),
                     server={
                         "version": __version__,
                         "wire": WIRE_VERSION,
                         "period": self.period,
                         "continuous": self.continuous,
                         "shards": self.core.shards,
+                        "epoch": self.restart_epoch,
                     },
                 )
             )
@@ -253,7 +314,7 @@ class LockServer:
                 frame = await read_frame(reader)
                 if frame is None:
                     break
-                session.touch(self._loop.time())
+                self.core.touch_session(session)
                 if frame.get("op") == "goodbye":
                     session.detached = True
                     await send(ok(frame.get("id")))

@@ -1,0 +1,116 @@
+"""The ``server-restart`` exploration fault.
+
+The service model can now kill -9 its core mid-schedule and recover a
+replica from the in-memory journal; the recovery oracle then demands a
+byte-identical table, exact lease survival, and no resurrection.  These
+tests pin three things: the fault actually fires under the seeded
+chooser (it is reachable, not dead code), a schedule can be *steered*
+into restarting at any chosen depth and still passes every oracle, and
+the fault participates in the standard ``run_check`` sweeps.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.check import CheckConfig, run_check
+from repro.check.runner import derive_seeds
+from repro.check.schedule import RandomChooser, VirtualScheduler
+from repro.check.service import ServiceModel
+from repro.check.workload import generate_programs
+
+
+class RestartAtStep:
+    """Random exploration that forces the *last* enabled transition at
+    one chosen decision depth.
+
+    The service model appends the ``server-restart`` fault after every
+    other transition while its budget lasts, so "pick the last option"
+    at the target depth is "crash now" — wherever the schedule happens
+    to be: grants held, waits parked, sessions mid-lease.
+    """
+
+    def __init__(self, seed: int, at_step: int) -> None:
+        self._rng = random.Random(seed)
+        self._at = at_step
+        self._step = 0
+
+    def choose(self, options: int, label: str) -> int:
+        step, self._step = self._step, self._step + 1
+        if step == self._at:
+            return options - 1
+        return self._rng.randrange(options)
+
+
+class TestFaultFires:
+    def test_seeded_sweep_reaches_the_restart_fault(self):
+        totals = {}
+        checks = 0
+        for index in range(40):
+            workload_seed, scheduler_seed = derive_seeds(101, index)
+            model = ServiceModel(
+                generate_programs(workload_seed, actors=3), faults=True
+            )
+            result = model.run(
+                VirtualScheduler(RandomChooser(scheduler_seed))
+            )
+            assert result.ok, result.summary()
+            checks += result.oracle_stats.recovery_checks
+            for key, value in result.counters.items():
+                totals[key] = totals.get(key, 0) + value
+        assert totals.get("server_restarts", 0) > 0, totals
+        assert checks == totals["server_restarts"]
+
+    def test_faults_off_never_restarts(self):
+        workload_seed, scheduler_seed = derive_seeds(101, 0)
+        model = ServiceModel(
+            generate_programs(workload_seed, actors=3), faults=False
+        )
+        result = model.run(VirtualScheduler(RandomChooser(scheduler_seed)))
+        assert result.ok, result.summary()
+        assert result.counters["server_restarts"] == 0
+        assert result.oracle_stats.recovery_checks == 0
+
+
+class TestSteeredRestarts:
+    def test_restart_at_every_early_depth_passes_all_oracles(self):
+        """Force the crash at each of the first depths of several
+        seeds: shallow crashes (empty table), mid-schedule crashes
+        (grants + parked waits live), and late crashes (after commits
+        and client restarts) must all recover byte-identically."""
+        fired = 0
+        for seed in (3, 17, 29):
+            workload_seed, scheduler_seed = derive_seeds(seed, 0)
+            programs = generate_programs(workload_seed, actors=3)
+            for depth in range(0, 24, 3):
+                model = ServiceModel(programs, faults=True)
+                result = model.run(
+                    VirtualScheduler(
+                        RestartAtStep(scheduler_seed, depth)
+                    )
+                )
+                assert result.ok, (seed, depth, result.summary())
+                fired += result.counters["server_restarts"]
+                assert result.counters["server_restarts"] >= (
+                    1 if result.steps > depth else 0
+                ), (seed, depth)
+        assert fired >= 20
+
+
+class TestRunCheckIntegration:
+    def test_random_service_sweep_counts_recovery_checks(self):
+        report = run_check(
+            CheckConfig(seed=41, schedules=30, backends=("service",))
+        )
+        assert report.ok, report.summary_lines()
+        assert report.oracle_stats.recovery_checks > 0
+        assert "recovery" in "\n".join(report.summary_lines())
+
+    def test_exhaustive_service_sweep_stays_green(self):
+        report = run_check(
+            CheckConfig(
+                seed=7, schedules=40, backends=("service",),
+                exhaustive=True,
+            )
+        )
+        assert report.ok, report.summary_lines()

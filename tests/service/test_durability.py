@@ -1,0 +1,259 @@
+"""Durable restart of the lock service: journal, crash, recover, resume.
+
+Each test runs a real :class:`LockServer` journaling to a temp file,
+kills it with :meth:`LockServer.crash` (the in-process stand-in for
+``kill -9``: pending journal bytes are abandoned, no graceful close
+records are written), restarts a fresh server over the same file, and
+checks the recovery contract end to end: the rebuilt RST/TST is
+byte-identical, live leases resume by token, expired leases are reaped,
+wrong tokens are rejected, and the restart epoch is stamped on every
+reply frame.
+"""
+
+import asyncio
+import contextlib
+import json
+import time
+
+import pytest
+
+from repro.core.modes import LockMode
+from repro.core.serialize import table_to_dict
+from repro.service import AsyncLockClient, LockServer, ServiceError
+from repro.service.journal import SessionJournal, encode_record
+
+
+def table_dump(server: LockServer) -> str:
+    return json.dumps(
+        table_to_dict(server.core.manager.table), sort_keys=True
+    )
+
+
+@contextlib.asynccontextmanager
+async def running_server(**kwargs):
+    server = LockServer(**kwargs)
+    await server.start("127.0.0.1", 0)
+    try:
+        yield server
+    finally:
+        await server.aclose()
+
+
+class TestCrashRestart:
+    def test_restart_rebuilds_table_byte_identically(self, tmp_path):
+        journal = str(tmp_path / "sessions.jsonl")
+
+        async def go():
+            server = LockServer(period=None, journal_path=journal)
+            await server.start("127.0.0.1", 0)
+            client = await AsyncLockClient.connect(
+                server.host, server.port, lease=60.0
+            )
+            t1 = await client.begin()
+            t2 = await client.begin()
+            await client.acquire(t1, "R1", LockMode.X)
+            await client.acquire(t2, "R2", LockMode.S)
+            await client.acquire(
+                t2, "R1", LockMode.S, wait=False
+            )  # queued behind t1's X lock
+            before = table_dump(server)
+            await server.crash()
+            with contextlib.suppress(Exception):
+                await client.close()
+
+            async with running_server(
+                period=None, journal_path=journal
+            ) as reborn:
+                assert table_dump(reborn) == before
+                assert reborn.recovery is not None
+                assert reborn.recovery.replayed > 0
+                assert reborn.recovery.leases_honored == 1
+                assert reborn.restart_epoch == 2  # boot per start
+
+        asyncio.run(go())
+
+    def test_resume_reattaches_session_and_transactions(self, tmp_path):
+        journal = str(tmp_path / "sessions.jsonl")
+
+        async def go():
+            server = LockServer(period=None, journal_path=journal)
+            await server.start("127.0.0.1", 0)
+            client = await AsyncLockClient.connect(
+                server.host, server.port, lease=60.0
+            )
+            sid, token = client.session, client.token
+            tid = await client.begin()
+            await client.acquire(tid, "R1", LockMode.X)
+            await server.crash()
+            with contextlib.suppress(Exception):
+                await client.close()
+
+            async with running_server(
+                period=None, journal_path=journal
+            ) as reborn:
+                resumed = await AsyncLockClient.resume(
+                    reborn.host, reborn.port, sid, token
+                )
+                try:
+                    assert resumed.session == sid
+                    assert resumed.resumed_tids == [tid]
+                    assert resumed.last_epoch == reborn.restart_epoch
+                    # The lock survived: a second session queues on it.
+                    other = await AsyncLockClient.connect(
+                        reborn.host, reborn.port
+                    )
+                    t2 = await other.begin()
+                    granted = await other.acquire(
+                        t2, "R1", LockMode.S, wait=False
+                    )
+                    assert granted is False
+                    # ...and commits release it across the restart.
+                    await resumed.commit(tid)
+                    await other.close()
+                finally:
+                    await resumed.close()
+
+        asyncio.run(go())
+
+    def test_resume_rejects_bad_token_and_unknown_session(self, tmp_path):
+        journal = str(tmp_path / "sessions.jsonl")
+
+        async def go():
+            server = LockServer(period=None, journal_path=journal)
+            await server.start("127.0.0.1", 0)
+            client = await AsyncLockClient.connect(
+                server.host, server.port, lease=60.0
+            )
+            sid = client.session
+            await server.crash()
+            with contextlib.suppress(Exception):
+                await client.close()
+
+            async with running_server(
+                period=None, journal_path=journal
+            ) as reborn:
+                with pytest.raises(ServiceError) as err:
+                    await AsyncLockClient.resume(
+                        reborn.host, reborn.port, sid, "wrong-token"
+                    )
+                assert err.value.code == "bad-token"
+                with pytest.raises(ServiceError) as err:
+                    await AsyncLockClient.resume(
+                        reborn.host, reborn.port, "S999", "whatever"
+                    )
+                assert err.value.code == "unknown-session"
+
+        asyncio.run(go())
+
+    def test_resume_while_attached_is_busy(self):
+        async def go():
+            async with running_server(
+                period=None, journal=SessionJournal()
+            ) as server:
+                client = await AsyncLockClient.connect(
+                    server.host, server.port, lease=60.0
+                )
+                try:
+                    with pytest.raises(ServiceError) as err:
+                        await AsyncLockClient.resume(
+                            server.host,
+                            server.port,
+                            client.session,
+                            client.token,
+                        )
+                    assert err.value.code == "session-busy"
+                finally:
+                    await client.close()
+
+        asyncio.run(go())
+
+
+class TestLeaseReaping:
+    def test_expired_leases_reaped_live_ones_honored(self, tmp_path):
+        path = tmp_path / "sessions.jsonl"
+        now = time.time()
+        records = [
+            {
+                "kind": "open", "sid": "S1", "token": "dead",
+                "lease": 5.0, "expires": now - 30.0,
+            },
+            {
+                "kind": "open", "sid": "S2", "token": "live",
+                "lease": 60.0, "expires": now + 600.0,
+            },
+        ]
+        path.write_text(
+            "".join(encode_record(r) + "\n" for r in records)
+        )
+
+        async def go():
+            async with running_server(
+                period=None, journal_path=str(path)
+            ) as server:
+                report = server.recovery
+                assert report.leases_reaped == 1
+                assert report.leases_honored == 1
+                assert report.honored == {"S2": []}
+                assert "S1" not in server.core.sessions
+                # The reap wrote a close record: a second restart must
+                # not resurrect S1.
+                with pytest.raises(ServiceError) as err:
+                    await AsyncLockClient.resume(
+                        server.host, server.port, "S1", "dead"
+                    )
+                assert err.value.code == "unknown-session"
+                resumed = await AsyncLockClient.resume(
+                    server.host, server.port, "S2", "live"
+                )
+                await resumed.close()
+
+        asyncio.run(go())
+
+        async def again():
+            async with running_server(
+                period=None, journal_path=str(path)
+            ) as server:
+                assert "S1" not in server.core.sessions
+
+        asyncio.run(again())
+
+
+class TestEpochStamping:
+    def test_every_reply_carries_the_restart_epoch(self, tmp_path):
+        journal = str(tmp_path / "sessions.jsonl")
+
+        async def go():
+            server = LockServer(period=None, journal_path=journal)
+            await server.start("127.0.0.1", 0)
+            client = await AsyncLockClient.connect(server.host, server.port)
+            assert client.epoch == 1
+            await client.stats()
+            assert client.last_epoch == 1
+            await server.crash()
+            with contextlib.suppress(Exception):
+                await client.close()
+            async with running_server(
+                period=None, journal_path=journal
+            ) as reborn:
+                fresh = await AsyncLockClient.connect(
+                    reborn.host, reborn.port
+                )
+                try:
+                    assert fresh.epoch == 2
+                finally:
+                    await fresh.close()
+
+        asyncio.run(go())
+
+    def test_journal_less_server_reports_epoch_zero(self):
+        async def go():
+            async with running_server(period=None) as server:
+                client = await AsyncLockClient.connect(
+                    server.host, server.port
+                )
+                try:
+                    assert client.epoch == 0
+                finally:
+                    await client.close()
+
+        asyncio.run(go())

@@ -52,7 +52,8 @@ error     {"v": 1, "id": 7, "ok": false,
 
 | op | fields | answer |
 |---|---|---|
-| `hello` | `lease?` | `session`, `lease`, `server` — must be the first frame |
+| `hello` | `lease?` | `session`, `lease`, `token`, `tids`, `server` — opens a fresh session; the first frame must be a `hello` or a `resume` |
+| `resume` | `session`, `token` | same shape as `hello` but re-attaches a lease that survived a restart: `tids` lists the session's live transactions; errors are `unknown-session`, `bad-token`, `session-busy` |
 | `heartbeat` | — | `remaining` (any received frame also renews the lease) |
 | `begin` | `tid?` | `tid` (server-assigned when omitted) |
 | `lock` | `tid`, `rid`, `mode`, `wait?`, `timeout?` | `status`: `granted` / `blocked` / `timeout` / `aborted`, plus the `event` |
@@ -86,11 +87,20 @@ Sessions hold a lease; when a client goes silent past its lease, the
 server aborts its transactions and frees their locks, so a crashed
 client cannot wedge the lock table.
 
+A server started with `--journal PATH` stamps every response frame
+with a **restart epoch** (`"epoch": N` — the number of times the
+journal has been booted; `0` on journal-less servers).  A client that
+sees the epoch jump knows the server restarted underneath it and can
+re-attach with `resume` using the `token` its handshake returned —
+sessions, transactions and lock queues survive the restart via journal
+replay (see `docs/DURABILITY.md`).
+
 CLI entry points:
 
 ```
 python -m repro serve  --port 7411 --period 0.5 --lease 5 [--continuous]
-python -m repro serve  --port 7411 --workers 4            # cluster supervisor
+python -m repro serve  --port 7411 --journal sessions.jsonl [--journal-fsync batch]
+python -m repro serve  --port 7411 --workers 4 [--journal DIR]  # cluster supervisor
 python -m repro remote report|graph|dump|stats|metrics|log|detect --port 7411
 python -m repro top --port 7411 [--interval 1.0] [--once]
 python -m repro top --cluster 7411,7412,7413,7414 [--once]
@@ -103,8 +113,10 @@ refreshing operator dashboard from `metrics`/`stats`/`inspect` (with
 coordinator totals); `trace-export` dumps the span log as JSON-lines.
 `serve --workers N` spawns N single-shard worker processes on
 consecutive ports with the cross-process detector in the supervisor —
-topology, routing and failure modes live in `docs/CLUSTER.md`.  The
-full metric catalog and span schema live in `docs/OBSERVABILITY.md`.
+topology, routing and failure modes live in `docs/CLUSTER.md`; with
+`--journal DIR` each worker journals to `DIR/worker-<i>.jsonl` and the
+supervisor respawns dead workers from their journals.  The full metric
+catalog and span schema live in `docs/OBSERVABILITY.md`.
 """
 
 
