@@ -37,6 +37,7 @@ from .oracles import (
     OracleFailure,
     OracleStats,
     check_detection,
+    check_incidents,
     check_state,
 )
 from .schedule import VirtualScheduler
@@ -234,6 +235,12 @@ class ClusterModel:
                 check_detection(
                     sub_result, deadlocked_before, subject.merged_table()
                 )
+            )
+            # The coordinator pass just ran through the wire dialect:
+            # its forensics record must agree with the pass result.
+            stats.incident_checks += 1
+            failures.extend(
+                check_incidents(sub_result, subject.incidents)
             )
             return failures
 

@@ -338,7 +338,7 @@ def check_spans(telemetry) -> List[OracleFailure]:
     failures: List[OracleFailure] = []
     if not telemetry.enabled:
         return failures
-    from ..obs.spans import TERMINAL_STATES
+    from ..obs.spans import LIFECYCLE_KINDS, TERMINAL_STATES
 
     for span in telemetry.trace.open_spans():
         failures.append(
@@ -352,6 +352,11 @@ def check_spans(telemetry) -> List[OracleFailure]:
             )
         )
     for span in telemetry.trace.completed_spans():
+        if span.kind not in LIFECYCLE_KINDS or span.unfinished:
+            # Point-in-time annotation spans (detector passes, routed
+            # resolutions) and capacity-evicted unfinished spans are
+            # exempt from lifecycle completeness.
+            continue
         if span.status not in TERMINAL_STATES:
             failures.append(
                 OracleFailure(
@@ -376,6 +381,95 @@ def check_spans(telemetry) -> List[OracleFailure]:
     return failures
 
 
+def check_incidents(result, incident_log) -> List[OracleFailure]:
+    """Incident-record consistency (run after every detection pass).
+
+    A pass that resolved at least one cycle must have appended a valid
+    ``repro.incident/1`` record whose victims, cycles and TRRP
+    candidate sets match the pass result — so every abort the explorer
+    observes has durable forensics explaining it."""
+    failures: List[OracleFailure] = []
+    if not result.deadlock_found:
+        return failures
+    from ..obs.incidents import candidate_to_dict, validate_incident
+
+    records = incident_log.recent(1) if incident_log is not None else []
+    if not records:
+        return [
+            OracleFailure(
+                "incidents",
+                "deadlock pass (aborted={}) left no incident "
+                "record".format(result.aborted),
+            )
+        ]
+    record = records[-1]
+    for problem in validate_incident(record):
+        failures.append(
+            OracleFailure(
+                "incidents", "invalid incident record: " + problem
+            )
+        )
+    if sorted(record.get("aborted") or []) != sorted(result.aborted):
+        failures.append(
+            OracleFailure(
+                "incidents",
+                "incident aborted {} but the pass aborted {}".format(
+                    record.get("aborted"), result.aborted
+                ),
+            )
+        )
+    expected_cycles = [
+        [int(tid) for tid in resolution.cycle]
+        for resolution in result.resolutions
+    ]
+    got_cycles = [
+        entry.get("cycle") for entry in record.get("cycles") or []
+    ]
+    if expected_cycles != got_cycles:
+        failures.append(
+            OracleFailure(
+                "incidents",
+                "incident cycles {} but the pass resolved {}".format(
+                    got_cycles, expected_cycles
+                ),
+            )
+        )
+    expected_candidates = [
+        [
+            candidate_to_dict(candidate)
+            for candidate in resolution.candidates
+        ]
+        for resolution in result.resolutions
+    ]
+    got_candidates = [
+        entry.get("candidates") for entry in record.get("cycles") or []
+    ]
+    if expected_candidates != got_candidates:
+        failures.append(
+            OracleFailure(
+                "incidents",
+                "incident TRRP candidate sets diverged from the pass "
+                "result",
+            )
+        )
+    expected_chosen = [
+        candidate_to_dict(resolution.chosen)
+        for resolution in result.resolutions
+    ]
+    got_chosen = [
+        entry.get("chosen") for entry in record.get("cycles") or []
+    ]
+    if expected_chosen != got_chosen:
+        failures.append(
+            OracleFailure(
+                "incidents",
+                "incident chosen victims {} but the pass chose "
+                "{}".format(got_chosen, expected_chosen),
+            )
+        )
+    return failures
+
+
 @dataclass
 class OracleStats:
     """How many times each oracle ran over a whole exploration."""
@@ -386,6 +480,7 @@ class OracleStats:
     span_checks: int = 0
     equivalence_checks: int = 0
     recovery_checks: int = 0
+    incident_checks: int = 0
     failures: int = 0
 
     def absorb(self, other: "OracleStats") -> None:
@@ -395,4 +490,5 @@ class OracleStats:
         self.span_checks += other.span_checks
         self.equivalence_checks += other.equivalence_checks
         self.recovery_checks += other.recovery_checks
+        self.incident_checks += other.incident_checks
         self.failures += other.failures

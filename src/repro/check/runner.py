@@ -89,13 +89,14 @@ class CheckReport:
                 ),
             ),
             "oracle checks: {} state, {} detection, {} service, "
-            "{} span, {} equivalence, {} recovery".format(
+            "{} span, {} equivalence, {} recovery, {} incident".format(
                 stats.state_checks,
                 stats.detection_checks,
                 stats.service_checks,
                 stats.span_checks,
                 stats.equivalence_checks,
                 stats.recovery_checks,
+                stats.incident_checks,
             ),
             "trace digest: {}".format(self.trace_digest),
         ]

@@ -53,6 +53,7 @@ from .oracles import (
     OracleFailure,
     OracleStats,
     check_detection,
+    check_incidents,
     check_recovery,
     check_service,
     check_spans,
@@ -240,9 +241,14 @@ class ServiceModel:
             detection = core.detect_step()
             counters["detects"] += 1
             stats.detection_checks += 1
-            return check_detection(
+            failures = check_detection(
                 detection, deadlocked_before, core.manager.table
             )
+            # Forensics: a resolving pass must leave a valid incident
+            # record matching what it did.
+            stats.incident_checks += 1
+            failures.extend(check_incidents(detection, core.incidents))
+            return failures
 
         def expire() -> List[OracleFailure]:
             deadline = core.next_deadline()

@@ -35,6 +35,10 @@ Commands
     blocked transactions, hottest resources, last detector pass.
 ``trace-export``
     Pull the server's request-lifecycle spans as JSON-lines.
+``incidents ACTION FILE``
+    Browse a deadlock incident log (``serve --incident-log``):
+    ``list`` the records, ``show`` one decision report, or ``graph``
+    a cycle as Graphviz DOT.
 
 States given as ``.json`` files must be :mod:`repro.core.serialize`
 dumps; anything else is parsed as the paper's notation, e.g.::
@@ -310,6 +314,11 @@ def cmd_serve(args) -> int:
                 file=sys.stderr,
             )
 
+    incident_log = None
+    if args.incident_log:
+        from .obs.incidents import IncidentLog
+
+        incident_log = IncidentLog(path=args.incident_log)
     server = LockServer(
         costs=parse_costs(args.cost),
         continuous=args.continuous,
@@ -318,10 +327,28 @@ def cmd_serve(args) -> int:
         shards=args.shards,
         journal_path=args.journal,
         journal_fsync=args.journal_fsync,
+        incident_log=incident_log,
     )
+    exporter = None
+    if args.metrics_port is not None:
+        from .obs.cluster import MetricsExporter
+
+        exporter = MetricsExporter(
+            server.core.telemetry.registry.render,
+            host=args.host,
+            port=args.metrics_port,
+        )
 
     async def run() -> None:
         await server.start(args.host, args.port)
+        if exporter is not None:
+            exporter.start()
+            print(
+                "metrics exposition on http://{}:{}/metrics".format(
+                    args.host, exporter.port
+                ),
+                flush=True,
+            )
         print(
             "lock service listening on {}:{} "
             "(period={}, lease={}s, shards={})".format(
@@ -352,6 +379,8 @@ def cmd_serve(args) -> int:
         except asyncio.CancelledError:
             pass
         finally:
+            if exporter is not None:
+                exporter.close()
             await server.aclose()
 
     try:
@@ -378,6 +407,9 @@ def _serve_cluster(args, workers: int) -> int:
         lease=args.lease,
         costs=parse_cost_pairs(args.cost),
         journal_dir=args.journal,
+        incident_log=args.incident_log,
+        metrics_port=args.metrics_port,
+        metrics_host=args.host,
     )
     try:
         with supervisor:
@@ -396,6 +428,19 @@ def _serve_cluster(args, workers: int) -> int:
                 ),
                 flush=True,
             )
+            if supervisor.metrics_port is not None:
+                print(
+                    "aggregated metrics exposition on "
+                    "http://{}:{}/metrics".format(
+                        args.host, supervisor.metrics_port
+                    ),
+                    flush=True,
+                )
+            if args.incident_log:
+                print(
+                    "incident log at {}".format(args.incident_log),
+                    flush=True,
+                )
             while True:
                 time.sleep(1.0)
     except KeyboardInterrupt:
@@ -477,6 +522,7 @@ def cmd_top(args) -> int:
                 interval=args.interval,
                 iterations=1 if args.once else None,
                 clear=not args.once,
+                incidents_path=args.incidents,
             )
         except KeyboardInterrupt:
             pass
@@ -489,6 +535,7 @@ def cmd_top(args) -> int:
             interval=args.interval,
             iterations=1 if args.once else None,
             clear=not args.once,
+            incidents_path=args.incidents,
         )
     except (ConnectionError, OSError) as exc:
         print(
@@ -523,6 +570,76 @@ def cmd_trace_export(args) -> int:
             "{} span(s) written to {}".format(count, args.out),
             file=sys.stderr,
         )
+    return 0
+
+
+def cmd_incidents(args) -> int:
+    from .obs.incidents import (
+        incident_to_dot,
+        load_incidents,
+        render_incident,
+        validate_incident,
+    )
+
+    records = load_incidents(args.file)
+    if not records:
+        print("no incident records in {}".format(args.file),
+              file=sys.stderr)
+        return 1
+
+    def pick(records):
+        """The addressed record: by id when given, else the newest."""
+        if args.id:
+            for record in records:
+                if record.get("id") == args.id:
+                    return record
+            print(
+                "no incident {!r} in {} ({} records)".format(
+                    args.id, args.file, len(records)
+                ),
+                file=sys.stderr,
+            )
+            return None
+        return records[-1]
+
+    if args.action == "list":
+        shown = records[-args.limit:] if args.limit else records
+        for record in shown:
+            cycles = record.get("cycles") or []
+            decisions = ",".join(
+                entry.get("decision", "?") for entry in cycles
+            )
+            problems = validate_incident(record)
+            print(
+                "{}  ts={:<14.3f} source={:<8} cycles={} [{}] "
+                "aborted={} {}".format(
+                    record.get("id", "?"),
+                    record.get("ts", 0.0),
+                    record.get("source", "?"),
+                    len(cycles),
+                    decisions,
+                    record.get("aborted") or "-",
+                    "INVALID" if problems else "",
+                ).rstrip()
+            )
+        print(
+            "{} of {} record(s) shown from {}".format(
+                len(shown), len(records), args.file
+            ),
+            file=sys.stderr,
+        )
+        return 0
+
+    record = pick(records)
+    if record is None:
+        return 1
+    if args.action == "show":
+        print(render_incident(record))
+        for problem in validate_incident(record):
+            print("schema problem: " + problem, file=sys.stderr)
+        return 0
+    # graph
+    print(incident_to_dot(record))
     return 0
 
 
@@ -733,6 +850,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="fsync policy for the journal (default: batch — one "
         "fsync per writer pass)",
     )
+    serve_cmd.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve a Prometheus exposition on this HTTP port (0 = "
+        "ephemeral); with --workers > 1 the supervisor aggregates "
+        "every worker's metrics into the one scrape point",
+    )
+    serve_cmd.add_argument(
+        "--incident-log",
+        default=None,
+        metavar="PATH",
+        help="append a repro.incident/1 record for every resolved "
+        "deadlock to this JSON-lines file (browse with "
+        "'repro incidents')",
+    )
     serve_cmd.set_defaults(run=cmd_serve)
 
     remote_cmd = commands.add_parser(
@@ -773,6 +907,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="poll a worker fleet instead of one server and render the "
         "per-worker cluster view",
     )
+    top_cmd.add_argument(
+        "--incidents",
+        default=None,
+        metavar="PATH",
+        help="also render the newest records of this incident log "
+        "(serve --incident-log) under the dashboard",
+    )
     top_cmd.set_defaults(run=cmd_top)
 
     trace_cmd = commands.add_parser(
@@ -790,6 +931,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="most recent spans to export (0 = all retained)",
     )
     trace_cmd.set_defaults(run=cmd_trace_export)
+
+    incidents_cmd = commands.add_parser(
+        "incidents",
+        help="browse a deadlock incident log (repro.incident/1 "
+        "JSON-lines)",
+    )
+    incidents_cmd.add_argument(
+        "action",
+        choices=["list", "show", "graph"],
+        help="list records, show one report, or emit one cycle as "
+        "Graphviz",
+    )
+    incidents_cmd.add_argument(
+        "file", help="incident log written by serve --incident-log"
+    )
+    incidents_cmd.add_argument(
+        "--id", default=None,
+        help="incident id to show/graph (default: the newest)",
+    )
+    incidents_cmd.add_argument(
+        "--limit", type=int, default=0,
+        help="newest records to list (0 = all)",
+    )
+    incidents_cmd.set_defaults(run=cmd_incidents)
 
     check_cmd = commands.add_parser(
         "check",

@@ -138,6 +138,33 @@ class WireClusterTransport:
 
         return self._run(go())
 
+    async def _metrics_one(self, index: int) -> Optional[Dict[str, Any]]:
+        try:
+            client = await self._client(index)
+            payload = await client.metrics()
+            return payload.get("metrics")
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            await self._drop(index)
+            return None
+        except ServiceError:
+            return None
+
+    def metrics_all(self) -> List[Optional[Dict[str, Any]]]:
+        """Index-aligned worker registry snapshots (``None`` = worker
+        unreachable this scrape) — the aggregated metrics endpoint's
+        poll round, mirroring :meth:`snapshot_all`."""
+        async def gather() -> List[Optional[Dict[str, Any]]]:
+            return list(
+                await asyncio.gather(
+                    *(
+                        self._metrics_one(index)
+                        for index in range(len(self._endpoints))
+                    )
+                )
+            )
+
+        return self._run(gather())
+
     def close(self) -> None:
         async def go() -> None:
             for index, client in enumerate(self._clients):

@@ -43,6 +43,7 @@ identical resolution code.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Any, Dict, List, Optional, Tuple
@@ -67,6 +68,12 @@ class ClusterPass:
     itself (attached as :attr:`ClusterDetection.cluster`)."""
 
     workers: int
+    #: Trace id minted for this pass; every resolution plan routed to a
+    #: worker carries it, so worker-side resolution spans and the
+    #: incident record share one trace.
+    trace: Optional[str] = None
+    #: Cross-process ref of the coordinator's pass span.
+    span: Optional[str] = None
     #: Seconds each worker spent serializing its slice (self-reported).
     snapshot_seconds: List[float] = field(default_factory=list)
     #: Workers whose snapshot could not be fetched this pass.
@@ -212,7 +219,13 @@ def merge_snapshots(
     return merged, unreachable, seconds
 
 
-def run_cluster_pass(transport, workers: int, costs: CostTable) -> ClusterDetection:
+def run_cluster_pass(
+    transport,
+    workers: int,
+    costs: CostTable,
+    incident_sink=None,
+    epoch: Optional[int] = None,
+) -> ClusterDetection:
     """One snapshot-merge-detect-resolve pass over a worker fleet.
 
     ``transport`` provides the two wire rounds::
@@ -224,9 +237,22 @@ def run_cluster_pass(transport, workers: int, costs: CostTable) -> ClusterDetect
     <repro.lockmgr.sharded.ShardedLockCore>` step for step — same
     staged order, same staleness accounting — which is what the
     cluster-vs-sharded equivalence oracle pins down.
+
+    Every pass mints a trace id and a coordinator pass-span ref; each
+    resolution plan carries them as ``plan["ctx"]`` so worker-side
+    resolution spans parent to this pass across the process hop.  When
+    ``incident_sink`` (an :class:`~repro.obs.incidents.IncidentLog`) is
+    given, a deadlock-resolving pass appends a ``repro.incident/1``
+    record built from the pre-detection merged snapshot.
     """
     started = perf_counter()
-    info = ClusterPass(workers=workers)
+    suffix = os.urandom(4).hex()
+    info = ClusterPass(
+        workers=workers,
+        trace="trace-" + suffix,
+        span="coord:pass-" + suffix,
+    )
+    ctx = {"trace": info.trace, "span": info.span}
     merged, unreachable, seconds = merge_snapshots(transport.snapshot_all())
     info.unreachable_workers = unreachable
     info.snapshot_seconds = seconds
@@ -240,6 +266,13 @@ def run_cluster_pass(transport, workers: int, costs: CostTable) -> ClusterDetect
     held_at_snapshot = {
         tid: merged.held_by(tid) for tid in merged.blocked_tids()
     }
+    # The incident's table render must pre-date detection too (the
+    # detector mutates the merged copy while resolving).
+    merged_text = (
+        str(merged)
+        if incident_sink is not None and merged.blocked_count()
+        else None
+    )
     staged = PeriodicDetector(merged, costs).run()
     for resolution in staged.resolutions:
         rids = {
@@ -279,7 +312,8 @@ def run_cluster_pass(transport, workers: int, costs: CostTable) -> ClusterDetect
                         "st": list(chosen.st),
                     }
                     for _, chosen in items
-                ]
+                ],
+                "ctx": ctx,
             },
         )
         rows = (reply or {}).get("repositions", [])
@@ -307,7 +341,8 @@ def run_cluster_pass(transport, workers: int, costs: CostTable) -> ClusterDetect
             continue
         owner = worker_of(snap_rid, workers)
         reply = transport.resolve(
-            owner, {"victims": [{"tid": tid, "rid": snap_rid}]}
+            owner,
+            {"victims": [{"tid": tid, "rid": snap_rid}], "ctx": ctx},
         )
         rows = (reply or {}).get("victims", [])
         row = rows[0] if rows else {}
@@ -320,7 +355,9 @@ def run_cluster_pass(transport, workers: int, costs: CostTable) -> ClusterDetect
         for index in sorted(
             {worker_of(rid, workers) for rid in held} - {owner}
         ):
-            release = transport.resolve(index, {"releases": [tid]})
+            release = transport.resolve(
+                index, {"releases": [tid], "ctx": ctx}
+            )
             for entry in (release or {}).get("releases", ()):
                 grants.extend(
                     event_from_dict(event)
@@ -335,10 +372,27 @@ def run_cluster_pass(transport, workers: int, costs: CostTable) -> ClusterDetect
         rid = staged_repositions[slot].rid
         sweeps.setdefault(worker_of(rid, workers), []).append(rid)
     for index in sorted(sweeps):
-        reply = transport.resolve(index, {"sweeps": sweeps[index]})
+        reply = transport.resolve(
+            index, {"sweeps": sweeps[index], "ctx": ctx}
+        )
         for entry in (reply or {}).get("sweeps", ()):
             result.grants.extend(
                 event_from_dict(event) for event in entry.get("grants", ())
             )
     info.pass_seconds = perf_counter() - started
+    if incident_sink is not None and result.deadlock_found:
+        from ..obs.incidents import build_incident
+
+        incident_sink.append(
+            build_incident(
+                result,
+                source="cluster",
+                table_text=merged_text,
+                blocked_at=blocked_at_snapshot,
+                trace=info.trace,
+                span=info.span,
+                epoch=epoch,
+                workers=workers,
+            )
+        )
     return result

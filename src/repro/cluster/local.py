@@ -27,6 +27,7 @@ from ..lockmgr.events import Granted
 from ..lockmgr.lock_table import LockTable
 from ..lockmgr.sharded import ShardedLockCore
 from ..lockmgr import scheduler
+from ..obs.incidents import IncidentLog
 from .coordinator import (
     ClusterDetection,
     apply_resolution_plan,
@@ -47,6 +48,10 @@ class LocalTransport:
 
     def __init__(self, cluster: "LocalCluster") -> None:
         self._cluster = cluster
+        #: Every ``(worker index, plan)`` this transport routed — the
+        #: trace-propagation tests read the ``ctx`` the coordinator
+        #: stamped on each plan.
+        self.resolved_plans: List[Dict[str, Any]] = []
 
     @staticmethod
     def _wire(payload: Any) -> Any:
@@ -59,10 +64,10 @@ class LocalTransport:
         ]
 
     def resolve(self, index: int, plan: Dict[str, Any]) -> Dict[str, Any]:
+        plan = self._wire(plan)
+        self.resolved_plans.append({"worker": index, "plan": plan})
         return self._wire(
-            apply_resolution_plan(
-                self._cluster.cores[index], self._wire(plan)
-            )
+            apply_resolution_plan(self._cluster.cores[index], plan)
         )
 
 
@@ -79,10 +84,19 @@ class LocalCluster:
         self,
         workers: int = 2,
         costs: Optional[CostTable] = None,
+        incident_log: Optional[IncidentLog] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("a cluster needs at least one worker")
         self.costs = costs if costs is not None else CostTable()
+        #: Deadlock forensics sink fed by every resolving pass; an
+        #: in-memory ring by default so the explorer's incident oracle
+        #: works unconfigured.
+        self.incidents = (
+            incident_log
+            if incident_log is not None
+            else IncidentLog(capacity=64)
+        )
         self._counter = itertools.count()
         self.cores: List[ShardedLockCore] = [
             ShardedLockCore(
@@ -148,7 +162,10 @@ class LocalCluster:
     def detect(self) -> ClusterDetection:
         """One cross-worker periodic pass (the coordinator, inline)."""
         result = run_cluster_pass(
-            self._transport, len(self.cores), self.costs
+            self._transport,
+            len(self.cores),
+            self.costs,
+            incident_sink=self.incidents,
         )
         self.last_pass = result.cluster
         return result

@@ -39,6 +39,12 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..core.victim import CostTable
+from ..obs.cluster import (
+    MetricsExporter,
+    merge_metrics_snapshots,
+    render_snapshot,
+)
+from ..obs.incidents import IncidentLog
 from ..obs.metrics import MetricsRegistry
 from .client import WireClusterTransport
 from .coordinator import ClusterDetection, run_cluster_pass
@@ -89,6 +95,9 @@ class ClusterSupervisor:
         registry: Optional[MetricsRegistry] = None,
         journal_dir: Optional[str] = None,
         max_worker_restarts: int = 3,
+        incident_log: Optional[str] = None,
+        metrics_port: Optional[int] = None,
+        metrics_host: str = "127.0.0.1",
     ) -> None:
         if workers < 1:
             raise ValueError("a cluster needs at least one worker")
@@ -117,6 +126,15 @@ class ClusterSupervisor:
         self._detect_lock = threading.Lock()
         self.last_detection: Optional[ClusterDetection] = None
         self._started = False
+        #: Incident forensics sink: on disk when ``incident_log`` names
+        #: a JSON-lines path, an in-memory ring otherwise.
+        self.incidents = IncidentLog(path=incident_log)
+        #: One aggregated Prometheus scrape point for the whole fleet
+        #: (``metrics_port=None`` disables it; ``0`` binds ephemeral —
+        #: read :attr:`metrics_port` back after :meth:`start`).
+        self.metrics_port = metrics_port
+        self.metrics_host = metrics_host
+        self._exporter: Optional[MetricsExporter] = None
         self.registry.gauge(
             "repro_cluster_workers",
             help="worker processes this supervisor spawned",
@@ -128,6 +146,11 @@ class ClusterSupervisor:
             fn=lambda: float(
                 sum(1 for handle in self._handles if handle.alive)
             ),
+        )
+        self.registry.gauge(
+            "repro_cluster_incidents_recorded",
+            help="deadlock incident records written by this supervisor",
+            fn=lambda: float(self.incidents.total),
         )
 
     # -- lifecycle -------------------------------------------------------
@@ -159,6 +182,13 @@ class ClusterSupervisor:
             self.endpoints(), lease=max(self.lease, 30.0)
         )
         self._started = True
+        if self.metrics_port is not None:
+            self._exporter = MetricsExporter(
+                self.render_metrics,
+                host=self.metrics_host,
+                port=self.metrics_port,
+            ).start()
+            self.metrics_port = self._exporter.port
         reaper = threading.Thread(
             target=self._reaper_loop, name="repro-cluster-reaper", daemon=True
         )
@@ -218,6 +248,9 @@ class ClusterSupervisor:
         for thread in self._threads:
             thread.join(timeout=5.0)
         self._threads.clear()
+        if self._exporter is not None:
+            self._exporter.close()
+            self._exporter = None
         if self._transport is not None:
             self._transport.close()
             self._transport = None
@@ -326,11 +359,30 @@ class ClusterSupervisor:
         """One cross-process detection-resolution pass, now."""
         with self._detect_lock:
             result = run_cluster_pass(
-                self._transport, self.workers, self.costs
+                self._transport,
+                self.workers,
+                self.costs,
+                incident_sink=self.incidents,
             )
         self.last_detection = result
         self._absorb(result)
         return result
+
+    # -- the aggregated scrape point --------------------------------------
+
+    def render_metrics(self) -> str:
+        """One Prometheus exposition for the whole cluster: every
+        worker's ``metrics`` snapshot merged (counters summed,
+        histogram buckets merged, gauges labeled ``worker="i"``),
+        followed by the supervisor's own ``repro_cluster_*`` series.
+        Called per scrape by the :class:`MetricsExporter`."""
+        snapshots = (
+            self._transport.metrics_all()
+            if self._transport is not None
+            else []
+        )
+        merged = merge_metrics_snapshots(snapshots)
+        return render_snapshot(merged) + self.registry.render()
 
     def _detector_loop(self) -> None:
         while not self._stop.wait(self.period):

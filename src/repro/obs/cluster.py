@@ -1,0 +1,286 @@
+"""Cluster-wide metrics aggregation and the single scrape point.
+
+A worker fleet exposes one ``metrics`` wire op per process; operators
+want *one* Prometheus endpoint.  This module merges per-worker registry
+snapshots (the JSON side of :meth:`MetricsRegistry.snapshot
+<repro.obs.metrics.MetricsRegistry.snapshot>`) into one aggregated
+snapshot:
+
+* **counters** — summed across workers per ``(name, labels)`` series
+  (the cluster-wide total an alerting rule wants);
+* **histograms** — bucket counts merged element-wise per series when
+  the bucket bounds agree (sum/count added, min/max combined), so the
+  aggregated quantiles stay rank-faithful; mismatched bounds fall back
+  to per-worker series labeled ``worker="i"``;
+* **gauges** — inherently per-process (open sessions, parked waiters),
+  so every sample keeps its identity under a ``worker="i"`` label.
+
+:func:`render_snapshot` turns any snapshot dict back into Prometheus
+text exposition (0.0.4 — the same dialect
+:func:`~repro.obs.metrics.parse_exposition` reads), and
+:class:`MetricsExporter` serves it over plain stdlib HTTP for
+``serve --metrics-port``.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .metrics import (
+    LabelItems,
+    _format_value,
+    _render_labels,
+    bucket_quantile,
+)
+
+__all__ = [
+    "merge_metrics_snapshots",
+    "render_snapshot",
+    "MetricsExporter",
+]
+
+
+def _series_key(entry: dict) -> Tuple[str, LabelItems]:
+    labels = entry.get("labels") or {}
+    return (
+        str(entry.get("name")),
+        tuple(sorted((str(k), str(v)) for k, v in labels.items())),
+    )
+
+
+def _with_worker(entry: dict, worker: int) -> dict:
+    labeled = dict(entry)
+    labels = dict(entry.get("labels") or {})
+    labels["worker"] = str(worker)
+    labeled["labels"] = labels
+    return labeled
+
+
+def merge_metrics_snapshots(
+    snapshots: List[Optional[dict]],
+) -> Dict[str, List[dict]]:
+    """Merge index-aligned worker registry snapshots into one (see
+    module docstring).  ``None`` marks an unreachable worker — its
+    series are simply absent this scrape."""
+    counters: Dict[Tuple[str, LabelItems], dict] = {}
+    histograms: Dict[Tuple[str, LabelItems], dict] = {}
+    gauges: List[dict] = []
+    for worker, snapshot in enumerate(snapshots):
+        if not snapshot:
+            continue
+        for entry in snapshot.get("counters", ()):
+            key = _series_key(entry)
+            merged = counters.get(key)
+            if merged is None:
+                merged = dict(entry, labels=dict(entry.get("labels") or {}))
+                merged["value"] = 0.0
+                counters[key] = merged
+            merged["value"] += float(entry.get("value", 0.0))
+        for entry in snapshot.get("gauges", ()):
+            gauges.append(_with_worker(entry, worker))
+        for entry in snapshot.get("histograms", ()):
+            key = _series_key(entry)
+            merged = histograms.get(key)
+            buckets = list(entry.get("buckets") or ())
+            counts = [float(c) for c in entry.get("counts") or ()]
+            if merged is not None and merged["buckets"] != buckets:
+                # Bound mismatch: keep this worker's series apart
+                # rather than merging apples with oranges.
+                histograms[_series_key(_with_worker(entry, worker))] = (
+                    _merge_histogram_entry(None, entry, worker=worker)
+                )
+                continue
+            histograms[key] = _merge_histogram_entry(merged, entry)
+    merged_histograms = []
+    for entry in histograms.values():
+        entry = dict(entry)
+        max_observed = entry.get("max")
+        for q, field in ((0.50, "p50"), (0.95, "p95"), (0.99, "p99")):
+            entry[field] = bucket_quantile(
+                entry["buckets"], entry["counts"], q, max_observed
+            )
+        merged_histograms.append(entry)
+    return {
+        "counters": list(counters.values()),
+        "gauges": gauges,
+        "histograms": merged_histograms,
+    }
+
+
+def _merge_histogram_entry(
+    merged: Optional[dict], entry: dict, worker: Optional[int] = None
+) -> dict:
+    if worker is not None:
+        entry = _with_worker(entry, worker)
+    if merged is None:
+        merged = {
+            "name": entry.get("name"),
+            "labels": dict(entry.get("labels") or {}),
+            "buckets": list(entry.get("buckets") or ()),
+            "counts": [0.0] * len(entry.get("counts") or ()),
+            "count": 0,
+            "sum": 0.0,
+            "min": None,
+            "max": None,
+        }
+    counts = [float(c) for c in entry.get("counts") or ()]
+    if len(merged["counts"]) < len(counts):
+        merged["counts"].extend(
+            0.0 for _ in range(len(counts) - len(merged["counts"]))
+        )
+    for index, count in enumerate(counts):
+        merged["counts"][index] += count
+    merged["count"] += entry.get("count") or 0
+    merged["sum"] += entry.get("sum") or 0.0
+    for field, pick in (("min", min), ("max", max)):
+        value = entry.get(field)
+        if value is None:
+            continue
+        merged[field] = (
+            value if merged[field] is None else pick(merged[field], value)
+        )
+    return merged
+
+
+def render_snapshot(snapshot: Dict[str, List[dict]]) -> str:
+    """Prometheus text exposition (0.0.4) from a snapshot dict — the
+    aggregated twin of :meth:`MetricsRegistry.render
+    <repro.obs.metrics.MetricsRegistry.render>`, parseable by
+    :func:`~repro.obs.metrics.parse_exposition`."""
+    lines: List[str] = []
+    typed: set = set()
+
+    def type_line(name: str, kind: str) -> None:
+        if name not in typed:
+            typed.add(name)
+            lines.append("# TYPE {} {}".format(name, kind))
+
+    for kind in ("counter", "gauge"):
+        for entry in snapshot.get(kind + "s", ()):
+            name = str(entry.get("name"))
+            items = tuple(
+                sorted(
+                    (str(k), str(v))
+                    for k, v in (entry.get("labels") or {}).items()
+                )
+            )
+            type_line(name, kind)
+            lines.append(
+                "{}{} {}".format(
+                    name,
+                    _render_labels(items),
+                    _format_value(float(entry.get("value", 0.0))),
+                )
+            )
+    for entry in snapshot.get("histograms", ()):
+        name = str(entry.get("name"))
+        items = tuple(
+            sorted(
+                (str(k), str(v))
+                for k, v in (entry.get("labels") or {}).items()
+            )
+        )
+        type_line(name, "histogram")
+        cumulative = 0.0
+        for bound, count in zip(
+            list(entry.get("buckets") or ()) + [math.inf],
+            entry.get("counts") or (),
+        ):
+            cumulative += count
+            lines.append(
+                "{}_bucket{} {}".format(
+                    name,
+                    _render_labels(
+                        items, 'le="{}"'.format(_format_value(bound))
+                    ),
+                    _format_value(cumulative),
+                )
+            )
+        lines.append(
+            "{}_sum{} {}".format(
+                name, _render_labels(items),
+                _format_value(float(entry.get("sum") or 0.0)),
+            )
+        )
+        lines.append(
+            "{}_count{} {}".format(
+                name, _render_labels(items),
+                _format_value(float(entry.get("count") or 0)),
+            )
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+class MetricsExporter:
+    """A minimal stdlib HTTP scrape point.
+
+    ``render_fn`` is called per request and must return the exposition
+    text; exceptions answer 500 so a flapping worker never kills the
+    endpoint.  ``port=0`` binds an ephemeral port (read it back from
+    :attr:`port` after :meth:`start`)."""
+
+    def __init__(
+        self,
+        render_fn: Callable[[], str],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.render_fn = render_fn
+        self.host = host
+        self.port = port
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "MetricsExporter":
+        render_fn = self.render_fn
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+                try:
+                    body = render_fn().encode("utf-8")
+                except Exception as exc:  # never kill the endpoint
+                    message = "scrape failed: {}\n".format(exc)
+                    self.send_response(500)
+                    self.send_header("Content-Type", "text/plain")
+                    self.end_headers()
+                    self.wfile.write(message.encode("utf-8"))
+                    return
+                self.send_response(200)
+                self.send_header(
+                    "Content-Type",
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args) -> None:  # silence per-scrape
+                pass
+
+        self._server = ThreadingHTTPServer((self.host, self.port), Handler)
+        self.port = self._server.server_address[1]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-metrics-exporter",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsExporter":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

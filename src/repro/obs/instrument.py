@@ -49,11 +49,14 @@ class Telemetry:
         enabled: bool = True,
         trace_capacity: int = 4096,
         registry: Optional[MetricsRegistry] = None,
+        origin: Optional[str] = None,
     ) -> None:
         self.enabled = enabled
         self.registry = registry if registry is not None else MetricsRegistry()
         self._clock = clock if clock is not None else time.monotonic
-        self.trace = TraceLog(clock=self._clock, capacity=trace_capacity)
+        self.trace = TraceLog(
+            clock=self._clock, capacity=trace_capacity, origin=origin
+        )
         #: tid -> (virtual time of first block, mode name, wait kind).
         #: Survives client timeouts (the request stays queued), so the
         #: wait histogram measures time from first block to grant.
@@ -61,15 +64,25 @@ class Telemetry:
 
     # -- service-layer hooks ----------------------------------------------
 
-    def request(self, tid: int, rid: str, mode) -> None:
-        """A fresh lock frame is about to hit the manager."""
+    def request(
+        self,
+        tid: int,
+        rid: str,
+        mode,
+        trace: Optional[str] = None,
+        parent: Optional[str] = None,
+    ) -> None:
+        """A fresh lock frame is about to hit the manager.  ``trace``
+        and ``parent`` are the client-stamped trace context (trace id +
+        parent span ref) propagated from the request frame."""
         if not self.enabled:
             return
         self.registry.counter(
             "repro_lock_requests_total",
             help="lock frames issued to the manager",
         ).inc()
-        self.trace.begin(tid, rid, _mode_name(mode))
+        self.trace.begin(tid, rid, _mode_name(mode), trace=trace,
+                         parent=parent)
 
     def resume(self, tid: int, rid: str, mode) -> None:
         """A lock frame arrived for a transaction already blocked (the
@@ -113,6 +126,54 @@ class Telemetry:
             return
         self._blocked_since.pop(tid, None)
         self.trace.finished(tid, aborted=aborted)
+
+    def resolution(
+        self,
+        action: str,
+        tid: int,
+        rid: Optional[str],
+        applied: bool,
+        trace: Optional[str] = None,
+        parent: Optional[str] = None,
+    ) -> None:
+        """One coordinator-routed resolution item landed (or went
+        stale) on this worker: a ``resolution`` span parented to the
+        coordinator's pass span, so ``trace-export`` links the worker's
+        side of the resolution to the pass that staged it."""
+        if not self.enabled:
+            return
+        self.registry.counter(
+            "repro_resolution_items_total",
+            labels={
+                "action": action,
+                "outcome": "applied" if applied else "stale",
+            },
+            help="coordinator resolution items by action and outcome",
+        ).inc()
+        self.trace.record(
+            tid,
+            rid or "",
+            action,
+            "resolution",
+            "applied" if applied else "stale",
+            trace=trace,
+            parent=parent,
+        )
+
+    def pass_span(
+        self,
+        status: str,
+        trace: Optional[str] = None,
+        parent: Optional[str] = None,
+    ):
+        """Record a detector-pass span and return its cross-process ref
+        (None with telemetry disabled)."""
+        if not self.enabled:
+            return None
+        span = self.trace.record(
+            0, "", "", "pass", status, trace=trace, parent=parent
+        )
+        return self.trace.span_ref(span)
 
     def pending_waits(self) -> List[int]:
         """Transactions blocked without a terminal outcome yet (the

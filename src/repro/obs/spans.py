@@ -33,19 +33,34 @@ import time
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
 
-__all__ = ["Span", "TraceLog", "TERMINAL_STATES"]
+__all__ = ["Span", "TraceLog", "TERMINAL_STATES", "LIFECYCLE_KINDS"]
 
 #: States a span can end in.  ``granted`` is live (lock held), not terminal.
 TERMINAL_STATES = frozenset({"released", "aborted", "timed-out"})
+
+#: Span kinds that follow the request lifecycle above.  Other kinds
+#: (``resolution``, ``pass``) are point-in-time annotations recorded by
+#: the detector coordinator and are exempt from the completeness oracle.
+LIFECYCLE_KINDS = frozenset({"request", "conversion", "queue", "resume"})
 
 
 class Span:
     """One lock request's lifecycle (see module docstring)."""
 
-    __slots__ = ("span_id", "tid", "rid", "mode", "kind", "status", "events")
+    __slots__ = (
+        "span_id", "tid", "rid", "mode", "kind", "status", "events",
+        "trace", "parent", "unfinished",
+    )
 
     def __init__(
-        self, span_id: int, tid: int, rid: str, mode: str, kind: str
+        self,
+        span_id: int,
+        tid: int,
+        rid: str,
+        mode: str,
+        kind: str,
+        trace: Optional[str] = None,
+        parent: Optional[str] = None,
     ) -> None:
         self.span_id = span_id
         self.tid = tid
@@ -53,17 +68,27 @@ class Span:
         self.mode = mode
         #: ``request`` for a first attempt, ``conversion`` once blocked
         #: inside the holder list, ``queue`` once blocked in the FIFO
-        #: queue, ``resume`` for a re-sent lock after a client timeout.
+        #: queue, ``resume`` for a re-sent lock after a client timeout,
+        #: ``resolution`` for a coordinator-routed resolution item
+        #: applied on a worker, ``pass`` for a whole detector pass.
         self.kind = kind
         self.status = "requested"
         self.events: List[Dict[str, float]] = []
+        #: Propagated trace context: the client-minted trace id this
+        #: span belongs to, and the span ref of its causal parent
+        #: (``origin:span_id`` — cross-process-unique).
+        self.trace = trace
+        self.parent = parent
+        #: True when the span was still in flight at eviction time and
+        #: was flushed to the ring instead of silently dropped.
+        self.unfinished = False
 
     @property
     def terminal(self) -> bool:
         return self.status in TERMINAL_STATES
 
     def to_dict(self) -> dict:
-        return {
+        record = {
             "span": self.span_id,
             "tid": self.tid,
             "rid": self.rid,
@@ -72,6 +97,13 @@ class Span:
             "status": self.status,
             "events": list(self.events),
         }
+        if self.trace is not None:
+            record["trace"] = self.trace
+        if self.parent is not None:
+            record["parent"] = self.parent
+        if self.unfinished:
+            record["unfinished"] = True
+        return record
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "Span(#{} T{} {} {} {})".format(
@@ -84,31 +116,65 @@ class TraceLog:
 
     ``clock`` is the owning service's virtual clock (defaults to
     ``time.monotonic``); wall-clock stamps always come from
-    ``time.time``.  ``capacity`` bounds the completed-span ring so a
-    long-lived server cannot grow without bound.
+    ``time.time``.  ``capacity`` bounds both the completed-span ring and
+    the open-span table so a long-lived server cannot grow without
+    bound: when a new span would push the open table past capacity, the
+    oldest in-flight span is *flushed* into the ring with an
+    ``unfinished: true`` marker (never silently dropped).  ``origin``
+    names this process in exported span refs (``origin:span_id``) so
+    parent links stay unambiguous across process hops.
     """
 
     def __init__(
         self,
         clock: Optional[Callable[[], float]] = None,
         capacity: int = 4096,
+        origin: Optional[str] = None,
     ) -> None:
         self.clock = clock if clock is not None else time.monotonic
+        self.capacity = capacity
+        self.origin = origin
         self._next_id = 1
         self._open: Dict[Tuple[int, str], Span] = {}
         self._by_tid: Dict[int, Set[str]] = {}
         self._completed: Deque[Span] = deque(maxlen=capacity)
         self.total_started = 0
+        #: Born-finished annotation spans (``record()``) — counted apart
+        #: from the request lifecycle so ``total_started`` stays the
+        #: number of lock-request spans.
+        self.total_recorded = 0
+        #: In-flight spans evicted (flushed unfinished) at capacity.
+        self.evicted_unfinished = 0
+
+    def span_ref(self, span: Span) -> str:
+        """The cross-process-unique ref of ``span``
+        (``origin:span_id``, or the bare id with no origin set)."""
+        if self.origin:
+            return "{}:{}".format(self.origin, span.span_id)
+        return str(span.span_id)
 
     # -- span surface ------------------------------------------------------
 
-    def begin(self, tid: int, rid: str, mode: str) -> Span:
+    def begin(
+        self,
+        tid: int,
+        rid: str,
+        mode: str,
+        trace: Optional[str] = None,
+        parent: Optional[str] = None,
+    ) -> Span:
         """A lock frame for ``(tid, rid)`` reached the service."""
         span = self._open.get((tid, rid))
         if span is not None:
+            if trace is not None and span.trace is None:
+                span.trace = trace
+            if parent is not None and span.parent is None:
+                span.parent = parent
             self._stamp(span, "request")
             return span
-        return self._start(tid, rid, mode, "request")
+        return self._start(
+            tid, rid, mode, "request", trace=trace, parent=parent
+        )
 
     def blocked(self, tid: int, rid: str, mode: str, conversion: bool) -> Span:
         span = self._open.get((tid, rid))
@@ -188,8 +254,10 @@ class TraceLog:
         spans = list(self._completed) + list(self._open.values())
         return sorted(spans, key=lambda s: s.span_id)
 
-    def to_dicts(self, limit: int = 0) -> List[dict]:
+    def to_dicts(self, limit: int = 0, kinds=None) -> List[dict]:
         spans = self.all_spans()
+        if kinds is not None:
+            spans = [span for span in spans if span.kind in kinds]
         if limit:
             spans = spans[-limit:]
         return [span.to_dict() for span in spans]
@@ -201,15 +269,68 @@ class TraceLog:
             for record in self.to_dicts(limit)
         )
 
+    def record(
+        self,
+        tid: int,
+        rid: str,
+        mode: str,
+        kind: str,
+        status: str,
+        trace: Optional[str] = None,
+        parent: Optional[str] = None,
+    ) -> Span:
+        """Record a complete point-in-time span straight into the ring
+        (coordinator pass spans, worker-side resolution applications —
+        anything that is born finished)."""
+        span = Span(
+            self._next_id, tid, rid, mode, kind, trace=trace, parent=parent
+        )
+        self._next_id += 1
+        self.total_recorded += 1
+        self._stamp(span, "request")
+        span.status = status
+        self._stamp(span, status)
+        self._completed.append(span)
+        return span
+
     # -- internals ---------------------------------------------------------
 
-    def _start(self, tid: int, rid: str, mode: str, kind: str) -> Span:
-        span = Span(self._next_id, tid, rid, mode, kind)
+    def _start(
+        self,
+        tid: int,
+        rid: str,
+        mode: str,
+        kind: str,
+        trace: Optional[str] = None,
+        parent: Optional[str] = None,
+    ) -> Span:
+        if self.capacity and len(self._open) >= self.capacity:
+            self._evict_oldest_open()
+        span = Span(
+            self._next_id, tid, rid, mode, kind, trace=trace, parent=parent
+        )
         self._next_id += 1
         self.total_started += 1
         self._open[(tid, rid)] = span
         self._by_tid.setdefault(tid, set()).add(rid)
         self._stamp(span, "request")
+        return span
+
+    def _evict_oldest_open(self) -> Span:
+        """Flush the oldest in-flight span into the completed ring with
+        an ``unfinished`` marker (the bounded-export contract: an
+        evicted span is exported, never silently dropped)."""
+        span = min(self._open.values(), key=lambda s: s.span_id)
+        span.unfinished = True
+        self._stamp(span, "evicted")
+        self._open.pop((span.tid, span.rid), None)
+        rids = self._by_tid.get(span.tid)
+        if rids is not None:
+            rids.discard(span.rid)
+            if not rids:
+                del self._by_tid[span.tid]
+        self._completed.append(span)
+        self.evicted_unfinished += 1
         return span
 
     def _stamp(self, span: Span, phase: str) -> None:

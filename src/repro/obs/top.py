@@ -25,6 +25,7 @@ __all__ = [
     "Sample",
     "take_sample",
     "render_dashboard",
+    "render_incident_pane",
     "parse_endpoints",
     "render_cluster_dashboard",
     "run_cluster_top",
@@ -285,6 +286,61 @@ def render_dashboard(
     return "\n".join(lines)
 
 
+def render_incident_pane(
+    records: List[Dict[str, Any]], width: int = 72, limit: int = 3
+) -> str:
+    """The newest deadlock incidents as a dashboard pane (pure; no
+    I/O).  ``records`` is an incident-log record list, oldest first —
+    the pane shows the newest ``limit`` of them, newest on top."""
+    lines = [" deadlock incidents ".center(width, "-")]
+    if not records:
+        lines.append("  none recorded")
+        return "\n".join(lines)
+    for record in reversed(records[-limit:]):
+        cycles = record.get("cycles") or []
+        decisions = ",".join(
+            entry.get("decision", "?") for entry in cycles
+        ) or "-"
+        lines.append(
+            "  {}  {}  {} cycle(s) [{}]  aborted {}  "
+            "repositioned {}".format(
+                record.get("id", "?"),
+                record.get("source", "?"),
+                len(cycles),
+                decisions,
+                record.get("aborted") or "-",
+                ",".join(
+                    entry.get("rid", "?")
+                    for entry in record.get("repositions") or ()
+                )
+                or "-",
+            )
+        )
+        for entry in cycles:
+            lines.append(
+                "    cycle {}".format(
+                    " -> ".join(
+                        "T{}".format(tid) for tid in entry.get("cycle", ())
+                    )
+                )
+            )
+    if len(records) > limit:
+        lines.append(
+            "  ({} older incident(s) in the log)".format(
+                len(records) - limit
+            )
+        )
+    return "\n".join(lines)
+
+
+def _incident_pane_for(path: Optional[str], width: int = 72) -> str:
+    if not path:
+        return ""
+    from .incidents import load_incidents
+
+    return render_incident_pane(load_incidents(path), width=width) + "\n"
+
+
 async def _sample_client(client) -> Sample:
     metrics = await client.metrics()
     stats = await client.stats()
@@ -313,6 +369,7 @@ def run_top(
     iterations: Optional[int] = None,
     clear: bool = True,
     out=None,
+    incidents_path: Optional[str] = None,
 ) -> int:
     """The polling loop behind ``python -m repro top``.
 
@@ -334,6 +391,7 @@ def run_top(
                 if clear and iterations != 1:
                     write("\x1b[2J\x1b[H")
                 write(text + "\n")
+                write(_incident_pane_for(incidents_path))
                 previous = sample
                 count += 1
                 if iterations is not None and count >= iterations:
@@ -450,6 +508,7 @@ def run_cluster_top(
     iterations: Optional[int] = None,
     clear: bool = True,
     out=None,
+    incidents_path: Optional[str] = None,
 ) -> int:
     """The polling loop behind ``python -m repro top --cluster``.
 
@@ -486,6 +545,7 @@ def run_cluster_top(
             if clear and iterations != 1:
                 write("\x1b[2J\x1b[H")
             write(text + "\n")
+            write(_incident_pane_for(incidents_path))
             previous = samples
             count += 1
             if iterations is not None and count >= iterations:
@@ -511,7 +571,10 @@ def run_trace_export(
     async def fetch() -> Dict[str, Any]:
         client = await AsyncLockClient.connect(host, port, heartbeat=False)
         try:
-            return await client.spans(limit=limit)
+            # Annotation spans included: the export is the causal trace
+            # tree, so detector-pass and resolution spans ride along
+            # with the request lifecycles they explain.
+            return await client.spans(limit=limit, annotations=True)
         finally:
             await client.close()
 

@@ -203,13 +203,26 @@ def metrics_payload(core) -> Dict[str, Any]:
     }
 
 
-def spans_payload(core, limit: int = 0) -> Dict[str, Any]:
-    """The ``spans`` response: the request-lifecycle span log."""
+def spans_payload(
+    core, limit: int = 0, annotations: bool = False
+) -> Dict[str, Any]:
+    """The ``spans`` response: the request-lifecycle span log.
+
+    Annotation spans (coordinator passes, resolution applications) are
+    counted separately and only listed with ``annotations=True`` — the
+    default answers for lock-request lifecycles, while the trace export
+    asks for everything so the causal tree is complete.
+    """
+    from ..obs.spans import LIFECYCLE_KINDS
+
     trace = core.telemetry.trace
     return {
         "total": trace.total_started,
+        "annotations": trace.total_recorded,
         "open": len(trace.open_spans()),
-        "spans": trace.to_dicts(limit=limit),
+        "spans": trace.to_dicts(
+            limit=limit, kinds=None if annotations else LIFECYCLE_KINDS
+        ),
     }
 
 

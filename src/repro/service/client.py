@@ -18,6 +18,7 @@ Two layers:
 from __future__ import annotations
 
 import asyncio
+import os
 import threading
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
@@ -63,8 +64,21 @@ class AsyncLockClient:
         self.last_epoch: int = 0
         #: Transaction ids the server reported live at resume time.
         self.resumed_tids: List[int] = []
+        #: tid -> trace id stamped on every lock/batch frame of that
+        #: transaction, so server-side spans across workers share one
+        #: trace (``trace-export`` groups by it).
+        self._traces: Dict[int, str] = {}
         self._host: Optional[str] = None
         self._port: Optional[int] = None
+
+    def trace_of(self, tid: int) -> str:
+        """The trace id this client stamps on ``tid``'s frames (minted
+        on first use, stable for the transaction's lifetime)."""
+        trace = self._traces.get(tid)
+        if trace is None:
+            trace = "trace-" + os.urandom(6).hex()
+            self._traces[tid] = trace
+        return trace
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -271,6 +285,7 @@ class AsyncLockClient:
             "rid": rid,
             "mode": mode_name,
             "wait": wait,
+            "trace": self.trace_of(tid),
         }
         if timeout is not None:
             fields["timeout"] = timeout
@@ -290,9 +305,11 @@ class AsyncLockClient:
 
     async def commit(self, tid: int) -> None:
         await self._call("commit", tid=tid)
+        self._traces.pop(tid, None)
 
     async def abort(self, tid: int) -> None:
         await self._call("abort", tid=tid)
+        self._traces.pop(tid, None)
 
     # -- pipelined batches -------------------------------------------------
 
@@ -306,7 +323,14 @@ class AsyncLockClient:
         ``lock`` sub-ops never wait — a contended request answers
         ``"blocked"`` and stays queued.
         """
-        response = await self._call("batch", ops=list(ops))
+        ops = [dict(op) for op in ops]
+        for op in ops:
+            if op.get("op") == "lock" and "trace" not in op:
+                try:
+                    op["trace"] = self.trace_of(int(op["tid"]))
+                except (KeyError, ValueError, TypeError):
+                    pass  # the server reports the malformed sub-op
+        response = await self._call("batch", ops=ops)
         return list(response["results"])
 
     def pipeline(self) -> "LockPipeline":
@@ -401,10 +425,15 @@ class AsyncLockClient:
         text exposition and the telemetry enabled flag."""
         return await self._call("metrics")
 
-    async def spans(self, limit: int = 0) -> Dict[str, Any]:
+    async def spans(
+        self, limit: int = 0, annotations: bool = False
+    ) -> Dict[str, Any]:
         """The server's request-lifecycle span log (``limit=0`` means
-        all retained spans)."""
-        return await self._call("spans", limit=limit)
+        all retained spans; ``annotations=True`` also lists the
+        born-finished pass/resolution annotation spans)."""
+        return await self._call(
+            "spans", limit=limit, annotations=annotations
+        )
 
     async def dump(self) -> Dict[str, Any]:
         return await self._call("dump")

@@ -35,6 +35,7 @@ from ..core.errors import ReproError
 from ..core.modes import LockMode, parse_mode
 from ..core.victim import CostTable
 from ..lockmgr.sharded import ShardedLockCore, resolve_shard_count
+from ..obs.incidents import IncidentLog, build_incident
 from ..obs.instrument import Telemetry
 from .admin import ServiceStats
 from .protocol import MAX_BATCH_OPS, ServiceError, event_to_dict
@@ -127,6 +128,7 @@ class ServiceCore:
         journal=None,
         wall: Callable[[], float] = time.time,
         token_source: Optional[Callable[[], str]] = None,
+        incident_log: Optional[IncidentLog] = None,
     ) -> None:
         self.continuous = continuous
         #: Resolved shard count (``None`` means the ``REPRO_SHARDS``
@@ -143,6 +145,19 @@ class ServiceCore:
         #: becomes a no-op).
         self.journal = journal
         self._token_source = token_source
+        #: Incident forensics sink: every deadlock-resolving pass
+        #: appends a ``repro.incident/1`` record here.  Defaults to a
+        #: small in-memory ring so the explorer's incident oracle works
+        #: unconfigured; the server/supervisor inject an on-disk log.
+        self.incidents = (
+            incident_log
+            if incident_log is not None
+            else IncidentLog(capacity=64)
+        )
+        #: Restart generation stamped onto incident records; the server
+        #: bumps it after journal recovery so forensics can tell which
+        #: process lifetime a deadlock belongs to.
+        self.restart_epoch = 0
         # The telemetry clock reads through ``self.clock`` so a later
         # reassignment (the server installs its loop clock, the explorer
         # a virtual clock) is picked up automatically.
@@ -397,6 +412,8 @@ class ServiceCore:
         mode: LockMode,
         wait: bool = True,
         callback: Optional[Callable[[str], None]] = None,
+        trace: Optional[str] = None,
+        parent: Optional[str] = None,
     ) -> Tuple[str, Optional[dict], Optional[ParkedWait]]:
         """One ``lock`` operation against the manager.
 
@@ -405,14 +422,17 @@ class ServiceCore:
         ``wait=True`` a blocking request is parked (the returned
         :class:`ParkedWait` resolves via :meth:`pump`); parking inside
         the step means no grant can slip between the check and the
-        registration.
+        registration.  ``trace``/``parent`` are the client-stamped
+        trace context from the request frame, attached to the span this
+        request opens.
         """
         self.claim(tid, session)
         if self.manager.was_aborted(tid):
             return "aborted", None, None
         event = None
         if not self.manager.is_blocked(tid):
-            self.telemetry.request(tid, rid, mode)
+            self.telemetry.request(tid, rid, mode, trace=trace,
+                                   parent=parent)
             started = time.perf_counter()
             outcome = self.manager.lock(tid, rid, mode)
             self._journal_append(
@@ -549,6 +569,8 @@ class ServiceCore:
                     str(frame["rid"]),
                     parse_mode(frame["mode"]),
                     wait=False,
+                    trace=frame.get("trace"),
+                    parent=frame.get("span"),
                 )
                 return {
                     "op": name,
@@ -579,7 +601,24 @@ class ServiceCore:
             return _batch_error(name, "error", str(exc))
 
     def detect_step(self):
-        """One periodic detection-resolution pass plus stats."""
+        """One periodic detection-resolution pass plus stats.
+
+        When the pass resolves a deadlock, a ``repro.incident/1``
+        forensics record lands in :attr:`incidents` — the merged-table
+        render and blocking edges are captured *before* the pass, since
+        resolution mutates the table.
+        """
+        pre: Optional[Tuple[str, Dict[int, Optional[str]]]] = None
+        if self.incidents is not None:
+            table = self.manager.table
+            if table.blocked_count():
+                # A deadlock needs blocked transactions; skip the
+                # capture on idle ticks so clean passes stay cheap.
+                pre = (
+                    str(table),
+                    {tid: table.blocked_at(tid)
+                     for tid in table.blocked_tids()},
+                )
         started = time.perf_counter()
         result = self.manager.detect()
         self.telemetry.detection(result, time.perf_counter() - started)
@@ -589,6 +628,20 @@ class ServiceCore:
             # the resolving passes keeps replay byte-identical without
             # one record per detector tick.
             self._journal_append("detect")
+            if self.incidents is not None:
+                table_text, blocked_at = pre if pre is not None else (None, None)
+                span = self.telemetry.pass_span("deadlock")
+                self.incidents.append(
+                    build_incident(
+                        result,
+                        source="service",
+                        table_text=table_text,
+                        blocked_at=blocked_at,
+                        span=span,
+                        epoch=self.restart_epoch,
+                        timestamp=self.wall(),
+                    )
+                )
         return result
 
     def snapshot_step(self) -> dict:
@@ -620,16 +673,46 @@ class ServiceCore:
         # No telemetry.finish here: the manager publishes the Aborted
         # event, which closes the victim's span through the listener —
         # the same path a local detection pass takes.
-        for row in reply["victims"]:
+        ctx = plan.get("ctx") or {}
+        trace = ctx.get("trace")
+        parent = ctx.get("span")
+        victim_items = list(plan.get("victims") or ())
+        for slot, row in enumerate(reply["victims"]):
             if row["confirmed"]:
                 self.stats.cluster_victims_aborted += 1
             else:
                 self.stats.cluster_stale_resolutions += 1
+            item = victim_items[slot] if slot < len(victim_items) else {}
+            self.telemetry.resolution(
+                "abort",
+                row["tid"],
+                item.get("rid"),
+                row["confirmed"],
+                trace=trace,
+                parent=parent,
+            )
         for row in reply["repositions"]:
             if row["applied"]:
                 self.stats.cluster_repositionings += 1
             else:
                 self.stats.cluster_stale_resolutions += 1
+            self.telemetry.resolution(
+                "reposition",
+                0,
+                row["rid"],
+                row["applied"],
+                trace=trace,
+                parent=parent,
+            )
+        for row in reply["releases"]:
+            self.telemetry.resolution(
+                "release",
+                row["tid"],
+                None,
+                True,
+                trace=trace,
+                parent=parent,
+            )
         self.stats.cluster_releases += len(reply["releases"])
         return reply
 

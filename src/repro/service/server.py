@@ -40,12 +40,14 @@ Architecture
 from __future__ import annotations
 
 import asyncio
+from time import perf_counter
 from typing import Awaitable, Callable, Dict, List, Optional, Set
 
 from .. import __version__
 from ..core.errors import ReproError
 from ..core.modes import parse_mode
 from ..core.victim import CostTable
+from ..obs.metrics import DURATION_BUCKETS as _FSYNC_BUCKETS
 from . import admin
 from .core import MAX_LEASE, MIN_LEASE, ParkedWait, ServiceCore, Session
 from .journal import SessionJournal, recover_into
@@ -93,6 +95,7 @@ class LockServer:
         journal_path: Optional[str] = None,
         journal_fsync: str = "batch",
         journal=None,
+        incident_log=None,
     ) -> None:
         self.core = ServiceCore(
             costs=costs,
@@ -101,6 +104,7 @@ class LockServer:
             telemetry=telemetry,
             shards=shards,
             sequence_source=sequence_source,
+            incident_log=incident_log,
         )
         self.continuous = continuous
         self.period = period
@@ -159,6 +163,9 @@ class LockServer:
             # records), stamp this boot, honor/reap leases.
             self.recovery = recover_into(self.core, self._journal)
             self.restart_epoch = self._journal.epoch
+            # Incident records carry the restart epoch, so forensics
+            # can tell which process lifetime a deadlock belongs to.
+            self.core.restart_epoch = self.restart_epoch
         self._tasks.append(asyncio.ensure_future(self._writer_loop()))
         self._tasks.append(asyncio.ensure_future(self._reaper_loop()))
         if self.period is not None:
@@ -225,8 +232,16 @@ class LockServer:
             # set_result above cannot run until this task yields at the
             # queue await, so no reply ever precedes its records.
             if self.core.journal is not None:
+                flush_started = perf_counter()
                 if self.core.journal.flush():
                     self.core.stats.journal_flushes += 1
+                    if self.core.telemetry.enabled:
+                        self.core.telemetry.registry.histogram(
+                            "repro_journal_fsync_seconds",
+                            help="write+fsync latency of one journal "
+                            "group commit",
+                            buckets=_FSYNC_BUCKETS,
+                        ).observe(perf_counter() - flush_started)
 
     # -- background tasks ------------------------------------------------------
 
@@ -425,7 +440,14 @@ class LockServer:
 
         def step():
             return self.core.lock_step(
-                session, tid, rid, mode, wait=wait, callback=resolve
+                session,
+                tid,
+                rid,
+                mode,
+                wait=wait,
+                callback=resolve,
+                trace=frame.get("trace"),
+                parent=frame.get("span"),
             )
 
         status, event, parked = await self._submit(step)
@@ -516,8 +538,11 @@ class LockServer:
 
     async def _op_spans(self, session, frame, send) -> None:
         limit = int(frame.get("limit", 0))
+        annotations = bool(frame.get("annotations", False))
         payload = await self._submit(
-            lambda: admin.spans_payload(self.core, limit=limit)
+            lambda: admin.spans_payload(
+                self.core, limit=limit, annotations=annotations
+            )
         )
         await send(ok(frame.get("id"), **payload))
 

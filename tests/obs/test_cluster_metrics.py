@@ -1,0 +1,182 @@
+"""Cluster metrics aggregation: merge semantics (counters summed,
+gauges labeled per worker, histogram buckets merged element-wise) and
+the aggregated exposition round-tripping through ``parse_exposition``
+— the same parser a Prometheus scrape of ``serve --metrics-port``
+exercises."""
+
+from __future__ import annotations
+
+import urllib.error
+import urllib.request
+
+from repro.obs.cluster import (
+    MetricsExporter,
+    merge_metrics_snapshots,
+    render_snapshot,
+)
+from repro.obs.metrics import MetricsRegistry, parse_exposition
+
+
+def worker_snapshot(grants, sessions, waits, buckets=(0.1, 1.0)):
+    """One worker's ``metrics`` op payload (a registry snapshot)."""
+    registry = MetricsRegistry()
+    registry.counter("repro_lock_grants_total").inc(grants)
+    registry.counter(
+        "repro_lock_requests_total", labels={"mode": "X"}
+    ).inc(grants + 1)
+    registry.gauge(
+        "repro_service_sessions", fn=lambda: float(sessions)
+    )
+    hist = registry.histogram(
+        "repro_lock_wait_seconds", buckets=buckets
+    )
+    for value in waits:
+        hist.observe(value)
+    return registry.snapshot()
+
+
+def entries(snapshot, kind, name):
+    return [
+        entry for entry in snapshot[kind] if entry["name"] == name
+    ]
+
+
+class TestMerge:
+    def test_counters_sum_per_labeled_series(self):
+        merged = merge_metrics_snapshots(
+            [worker_snapshot(3, 1, []), worker_snapshot(4, 1, [])]
+        )
+        (plain,) = entries(merged, "counters", "repro_lock_grants_total")
+        assert plain["value"] == 7.0
+        (labeled,) = entries(
+            merged, "counters", "repro_lock_requests_total"
+        )
+        assert labeled["labels"] == {"mode": "X"}
+        assert labeled["value"] == 9.0
+
+    def test_gauges_keep_worker_identity(self):
+        merged = merge_metrics_snapshots(
+            [worker_snapshot(0, 2, []), worker_snapshot(0, 5, [])]
+        )
+        rows = entries(merged, "gauges", "repro_service_sessions")
+        assert {
+            (row["labels"]["worker"], row["value"]) for row in rows
+        } == {("0", 2.0), ("1", 5.0)}
+
+    def test_histogram_buckets_merge_element_wise(self):
+        merged = merge_metrics_snapshots(
+            [
+                worker_snapshot(0, 1, [0.05, 0.5]),
+                worker_snapshot(0, 1, [0.5, 5.0]),
+            ]
+        )
+        (hist,) = entries(
+            merged, "histograms", "repro_lock_wait_seconds"
+        )
+        assert hist["buckets"] == [0.1, 1.0]
+        assert hist["counts"] == [1.0, 2.0, 1.0]
+        assert hist["count"] == 4
+        assert hist["sum"] == 0.05 + 0.5 + 0.5 + 5.0
+        assert hist["max"] == 5.0
+        # Rank-faithful aggregated quantiles are recomputed.
+        assert hist["p50"] is not None
+
+    def test_bucket_mismatch_falls_back_to_worker_series(self):
+        merged = merge_metrics_snapshots(
+            [
+                worker_snapshot(0, 1, [0.5], buckets=(0.1, 1.0)),
+                worker_snapshot(0, 1, [0.5], buckets=(0.2, 2.0)),
+            ]
+        )
+        rows = entries(merged, "histograms", "repro_lock_wait_seconds")
+        assert len(rows) == 2
+        labeled = [row for row in rows if "worker" in row["labels"]]
+        assert len(labeled) == 1
+        assert labeled[0]["labels"]["worker"] == "1"
+
+    def test_unreachable_worker_is_absent_not_zero(self):
+        merged = merge_metrics_snapshots(
+            [worker_snapshot(3, 1, []), None]
+        )
+        (plain,) = entries(merged, "counters", "repro_lock_grants_total")
+        assert plain["value"] == 3.0
+        rows = entries(merged, "gauges", "repro_service_sessions")
+        assert [row["labels"]["worker"] for row in rows] == ["0"]
+
+
+class TestRoundTrip:
+    def test_exposition_parses_back_to_the_merged_totals(self):
+        merged = merge_metrics_snapshots(
+            [
+                worker_snapshot(3, 2, [0.05, 0.5]),
+                worker_snapshot(4, 5, [0.5, 5.0]),
+            ]
+        )
+        samples = parse_exposition(render_snapshot(merged))
+        assert samples[("repro_lock_grants_total", ())] == 7.0
+        assert samples[
+            ("repro_lock_requests_total", (("mode", "X"),))
+        ] == 9.0
+        # Per-worker gauge children survive the text round-trip.
+        assert samples[
+            ("repro_service_sessions", (("worker", "0"),))
+        ] == 2.0
+        assert samples[
+            ("repro_service_sessions", (("worker", "1"),))
+        ] == 5.0
+        # Histogram series render cumulatively, Prometheus-style.
+        assert samples[
+            ("repro_lock_wait_seconds_bucket", (("le", "0.1"),))
+        ] == 1.0
+        assert samples[
+            ("repro_lock_wait_seconds_bucket", (("le", "1"),))
+        ] == 3.0
+        assert samples[
+            ("repro_lock_wait_seconds_bucket", (("le", "+Inf"),))
+        ] == 4.0
+        assert samples[("repro_lock_wait_seconds_count", ())] == 4.0
+        assert samples[("repro_lock_wait_seconds_sum", ())] == (
+            0.05 + 0.5 + 0.5 + 5.0
+        )
+
+    def test_empty_merge_renders_empty(self):
+        assert render_snapshot(merge_metrics_snapshots([None, None])) == ""
+
+
+class TestExporter:
+    def test_http_scrape_serves_the_rendered_exposition(self):
+        merged = merge_metrics_snapshots([worker_snapshot(3, 1, [])])
+        exporter = MetricsExporter(
+            lambda: render_snapshot(merged), port=0
+        ).start()
+        try:
+            url = "http://127.0.0.1:{}/metrics".format(exporter.port)
+            with urllib.request.urlopen(url, timeout=10.0) as response:
+                assert response.status == 200
+                body = response.read().decode("utf-8")
+        finally:
+            exporter.close()
+        samples = parse_exposition(body)
+        assert samples[("repro_lock_grants_total", ())] == 3.0
+
+    def test_render_failure_answers_500_and_endpoint_survives(self):
+        state = {"fail": True}
+
+        def render() -> str:
+            if state["fail"]:
+                raise RuntimeError("boom")
+            return "ok_total 1\n"
+
+        exporter = MetricsExporter(render, port=0).start()
+        try:
+            url = "http://127.0.0.1:{}/metrics".format(exporter.port)
+            try:
+                urllib.request.urlopen(url, timeout=10.0)
+                raise AssertionError("scrape should have answered 500")
+            except urllib.error.HTTPError as error:
+                assert error.code == 500
+            state["fail"] = False
+            with urllib.request.urlopen(url, timeout=10.0) as response:
+                assert response.status == 200
+        finally:
+            exporter.close()

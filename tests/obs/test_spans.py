@@ -5,7 +5,7 @@ from __future__ import annotations
 
 import json
 
-from repro.obs.spans import TERMINAL_STATES, TraceLog
+from repro.obs.spans import LIFECYCLE_KINDS, TERMINAL_STATES, TraceLog
 
 
 def make_log(**kwargs) -> TraceLog:
@@ -142,3 +142,68 @@ class TestLogSurface:
             log.finished(tid)
         recent = log.to_dicts(limit=2)
         assert [record["tid"] for record in recent] == [2, 3]
+
+
+class TestEviction:
+    def test_capacity_flushes_oldest_open_span_as_unfinished(self):
+        log = make_log(capacity=2)
+        log.begin(1, "R1", "X")
+        log.begin(2, "R2", "X")
+        # The third in-flight span pushes the oldest out of the open
+        # table — flushed into the ring, never silently dropped.
+        log.begin(3, "R3", "X")
+        assert log.evicted_unfinished == 1
+        assert [span.tid for span in log.open_spans()] == [2, 3]
+        (flushed,) = log.completed_spans()
+        assert flushed.tid == 1
+        assert flushed.unfinished
+        assert flushed.events[-1]["phase"] == "evicted"
+        # Not a terminal state: the request was still in flight.
+        assert not flushed.terminal
+
+    def test_evicted_span_is_exported_with_the_marker(self):
+        log = make_log(capacity=1)
+        log.begin(1, "R1", "X")
+        log.begin(2, "R2", "X")
+        records = [
+            json.loads(line) for line in log.export_jsonl().splitlines()
+        ]
+        flushed = [r for r in records if r.get("unfinished")]
+        assert [record["tid"] for record in flushed] == [1]
+        # Live spans carry no marker at all.
+        assert "unfinished" not in records[-1]
+
+    def test_eviction_forgets_the_open_index_entry(self):
+        log = make_log(capacity=1)
+        log.begin(1, "R1", "X")
+        log.begin(2, "R2", "X")
+        # T1's span is gone from the open table: a later grant for the
+        # same (tid, rid) starts a fresh resume span instead of
+        # resurrecting the flushed one.
+        span = log.granted(1, "R1", "X", immediate=False)
+        assert span.kind == "resume"
+        assert not span.unfinished
+        assert log.evicted_unfinished == 2  # T2's was flushed in turn
+
+
+class TestAnnotations:
+    def test_record_is_born_finished_and_counted_apart(self):
+        log = make_log()
+        log.begin(1, "R", "X")
+        span = log.record(
+            0, "", "", "pass", "deadlock",
+            trace="trace-ab", parent=None,
+        )
+        assert span.status == "deadlock"
+        assert not log.open_spans()[0] is span
+        assert log.total_started == 1
+        assert log.total_recorded == 1
+        assert span in log.completed_spans()
+
+    def test_to_dicts_kinds_filter_hides_annotations(self):
+        log = make_log()
+        log.begin(1, "R", "X")
+        log.record(0, "", "", "pass", "clear")
+        kinds = [r["kind"] for r in log.to_dicts(kinds=LIFECYCLE_KINDS)]
+        assert kinds == ["request"]
+        assert {r["kind"] for r in log.to_dicts()} == {"request", "pass"}

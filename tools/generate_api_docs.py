@@ -56,7 +56,7 @@ error     {"v": 1, "id": 7, "ok": false,
 | `resume` | `session`, `token` | same shape as `hello` but re-attaches a lease that survived a restart: `tids` lists the session's live transactions; errors are `unknown-session`, `bad-token`, `session-busy` |
 | `heartbeat` | — | `remaining` (any received frame also renews the lease) |
 | `begin` | `tid?` | `tid` (server-assigned when omitted) |
-| `lock` | `tid`, `rid`, `mode`, `wait?`, `timeout?` | `status`: `granted` / `blocked` / `timeout` / `aborted`, plus the `event` |
+| `lock` | `tid`, `rid`, `mode`, `wait?`, `timeout?`, `trace?` | `status`: `granted` / `blocked` / `timeout` / `aborted`, plus the `event`; the client-minted `trace` id lands on the request's spans (`AsyncLockClient` stamps one per transaction) |
 | `commit`, `abort` | `tid` | `grants` handed to waiters by the release |
 | `batch` | `ops` (≤ 256 sub-ops: `begin`/`lock`/`commit`/`abort`) | `results`, one entry per sub-op in order, each that op's usual fields plus `ok` — or `{"ok": false, "error": {...}}` in place |
 | `detect` | — | one detection-resolution pass (`deadlock_found`, `abort_free`, `aborted`, `repositions`, ...) |
@@ -66,10 +66,10 @@ error     {"v": 1, "id": 7, "ok": false,
 | `log` | `limit?` | tail of the manager's event log |
 | `stats` | — | `ServiceStats` counters + live gauges |
 | `metrics` | — | full telemetry: registry snapshot `metrics`, Prometheus `text`, `enabled` |
-| `spans` | `limit?` | request-lifecycle span log: `total`, `open`, `spans` (see `docs/OBSERVABILITY.md`) |
+| `spans` | `limit?`, `annotations?` | span log: `total` (lifecycle), `annotations` (born-finished pass/resolution spans, listed when `annotations` is true), `open`, `spans` (see `docs/OBSERVABILITY.md`) |
 | `holding`, `deadlocked` | `tid` / — | per-transaction locks / any cycle present |
 | `snapshot` | — | this worker's H/W-TWBG slice: versioned `table` entries in first-lock order plus the `sequence` map (cluster coordinators merge these; see `docs/CLUSTER.md`) |
-| `resolve` | `plan` (`victims`, `repositions`, `releases`, `sweeps`) | one routed resolution applied on the writer: per-item `confirmed`/`applied` flags and the `grants` the resolution woke — stale items are reported, not applied |
+| `resolve` | `plan` (`victims`, `repositions`, `releases`, `sweeps`, `ctx?`) | one routed resolution applied on the writer: per-item `confirmed`/`applied` flags and the `grants` the resolution woke — stale items are reported, not applied; `ctx` (`trace`, `span`) parents the worker's resolution spans to the coordinator pass |
 | `goodbye` | — | clean detach (still sweeps the session's transactions) |
 
 A `batch` frame pipelines its sub-ops back-to-back on the server's
@@ -101,10 +101,12 @@ CLI entry points:
 python -m repro serve  --port 7411 --period 0.5 --lease 5 [--continuous]
 python -m repro serve  --port 7411 --journal sessions.jsonl [--journal-fsync batch]
 python -m repro serve  --port 7411 --workers 4 [--journal DIR]  # cluster supervisor
+python -m repro serve  --port 7411 [--metrics-port 9100] [--incident-log FILE]
 python -m repro remote report|graph|dump|stats|metrics|log|detect --port 7411
-python -m repro top --port 7411 [--interval 1.0] [--once]
+python -m repro top --port 7411 [--interval 1.0] [--once] [--incidents FILE]
 python -m repro top --cluster 7411,7412,7413,7414 [--once]
 python -m repro trace-export --port 7411 [--out spans.jsonl] [--limit N]
+python -m repro incidents {list,show,graph} FILE [--id ID]
 ```
 
 `remote metrics` prints the Prometheus text exposition; `top` renders a
@@ -115,8 +117,13 @@ coordinator totals); `trace-export` dumps the span log as JSON-lines.
 consecutive ports with the cross-process detector in the supervisor —
 topology, routing and failure modes live in `docs/CLUSTER.md`; with
 `--journal DIR` each worker journals to `DIR/worker-<i>.jsonl` and the
-supervisor respawns dead workers from their journals.  The full metric
-catalog and span schema live in `docs/OBSERVABILITY.md`.
+supervisor respawns dead workers from their journals.
+`--metrics-port` serves one aggregated Prometheus endpoint (per-worker
+`metrics` ops merged on every scrape), `--incident-log` records a
+`repro.incident/1` forensics record per resolved deadlock, and
+`python -m repro incidents` renders that log (`graph` emits Graphviz
+DOT).  The full metric catalog, the incident schema and the
+distributed-tracing model live in `docs/OBSERVABILITY.md`.
 """
 
 

@@ -1,0 +1,309 @@
+#!/usr/bin/env python
+"""Deadlock a 2-worker cluster and prove the forensics surface works.
+
+The CI incident smoke: boots a :class:`ClusterSupervisor` with an
+on-disk incident log and the aggregated metrics exporter, drives a
+deadlock-heavy micro-workload (every transaction holds on one worker
+process and waits on the other), runs coordinator passes, and asserts
+
+* at least one ``repro.incident/1`` record lands in the incident log
+  and validates against the schema;
+* the record carries the pass trace context (``trace``/``span``) and
+  the cluster topology (``source=cluster``, ``workers=2``);
+* one HTTP scrape of the supervisor's ``--metrics-port`` endpoint
+  parses as Prometheus 0.0.4 text and its counters equal the sum of
+  the per-worker ``metrics`` ops;
+* ``repro incidents list``/``graph`` render the log.
+
+Exits 0 on success.  On failure it prints a diagnosis and (with
+``--artifact-dir``) saves the incident log for upload.
+
+Usage::
+
+    python tools/incident_smoke.py [--artifact-dir DIR] [--rounds N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.cluster import ClusterSupervisor  # noqa: E402
+from repro.cluster.client import ClusterLockManager  # noqa: E402
+from repro.cluster.coordinator import worker_of  # noqa: E402
+from repro.core.errors import TransactionAborted  # noqa: E402
+from repro.core.modes import LockMode  # noqa: E402
+from repro.obs import parse_exposition  # noqa: E402
+from repro.obs.incidents import (  # noqa: E402
+    load_incidents,
+    validate_incident_file,
+)
+from repro.service.protocol import ServiceError  # noqa: E402
+
+
+def wait_until(predicate, timeout=20.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.02)
+    return False
+
+
+def rids_on_distinct_workers(workers: int):
+    found = {}
+    i = 0
+    while len(found) < workers:
+        i += 1
+        rid = "R{}".format(i)
+        index = worker_of(rid, workers)
+        if index not in found:
+            found[index] = rid
+    return [found[index] for index in sorted(found)]
+
+
+def drive_deadlock_round(manager, base_tid: int, a: str, b: str):
+    """Two transactions, each holding on one worker and waiting on the
+    other — the canonical cross-worker cycle."""
+    t1, t2 = base_tid, base_tid + 1
+    manager.begin(t1)
+    manager.begin(t2)
+    assert manager.acquire(t1, a, LockMode.X, timeout=10.0)
+    assert manager.acquire(t2, b, LockMode.X, timeout=10.0)
+    outcomes = {}
+
+    def wait_for(tid, rid):
+        try:
+            outcomes[tid] = manager.acquire(
+                tid, rid, LockMode.X, timeout=30.0
+            )
+        except (TransactionAborted, ServiceError):
+            outcomes[tid] = "aborted"
+
+    threads = [
+        threading.Thread(target=wait_for, args=(t1, b)),
+        threading.Thread(target=wait_for, args=(t2, a)),
+    ]
+    for thread in threads:
+        thread.start()
+    if not wait_until(manager.deadlocked):
+        raise RuntimeError("cross-worker deadlock never formed")
+    return threads, outcomes, (t1, t2)
+
+
+def drain_round(manager, threads, outcomes, tids):
+    for thread in threads:
+        thread.join(timeout=30.0)
+        if thread.is_alive():
+            raise RuntimeError("waiter thread stuck after resolution")
+    for tid in tids:
+        try:
+            if outcomes.get(tid) is True or manager.holding(tid):
+                manager.commit(tid)
+        except (ServiceError, TransactionAborted):
+            pass
+
+
+def scrape(host: str, port: int) -> str:
+    url = "http://{}:{}/metrics".format(host, port)
+    with urllib.request.urlopen(url, timeout=10.0) as response:
+        assert response.status == 200
+        return response.read().decode("utf-8")
+
+
+def counter_total(samples, name: str) -> float:
+    """Sum of a counter family over all label children."""
+    return sum(
+        value
+        for (sample_name, _labels), value in samples.items()
+        if sample_name == name
+    )
+
+
+def check_aggregation(supervisor, problems):
+    """One scrape equals the sum of the per-worker ``metrics`` ops."""
+    per_worker = supervisor._transport.metrics_all()
+    live = [snapshot for snapshot in per_worker if snapshot is not None]
+    if len(live) != supervisor.workers:
+        problems.append(
+            "metrics op reached {} of {} workers".format(
+                len(live), supervisor.workers
+            )
+        )
+        return
+    text = scrape(supervisor.metrics_host, supervisor.metrics_port)
+    samples = parse_exposition(text)
+    for name in (
+        "repro_lock_requests_total",
+        "repro_lock_grants_total",
+        "repro_lock_blocks_total",
+    ):
+        expected = sum(
+            entry["value"]
+            for snapshot in live
+            for entry in snapshot.get("counters", [])
+            if entry["name"] == name
+        )
+        exposed = counter_total(samples, name)
+        if exposed != expected:
+            problems.append(
+                "aggregated {} is {} but the per-worker metrics ops "
+                "sum to {}".format(name, exposed, expected)
+            )
+    if counter_total(samples, "repro_cluster_detector_passes_total") < 1:
+        problems.append(
+            "supervisor series missing from the aggregated exposition"
+        )
+
+
+def check_incident_log(path: str, problems):
+    count, errors = validate_incident_file(path)
+    if errors:
+        problems.append(
+            "incident log invalid ({} record(s)): {}".format(
+                count, "; ".join(errors[:5])
+            )
+        )
+        return
+    if count < 1:
+        problems.append("no incident record after a resolved deadlock")
+        return
+    records = load_incidents(path)
+    newest = records[-1]
+    if newest.get("source") != "cluster":
+        problems.append(
+            "incident source is {!r}, not 'cluster'".format(
+                newest.get("source")
+            )
+        )
+    if newest.get("workers") != 2:
+        problems.append(
+            "incident workers is {!r}, not 2".format(
+                newest.get("workers")
+            )
+        )
+    if not str(newest.get("trace", "")).startswith("trace-"):
+        problems.append(
+            "incident lacks the pass trace id (got {!r})".format(
+                newest.get("trace")
+            )
+        )
+    if ":" not in str(newest.get("span", "")):
+        problems.append(
+            "incident lacks the coordinator pass span ref (got "
+            "{!r})".format(newest.get("span"))
+        )
+    print(
+        "incident log OK: {} record(s), newest {} ({} cycle(s), "
+        "trace {})".format(
+            count,
+            newest.get("id"),
+            len(newest.get("cycles") or ()),
+            newest.get("trace"),
+        )
+    )
+
+
+def check_cli(path: str, problems):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    for action in ("list", "graph"):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "incidents", action, path],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=REPO_ROOT,
+            timeout=60,
+        )
+        if proc.returncode != 0:
+            problems.append(
+                "repro incidents {} failed: {}".format(
+                    action, proc.stderr.strip()
+                )
+            )
+        elif action == "graph" and "digraph incident" not in proc.stdout:
+            problems.append("incidents graph did not emit Graphviz DOT")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--artifact-dir", default=None)
+    parser.add_argument(
+        "--rounds", type=int, default=2,
+        help="deadlock rounds to drive (each ends in one coordinator "
+        "pass)",
+    )
+    args = parser.parse_args()
+
+    workdir = tempfile.mkdtemp(prefix="incident-smoke-")
+    incident_log = os.path.join(workdir, "incidents.jsonl")
+    problems = []
+    try:
+        with ClusterSupervisor(
+            workers=2,
+            period=None,
+            incident_log=incident_log,
+            metrics_port=0,
+        ) as supervisor:
+            manager = ClusterLockManager(supervisor.endpoints())
+            try:
+                a, b = rids_on_distinct_workers(2)
+                resolved = 0
+                for round_index in range(args.rounds):
+                    threads, outcomes, tids = drive_deadlock_round(
+                        manager, 1 + 2 * round_index, a, b
+                    )
+                    result = supervisor.detect()
+                    if not result.deadlock_found:
+                        problems.append(
+                            "round {}: pass saw no deadlock".format(
+                                round_index
+                            )
+                        )
+                    else:
+                        resolved += 1
+                    drain_round(manager, threads, outcomes, tids)
+                print(
+                    "drove {} deadlock round(s), {} resolved by the "
+                    "coordinator".format(args.rounds, resolved)
+                )
+                check_incident_log(incident_log, problems)
+                check_aggregation(supervisor, problems)
+            finally:
+                manager.close()
+        check_cli(incident_log, problems)
+    except Exception as exc:  # noqa: BLE001 - smoke harness boundary
+        problems.append("smoke harness error: {!r}".format(exc))
+
+    if args.artifact_dir and os.path.exists(incident_log):
+        os.makedirs(args.artifact_dir, exist_ok=True)
+        shutil.copy(
+            incident_log,
+            os.path.join(args.artifact_dir, "incidents.jsonl"),
+        )
+    shutil.rmtree(workdir, ignore_errors=True)
+
+    if problems:
+        for problem in problems:
+            print("FAIL:", problem, file=sys.stderr)
+        return 1
+    print(
+        "incident smoke OK: validated incident log, aggregated scrape "
+        "matches the per-worker metrics ops"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

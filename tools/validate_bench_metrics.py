@@ -1,52 +1,23 @@
 #!/usr/bin/env python
 """Validate ``repro.bench/1`` JSON-lines files (the ``--metrics-out``
-output) against the schema in :mod:`repro.obs.bench`.
+output).
 
-Usage::
+Kept as the original bench-only entry point; the logic lives in
+:mod:`tools.validate_records`, which also understands
+``repro.incident/1`` deadlock-incident logs::
 
     PYTHONPATH=src python tools/validate_bench_metrics.py FILE [FILE...]
-
-Exits non-zero when any file is unreadable, empty, or contains a record
-violating the schema — CI runs this over the smoke benchmark's artifact
-so a drifting record format fails the build instead of silently
-producing unparseable history.
 """
 
 from __future__ import annotations
 
-import argparse
 import os
 import sys
 
-sys.path.insert(
-    0,
-    os.path.join(
-        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
-    ),
-)
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-from repro.obs.bench import validate_file  # noqa: E402
-
-
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        description="validate repro.bench/1 JSON-lines metrics files"
-    )
-    parser.add_argument("files", nargs="+", metavar="FILE")
-    args = parser.parse_args(argv)
-
-    failed = False
-    for path in args.files:
-        count, errors = validate_file(path)
-        if errors:
-            failed = True
-            print("{}: INVALID ({} record(s))".format(path, count))
-            for error in errors:
-                print("  " + error)
-        else:
-            print("{}: OK ({} record(s))".format(path, count))
-    return 1 if failed else 0
+from validate_records import main  # noqa: E402
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(main(default_kind="bench"))
