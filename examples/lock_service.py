@@ -125,7 +125,10 @@ def admin(server, coro_fn):
 def main() -> None:
     from repro.service import LoopbackServer
 
-    with LoopbackServer(period=None) as server:
+    # Pinned to the periodic policy: the walkthrough stages Example 4.1
+    # for an explicit detection pass, which block-time policies (e.g. a
+    # REPRO_POLICY=nowait environment) would preempt.
+    with LoopbackServer(period=None, policy="periodic") as server:
         workers = [Worker(i) for i in range(WORKERS)]
         try:
             by_tid = lambda tid: workers[tid % WORKERS]

@@ -6,7 +6,9 @@ from .base import Strategy, StrategyOutcome
 from .elmagarmid import ElmagarmidStrategy, build_r_table, build_t_table, chase
 from .jiang import JiangStrategy, WaitForMatrix, direct_blockers
 from .johnson import circuit_count, elementary_circuits
+from .nowait import NoWaitStrategy
 from .park import (
+    AdaptivePeriodicStrategy,
     ParkBatchedStrategy,
     ParkContinuousStrategy,
     ParkPeriodicStrategy,
@@ -16,9 +18,11 @@ from .timeout import TimeoutStrategy
 from .wfg import WFGStrategy, adjacency, find_cycle, has_deadlock, waits_for_edges
 
 __all__ = [
+    "AdaptivePeriodicStrategy",
     "AgrawalStrategy",
     "ElmagarmidStrategy",
     "JiangStrategy",
+    "NoWaitStrategy",
     "ParkBatchedStrategy",
     "ParkContinuousStrategy",
     "ParkPeriodicStrategy",

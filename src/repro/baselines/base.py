@@ -77,6 +77,12 @@ class Strategy:
         """Called when simulated time advances.  Default: no-op."""
         return StrategyOutcome()
 
+    def next_period(self, default: Optional[float]) -> Optional[float]:
+        """Consulted by the driver before scheduling the next periodic
+        pass.  Adaptive schemes tune the interval here; the default
+        keeps the driver's fixed period."""
+        return default
+
     def forget(self, tid: int) -> None:
         """A transaction left the system (commit or abort)."""
 

@@ -1,0 +1,56 @@
+"""Ordered no-wait locking as a simulator baseline.
+
+The comparison lane for the service's ``nowait`` policy: the very same
+ordered rule (:func:`repro.policy.nowait.wait_is_ordered`, applied
+through :func:`repro.policy.nowait.evaluate_block`) decides, at block
+time, whether a wait may stand.  An out-of-order wait aborts the
+requester through the driver's *prevention* path — the same accounting
+lane wound-wait and wait-die use — so the strategies are directly
+comparable in the X-series reports: zero detection passes, zero
+deadlock aborts, prevention aborts instead.
+
+Because policy and baseline share one rule function, the simulator's
+throughput/abort trade-off measured here is the trade-off the live
+``serve --policy nowait`` lane pays; they cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.victim import CostTable
+from ..lockmgr.lock_table import LockTable
+from ..policy.nowait import evaluate_block
+from .base import Strategy, StrategyOutcome
+
+
+class NoWaitStrategy(Strategy):
+    """Refuse out-of-order waits; never run a detector.
+
+    Deadlock-free by the ordered-resource argument (see the policy
+    module's proof sketch), so the oracle should observe zero deadlock
+    episodes under this strategy — the property the baseline tests pin.
+    """
+
+    name = "nowait"
+    periodic = False
+    tick_abort_kind = "prevention"
+
+    def __init__(self) -> None:
+        #: Waits the ordered rule refused (mirrors the live policy's
+        #: ``nowait_aborts`` counter).
+        self.refused = 0
+
+    def wait_allowed(
+        self,
+        table: LockTable,
+        requester: int,
+        holder_tids: List[int],
+        costs: CostTable,
+        now: float,
+    ) -> Optional[List[int]]:
+        rid = table.blocked_at(requester)
+        if rid is None or evaluate_block(table, requester, rid):
+            return None
+        self.refused += 1
+        return [requester]

@@ -74,6 +74,59 @@ class ParkContinuousStrategy(Strategy):
         return _to_outcome(self.last_result)
 
 
+class AdaptivePeriodicStrategy(Strategy):
+    """The paper's periodic detector with the service's adaptive
+    period controller in the loop (``park-adaptive``).
+
+    Reuses :class:`~repro.policy.adaptive.AdaptiveController` verbatim:
+    hot passes shrink the interval the driver consults through
+    :meth:`next_period`, clean streaks grow it back, and a sustained
+    hot streak switches the lane to the continuous rooted check (the
+    simulator is single-table, so the switch is always legal) until an
+    idle streak switches it back.
+    """
+
+    periodic = True
+    name = "park-adaptive"
+
+    def __init__(self, controller=None) -> None:
+        from ..policy.adaptive import AdaptiveController
+
+        self.controller = (
+            controller if controller is not None else AdaptiveController()
+        )
+        self._periodic: Optional[PeriodicDetector] = None
+        self._continuous: Optional[ContinuousDetector] = None
+        self.last_result: Optional[DetectionResult] = None
+
+    def next_period(self, default: Optional[float]) -> Optional[float]:
+        return self.controller.consult(default)
+
+    def on_block(
+        self, table: LockTable, tid: int, costs: CostTable, now: float
+    ) -> StrategyOutcome:
+        if self.controller.mode != "continuous":
+            return StrategyOutcome()
+        if self._continuous is None or self._continuous.table is not table:
+            self._continuous = ContinuousDetector(table, costs)
+        self.last_result = self._continuous.on_block(tid)
+        self.controller.observe(
+            self.last_result.deadlock_found, can_continuous=True
+        )
+        return _to_outcome(self.last_result)
+
+    def periodic_pass(
+        self, table: LockTable, costs: CostTable, now: float
+    ) -> StrategyOutcome:
+        if self._periodic is None or self._periodic.table is not table:
+            self._periodic = PeriodicDetector(table, costs)
+        self.last_result = self._periodic.run()
+        self.controller.observe(
+            self.last_result.deadlock_found, can_continuous=True
+        )
+        return _to_outcome(self.last_result)
+
+
 class ParkBatchedStrategy(Strategy):
     """The batched middle ground: record blockers, resolve them in one
     rooted pass every ``batch_size`` blocks (and on the periodic hook as

@@ -89,6 +89,14 @@ def build_model(artifact: Artifact):
         from .sharded import EquivalenceModel
 
         return EquivalenceModel(programs, continuous=artifact.continuous)
+    if artifact.backend == "cluster":
+        from .cluster import ClusterModel
+
+        return ClusterModel(programs, continuous=artifact.continuous)
+    if artifact.backend == "policy":
+        from .policy import PolicyModel
+
+        return PolicyModel(programs, continuous=artifact.continuous)
     raise ReproError(
         "unknown artifact backend {!r}".format(artifact.backend)
     )

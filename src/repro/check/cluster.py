@@ -72,8 +72,11 @@ class ClusterModel:
         workers = self.workers
         if workers is None:
             workers = scheduler.choose(list(WORKER_CHOICES), "workers")
-        reference = ShardedLockCore(shards=workers)
-        subject = LocalCluster(workers=workers)
+        # Pinned to the periodic policy: this backend explores *sharding*
+        # equivalence; the policy backend owns policy variation (and the
+        # REPRO_POLICY CI leg must not change what is compared here).
+        reference = ShardedLockCore(shards=workers, policy="periodic")
+        subject = LocalCluster(workers=workers, policy="periodic")
         actors = [
             _Actor("a{}".format(i), program, tid=i + 1)
             for i, program in enumerate(self.programs)

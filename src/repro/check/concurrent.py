@@ -83,7 +83,12 @@ class ConcurrentModel:
         self.restart_limit = restart_limit
 
     def run(self, scheduler: VirtualScheduler) -> ScheduleResult:
-        manager = LockManager(continuous=self.continuous)
+        # Policy pinned (periodic or its continuous companion): the
+        # schedules stage deadlocks the oracles expect a detector to
+        # find, which the REPRO_POLICY=nowait CI leg would prevent.
+        manager = LockManager(
+            policy="continuous" if self.continuous else "periodic"
+        )
         actors = [
             _Actor("a{}".format(i), program, tid=i + 1)
             for i, program in enumerate(self.programs)

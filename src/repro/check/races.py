@@ -92,7 +92,7 @@ class RaceModel:
                 state["spurious"] += 1
             return event in ("commit-then-notify", "spurious-wakeup")
 
-        manager = ConcurrentLockManager(wait_fn=wait_fn)
+        manager = ConcurrentLockManager(wait_fn=wait_fn, policy="periodic")
         facade.append(manager)
         failures: List[OracleFailure] = []
         try:
@@ -166,7 +166,7 @@ class RaceModel:
                 state["spurious"] += 1
             return event in ("detect-then-notify", "spurious-wakeup")
 
-        manager = ConcurrentLockManager(wait_fn=wait_fn)
+        manager = ConcurrentLockManager(wait_fn=wait_fn, policy="periodic")
         facade.append(manager)
         failures: List[OracleFailure] = []
         aborted = False

@@ -138,6 +138,10 @@ def _build(backend: str, config: CheckConfig, workload_seed: int,
         from .cluster import ClusterModel
 
         return ClusterModel(programs, continuous=continuous)
+    if backend == "policy":
+        from .policy import PolicyModel
+
+        return PolicyModel(programs, continuous=continuous)
     raise ValueError("unknown backend {!r}".format(backend))
 
 

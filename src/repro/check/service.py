@@ -117,6 +117,9 @@ class ServiceModel:
         token_source = lambda: "tok{}".format(next(tokens))  # noqa: E731
         core = ServiceCore(
             continuous=self.continuous,
+            # Deadlock-staging schedules need the detector lanes; the
+            # policy backend owns policy variation.
+            policy=None if self.continuous else "periodic",
             lease=self.lease,
             clock=clock,
             journal=SessionJournal(),
@@ -318,6 +321,7 @@ class ServiceModel:
             journal = SessionJournal.from_records(core.journal.records())
             replica = ServiceCore(
                 continuous=self.continuous,
+                policy=None if self.continuous else "periodic",
                 lease=self.lease,
                 clock=clock,
                 journal=None,

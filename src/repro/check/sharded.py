@@ -121,8 +121,11 @@ class EquivalenceModel:
         shards = self.shards
         if shards is None:
             shards = scheduler.choose(list(SHARD_CHOICES), "shards")
-        reference = LockManager()
-        subject = ShardedLockCore(shards=shards)
+        # Pinned to the periodic policy: this backend explores sharding
+        # equivalence; the policy backend owns policy variation (and the
+        # REPRO_POLICY CI leg must not change what is compared here).
+        reference = LockManager(policy="periodic")
+        subject = ShardedLockCore(shards=shards, policy="periodic")
         actors = [
             _Actor("a{}".format(i), program, tid=i + 1)
             for i, program in enumerate(self.programs)

@@ -67,6 +67,8 @@ from .lockmgr.lock_table import LockTable
 STRATEGIES = {
     "park-periodic": lambda: _baselines().ParkPeriodicStrategy(),
     "park-continuous": lambda: _baselines().ParkContinuousStrategy(),
+    "park-adaptive": lambda: _baselines().AdaptivePeriodicStrategy(),
+    "nowait": lambda: _baselines().NoWaitStrategy(),
     "agrawal": lambda: _baselines().AgrawalStrategy(),
     "jiang": lambda: _baselines().JiangStrategy(),
     "elmagarmid": lambda: _baselines().ElmagarmidStrategy(),
@@ -102,6 +104,121 @@ def parse_cost_pairs(pairs: List[str]) -> dict:
 
 def parse_costs(pairs: List[str]) -> CostTable:
     return CostTable(parse_cost_pairs(pairs))
+
+
+class ServeConfigError(ValueError):
+    """An impossible ``serve`` flag combination.
+
+    ``cmd_serve`` turns this into a clear message on stderr and exit
+    code 2 — the argparse convention for bad usage."""
+
+
+class ServeConfig:
+    """The validated, normalised ``serve`` topology knobs."""
+
+    def __init__(self, policy, continuous, shards, workers, warnings):
+        self.policy = policy
+        self.continuous = continuous
+        self.shards = shards
+        self.workers = workers
+        self.warnings = tuple(warnings)
+
+
+def validate_serve_config(
+    policy: Optional[str] = None,
+    continuous: bool = False,
+    shards: Optional[int] = None,
+    workers: int = 1,
+    period: float = 0.5,
+    environ=None,
+) -> ServeConfig:
+    """Validate one ``serve`` flag set; the single place topology
+    combinations are judged.
+
+    Explicitly contradictory flags raise :class:`ServeConfigError`
+    (the old scattered checks silently "won" one flag over another);
+    environment-derived defaults that merely lose to an explicit flag
+    demote to warnings, so an exported ``REPRO_SHARDS``/
+    ``REPRO_POLICY`` never breaks a command line that used to work.
+    Returns the normalised :class:`ServeConfig` with the *effective*
+    policy name resolved (explicit flag > environment > default).
+    """
+    from .lockmgr.sharded import SHARDS_ENV
+    from .policy import POLICIES, POLICY_ENV
+
+    env = os.environ if environ is None else environ
+    warnings: List[str] = []
+
+    env_policy = (env.get(POLICY_ENV) or "").strip() or None
+    effective = policy if policy is not None else env_policy
+    if effective is not None and effective not in POLICIES:
+        source = (
+            "--policy" if policy is not None
+            else "{}=".format(POLICY_ENV) + str(env_policy)
+        )
+        raise ServeConfigError(
+            "unknown detection policy {!r} (from {}); known policies: "
+            "{}".format(effective, source, ", ".join(sorted(POLICIES)))
+        )
+    if continuous:
+        if policy is not None and policy != "continuous":
+            raise ServeConfigError(
+                "--continuous contradicts --policy {}: the continuous "
+                "companion detector is itself a policy; drop one of "
+                "the two flags".format(policy)
+            )
+        if policy is None and env_policy not in (None, "continuous"):
+            warnings.append(
+                "--continuous overrides {}={}".format(
+                    POLICY_ENV, env_policy
+                )
+            )
+        effective = "continuous"
+
+    wants_continuous = effective == "continuous"
+    if wants_continuous:
+        if workers > 1:
+            raise ServeConfigError(
+                "the continuous policy needs the whole wait graph in "
+                "one process; it cannot run with --workers "
+                "{}".format(workers)
+            )
+        if shards is not None and shards > 1:
+            raise ServeConfigError(
+                "the continuous policy needs the whole wait graph in "
+                "one process; it cannot run with --shards "
+                "{}".format(shards)
+            )
+        env_shards = (env.get(SHARDS_ENV) or "").strip()
+        if shards is None and env_shards.isdigit() and int(env_shards) > 1:
+            warnings.append(
+                "the continuous policy forces one shard; ignoring "
+                "{}={}".format(SHARDS_ENV, env_shards)
+            )
+            shards = 1
+
+    if workers < 1:
+        raise ServeConfigError(
+            "--workers must be at least 1 (got {})".format(workers)
+        )
+    if shards is not None and shards < 1:
+        raise ServeConfigError(
+            "--shards must be at least 1 (got {})".format(shards)
+        )
+    if effective in ("adaptive", "predict") and period <= 0:
+        warnings.append(
+            "policy {} acts on periodic detector passes but --period "
+            "{} disables the detector; it will be inert".format(
+                effective, period
+            )
+        )
+    return ServeConfig(
+        policy=effective,
+        continuous=wants_continuous,
+        shards=shards,
+        workers=workers,
+        warnings=warnings,
+    )
 
 
 def cmd_inspect(args) -> int:
@@ -281,38 +398,21 @@ def cmd_serve(args) -> int:
 
     from .service.server import LockServer
 
-    workers = args.workers
-    if workers > 1 and args.continuous:
-        # Same rule as --shards: the continuous companion detector
-        # needs the whole wait graph in one process.
-        print(
-            "warning: --continuous needs the whole wait graph in one "
-            "process and forces --workers 1; ignoring --workers "
-            "{}".format(workers),
-            file=sys.stderr,
+    try:
+        config = validate_serve_config(
+            policy=args.policy,
+            continuous=args.continuous,
+            shards=args.shards,
+            workers=args.workers,
+            period=args.period,
         )
-        workers = 1
-    if workers > 1:
-        return _serve_cluster(args, workers)
-
-    if args.continuous:
-        from .lockmgr.sharded import SHARDS_ENV, env_default_shards
-
-        requested = (
-            env_default_shards() if args.shards is None else args.shards
-        )
-        if requested > 1:
-            source = (
-                "{}={}".format(SHARDS_ENV, os.environ.get(SHARDS_ENV))
-                if args.shards is None
-                else "--shards {}".format(args.shards)
-            )
-            print(
-                "warning: --continuous needs the whole wait graph in "
-                "one process and forces --shards 1; ignoring "
-                "{}".format(source),
-                file=sys.stderr,
-            )
+    except ServeConfigError as exc:
+        print("serve: {}".format(exc), file=sys.stderr)
+        return 2
+    for warning in config.warnings:
+        print("warning: {}".format(warning), file=sys.stderr)
+    if config.workers > 1:
+        return _serve_cluster(args, config)
 
     incident_log = None
     if args.incident_log:
@@ -321,10 +421,10 @@ def cmd_serve(args) -> int:
         incident_log = IncidentLog(path=args.incident_log)
     server = LockServer(
         costs=parse_costs(args.cost),
-        continuous=args.continuous,
+        policy=config.policy,
         period=None if args.period <= 0 else args.period,
         lease=args.lease,
-        shards=args.shards,
+        shards=config.shards,
         journal_path=args.journal,
         journal_fsync=args.journal_fsync,
         incident_log=incident_log,
@@ -351,12 +451,13 @@ def cmd_serve(args) -> int:
             )
         print(
             "lock service listening on {}:{} "
-            "(period={}, lease={}s, shards={})".format(
+            "(period={}, lease={}s, shards={}, policy={})".format(
                 server.host,
                 server.port,
                 server.period if server.period is not None else "off",
                 server.lease,
                 server.core.shards,
+                server.core.policy.name,
             ),
             flush=True,
         )
@@ -390,12 +491,13 @@ def cmd_serve(args) -> int:
     return 0
 
 
-def _serve_cluster(args, workers: int) -> int:
+def _serve_cluster(args, config: ServeConfig) -> int:
     import logging
     import time
 
     from .cluster import ClusterSupervisor
 
+    workers = config.workers
     logging.basicConfig(
         level=logging.INFO, format="%(levelname)s %(name)s: %(message)s"
     )
@@ -410,12 +512,14 @@ def _serve_cluster(args, workers: int) -> int:
         incident_log=args.incident_log,
         metrics_port=args.metrics_port,
         metrics_host=args.host,
+        policy=config.policy,
+        shards_per_worker=1 if config.shards is None else config.shards,
     )
     try:
         with supervisor:
             print(
                 "lock cluster up: {} workers at {} "
-                "(detector period={}, lease={}s)".format(
+                "(detector period={}, lease={}s, policy={})".format(
                     workers,
                     ", ".join(
                         "{}:{}".format(host, port)
@@ -425,6 +529,7 @@ def _serve_cluster(args, workers: int) -> int:
                     if supervisor.period is not None
                     else "off",
                     args.lease,
+                    supervisor.policy.name,
                 ),
                 flush=True,
             )
@@ -811,7 +916,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve_cmd.add_argument(
         "--continuous",
         action="store_true",
-        help="use the continuous companion detector",
+        help="use the continuous companion detector (same as "
+        "--policy continuous)",
+    )
+    serve_cmd.add_argument(
+        "--policy",
+        choices=["periodic", "continuous", "nowait", "adaptive",
+                 "predict"],
+        default=None,
+        help="detection/resolution policy (default: REPRO_POLICY or "
+        "periodic); nowait runs the deadlock-free ordered-wait lane, "
+        "adaptive auto-tunes the detector period, predict warns on "
+        "near-cycles",
     )
     serve_cmd.add_argument(
         "--shards",
@@ -969,7 +1085,10 @@ def build_parser() -> argparse.ArgumentParser:
     check_cmd.add_argument(
         "--backends",
         nargs="*",
-        choices=["concurrent", "service", "races", "sharded", "cluster"],
+        choices=[
+            "concurrent", "service", "races", "sharded", "cluster",
+            "policy",
+        ],
         help="which models to explore (default: concurrent service)",
     )
     check_cmd.add_argument("--actors", type=int, default=3)

@@ -53,13 +53,14 @@ from ..core.serialize import table_from_dict
 from ..core.victim import CostTable, RepositionCandidate
 from ..lockmgr.events import Granted, Repositioned
 from ..lockmgr.lock_table import LockTable
-from ..lockmgr.sharded import shard_of
+from ..lockmgr.partition import partition_of
 from ..service.protocol import event_from_dict, event_to_dict
 
 
 def worker_of(rid: str, workers: int) -> int:
-    """Which worker owns ``rid`` — the shard router, one level up."""
-    return shard_of(rid, workers)
+    """Which worker owns ``rid`` — the shard router
+    (:func:`~repro.lockmgr.partition.partition_of`), one level up."""
+    return partition_of(rid, workers)
 
 
 @dataclass
@@ -225,6 +226,7 @@ def run_cluster_pass(
     costs: CostTable,
     incident_sink=None,
     epoch: Optional[int] = None,
+    policy=None,
 ) -> ClusterDetection:
     """One snapshot-merge-detect-resolve pass over a worker fleet.
 
@@ -244,6 +246,14 @@ def run_cluster_pass(
     ``incident_sink`` (an :class:`~repro.obs.incidents.IncidentLog`) is
     given, a deadlock-resolving pass appends a ``repro.incident/1``
     record built from the pre-detection merged snapshot.
+
+    ``policy`` (a bound
+    :class:`~repro.policy.base.DetectionPolicy`, optional) hooks the
+    coordinator's pass: its pre-pass runs over the merged snapshot
+    (the predictive policy's near-cycle scan sees the *cluster-wide*
+    graph), the pass outcome feeds ``observe_pass`` (the adaptive
+    controller), and any warnings it raises land in ``incident_sink``
+    as ``kind: "near-cycle"`` records.
     """
     started = perf_counter()
     suffix = os.urandom(4).hex()
@@ -273,7 +283,12 @@ def run_cluster_pass(
         if incident_sink is not None and merged.blocked_count()
         else None
     )
+    if policy is not None:
+        policy.pre_pass(list(merged.resources()))
+    detect_started = perf_counter()
     staged = PeriodicDetector(merged, costs).run()
+    if policy is not None:
+        policy.observe_pass(staged, perf_counter() - detect_started)
     for resolution in staged.resolutions:
         rids = {
             blocked_at_snapshot.get(tid) for tid in resolution.cycle
@@ -393,6 +408,23 @@ def run_cluster_pass(
                 span=info.span,
                 epoch=epoch,
                 workers=workers,
+                policy=policy.name if policy is not None else None,
             )
         )
+    if policy is not None and incident_sink is not None:
+        from ..obs.incidents import build_near_cycle_incident
+
+        for report in policy.take_warnings():
+            if int(report.get("count", 0)) <= 0:
+                continue
+            incident_sink.append(
+                build_near_cycle_incident(
+                    report,
+                    source="cluster",
+                    policy=policy.name,
+                    trace=info.trace,
+                    span=info.span,
+                    epoch=epoch,
+                )
+            )
     return result

@@ -85,10 +85,21 @@ class LocalCluster:
         workers: int = 2,
         costs: Optional[CostTable] = None,
         incident_log: Optional[IncidentLog] = None,
+        policy=None,
     ) -> None:
         if workers < 1:
             raise ValueError("a cluster needs at least one worker")
+        from ..policy import POLICIES, resolve_policy
+
         self.costs = costs if costs is not None else CostTable()
+        #: Coordinator-side detection policy (pre-pass, observation);
+        #: block-time policies also act on every worker core, so cores
+        #: are built with the same policy *name* (each core binds its
+        #: own instance — mirroring the process-per-worker topology).
+        self.policy = resolve_policy(policy, env=True).bind(self)
+        core_policy = (
+            self.policy.name if self.policy.name in POLICIES else None
+        )
         #: Deadlock forensics sink fed by every resolving pass; an
         #: in-memory ring by default so the explorer's incident oracle
         #: works unconfigured.
@@ -103,6 +114,7 @@ class LocalCluster:
                 shards=1,
                 costs=self.costs,
                 sequence_source=self._counter.__next__,
+                policy=core_policy,
             )
             for _ in range(workers)
         ]
@@ -115,6 +127,12 @@ class LocalCluster:
 
     @property
     def workers(self) -> int:
+        return len(self.cores)
+
+    @property
+    def shard_count(self) -> int:
+        """Cluster-wide partition count — tells the adaptive policy a
+        multi-worker topology cannot switch to continuous mode."""
         return len(self.cores)
 
     def worker_index(self, rid: str) -> int:
@@ -166,6 +184,7 @@ class LocalCluster:
             len(self.cores),
             self.costs,
             incident_sink=self.incidents,
+            policy=self.policy,
         )
         self.last_pass = result.cluster
         return result

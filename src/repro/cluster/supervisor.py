@@ -98,10 +98,20 @@ class ClusterSupervisor:
         incident_log: Optional[str] = None,
         metrics_port: Optional[int] = None,
         metrics_host: str = "127.0.0.1",
+        policy=None,
     ) -> None:
         if workers < 1:
             raise ValueError("a cluster needs at least one worker")
+        from ..policy import resolve_policy
+
         self.workers = workers
+        #: The coordinator-side detection policy: pre-pass over the
+        #: merged cluster snapshot, pass observation (adaptive period
+        #: tuning) and the detector loop's interval.  A multi-worker
+        #: fleet never switches to continuous (the rooted check is a
+        #: whole-graph operation); :attr:`shard_count` tells the
+        #: adaptive controller so.
+        self.policy = resolve_policy(policy, env=True).bind(self)
         self.host = host
         self.base_port = base_port
         self.period = period
@@ -194,7 +204,7 @@ class ClusterSupervisor:
         )
         reaper.start()
         self._threads.append(reaper)
-        if self.period is not None:
+        if self.period is not None and self.policy.wants_periodic:
             detector = threading.Thread(
                 target=self._detector_loop,
                 name="repro-cluster-detector",
@@ -213,12 +223,20 @@ class ClusterSupervisor:
 
     def _spawn(self, index: int, port: int, ready) -> WorkerHandle:
         """Start one worker process for slot ``index`` on ``port``."""
+        from ..policy import POLICIES
+
         kwargs = {
             "lease": self.lease,
             "shards": self.shards_per_worker,
             "period": self.worker_period,
             "costs": self._worker_costs,
         }
+        # Block-time policies (the nowait lane) act on each worker
+        # locally, so workers share the cluster's policy by name.
+        # Custom policy *instances* don't cross the process boundary;
+        # those workers fall back to the default/env resolution.
+        if self.policy.name in POLICIES:
+            kwargs["policy"] = self.policy.name
         if self.journal_dir is not None:
             kwargs["journal_path"] = self.journal_path(index)
         process = self._ctx.Process(
@@ -241,6 +259,12 @@ class ClusterSupervisor:
     def endpoints(self) -> List[Tuple[str, int]]:
         """Index-aligned ``(host, port)`` of every worker."""
         return [(handle.host, handle.port) for handle in self._handles]
+
+    @property
+    def shard_count(self) -> int:
+        """Cluster-wide partition count, as the adaptive policy's
+        can-switch-to-continuous probe sees it."""
+        return self.workers * max(1, self.shards_per_worker)
 
     def close(self) -> None:
         """Stop the threads, the transport and every worker process."""
@@ -279,8 +303,6 @@ class ClusterSupervisor:
             if handle.reaped or handle.process.exitcode is None:
                 continue
             handle.process.join()
-            handle.reaped = True
-            reaped.append(handle)
             self.log.warning(
                 "worker %d (pid %s, %s:%s) exited with code %s; reaped",
                 handle.index,
@@ -293,6 +315,10 @@ class ClusterSupervisor:
                 "repro_cluster_worker_deaths_total",
                 help="worker processes that exited and were reaped",
             ).inc()
+            # Count the death before publishing ``reaped``: watchers key
+            # off the flag and expect the counter to be visible by then.
+            handle.reaped = True
+            reaped.append(handle)
             if (
                 self.journal_dir is not None
                 and self._started
@@ -363,6 +389,7 @@ class ClusterSupervisor:
                 self.workers,
                 self.costs,
                 incident_sink=self.incidents,
+                policy=self.policy,
             )
         self.last_detection = result
         self._absorb(result)
@@ -385,7 +412,14 @@ class ClusterSupervisor:
         return render_snapshot(merged) + self.registry.render()
 
     def _detector_loop(self) -> None:
-        while not self._stop.wait(self.period):
+        # The policy may retune the interval between passes (the
+        # adaptive controller); consult it every iteration.
+        while True:
+            interval = self.policy.current_period(self.period)
+            if interval is None:
+                interval = self.period
+            if self._stop.wait(interval):
+                return
             try:
                 self.detect()
             except Exception:

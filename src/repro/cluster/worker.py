@@ -52,6 +52,7 @@ def worker_main(
     costs: Optional[Dict[int, float]] = None,
     continuous: bool = False,
     journal_path: Optional[str] = None,
+    policy: Optional[str] = None,
 ) -> None:
     """Run one worker server until the process is terminated.
 
@@ -61,7 +62,10 @@ def worker_main(
     for a cluster).  ``shards``/``period``/``continuous`` exist so the
     cluster benchmark can also spawn its single-process baseline (a
     worker with in-process shards and its own detector) through the
-    same entry point.  ``journal_path`` makes the worker durable: it
+    same entry point.  ``policy`` is the detection policy *name* the
+    supervisor runs cluster-wide — block-time policies (the nowait
+    lane) act on each worker locally, so every worker must share it.
+    ``journal_path`` makes the worker durable: it
     journals sessions and locks there, and — when the supervisor
     respawns it after a death — rebuilds its table slice from the same
     file (journaled ``lock`` records carry the cluster-wide sequence
@@ -86,6 +90,7 @@ def worker_main(
         shards=shards,
         sequence_source=source,
         journal_path=journal_path,
+        policy=policy,
     )
 
     async def run() -> None:

@@ -88,6 +88,10 @@ class DetectionResult:
     #: :class:`repro.lockmgr.sharded.ShardedPass`); None for a run on a
     #: monolithic table.
     sharding: Optional[object] = None
+    #: The Aborted-event reason the absorbing manager publishes for
+    #: :attr:`aborted`.  Detector passes keep the default; block-time
+    #: policies that abort outside a pass (the nowait lane) override it.
+    abort_reason: str = "deadlock victim"
 
     @property
     def deadlock_found(self) -> bool:

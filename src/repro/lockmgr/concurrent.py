@@ -48,6 +48,7 @@ class ConcurrentLockManager(ShardedLockManager):
         wait_fn: Optional[
             Callable[[threading.Condition, Optional[float]], bool]
         ] = None,
+        policy=None,
     ) -> None:
         super().__init__(
             shards=1,
@@ -55,6 +56,7 @@ class ConcurrentLockManager(ShardedLockManager):
             continuous=continuous,
             period=period,
             wait_fn=wait_fn,
+            policy=policy,
         )
 
     # Compatibility aliases: tests (and facade subclasses) reach into

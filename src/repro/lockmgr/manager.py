@@ -12,6 +12,12 @@ paper's model faithfully:
   with ``continuous=True`` the manager instead runs a rooted detection
   after every blocking request (the companion algorithm).
 
+Detection *decisions* — what happens at block time, what runs around a
+pass — live in one :class:`~repro.policy.base.DetectionPolicy` object
+(``policy=``); the ``continuous`` flag is kept as a shorthand for the
+continuous policy.  The default policy is the paper's periodic scheme,
+bit-for-bit (the explorer's policy-equivalence oracle pins this down).
+
 All observable effects are returned as event lists
 (:mod:`repro.lockmgr.events`); the manager additionally keeps the
 cumulative event log for inspection by tests and the simulator.
@@ -44,7 +50,15 @@ class LockManager:
         When True, every blocking request immediately triggers a rooted
         deadlock check (the continuous companion detector).  When False
         (default), deadlocks are only resolved by explicit :meth:`detect`
-        calls — the periodic scheme.
+        calls — the periodic scheme.  Shorthand for
+        ``policy="continuous"``.
+    policy:
+        A :class:`~repro.policy.base.DetectionPolicy` name or instance
+        deciding block-time behavior and pass pre/post hooks; default
+        the periodic policy.  Unlike the service-layer components the
+        monolithic manager does **not** consult ``REPRO_POLICY`` —
+        tests and embedded users get the paper's behavior unless they
+        opt in explicitly.
     listener:
         Optional callable invoked with every event the manager logs
         (grants, blocks, aborts, repositions) at the moment it happens —
@@ -57,18 +71,21 @@ class LockManager:
         continuous: bool = False,
         track_graph: bool = False,
         listener: Optional[Callable[[object], None]] = None,
+        policy=None,
     ) -> None:
         # Imported here, not at module level: the detectors' modules use
         # this package's scheduler, so a top-level import would be
         # circular.
-        from ..core.continuous import ContinuousDetector
         from ..core.detection import PeriodicDetector
+        from ..policy import resolve_policy
 
         self.table = LockTable()
         self.costs = costs if costs is not None else CostTable()
-        self.continuous = continuous
+        self.policy = resolve_policy(
+            policy, continuous=continuous, env=False
+        ).bind(self)
+        self.continuous = self.policy.continuous
         self._periodic = PeriodicDetector(self.table, self.costs)
-        self._continuous = ContinuousDetector(self.table, self.costs)
         self.log: List[object] = []
         self.listener = listener
         self._aborted: Set[int] = set()
@@ -100,8 +117,9 @@ class LockManager:
         outcome = scheduler.request(self.table, tid, rid, mode)
         self._publish(outcome.event)
         self.last_detection = None
-        if self.continuous and not outcome.granted:
-            self.last_detection = self._continuous.on_block(tid)
+        if not outcome.granted:
+            self.last_detection = self.policy.on_block(self, tid, rid, mode)
+        if self.last_detection is not None:
             self._absorb(self.last_detection)
             if self.tracker is not None:
                 # Resolution may have touched arbitrary resources.
@@ -130,7 +148,12 @@ class LockManager:
 
     def detect(self) -> DetectionResult:
         """One periodic detection-resolution pass (Steps 1–3)."""
+        from time import perf_counter
+
+        self.policy.pre_pass(list(self.table.resources()))
+        started = perf_counter()
         result = self._periodic.run()
+        self.policy.observe_pass(result, perf_counter() - started)
         self._absorb(result)
         if self.tracker is not None:
             self.tracker.refresh_all()
@@ -140,9 +163,10 @@ class LockManager:
         """Fold a detection result into the manager's view: remember the
         aborted victims (their further requests are rejected) and log the
         events."""
+        reason = getattr(result, "abort_reason", "deadlock victim")
         for tid in result.aborted:
             self._aborted.add(tid)
-            self._publish(Aborted(tid, "deadlock victim"))
+            self._publish(Aborted(tid, reason))
         self._publish(*result.repositions)
         self._publish(*result.grants)
 

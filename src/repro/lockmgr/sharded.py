@@ -69,7 +69,6 @@ from __future__ import annotations
 import os
 import threading
 import warnings
-import zlib
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Callable, Dict, Iterator, List, Optional, Set
@@ -85,6 +84,7 @@ from ..core.requests import ResourceState
 from ..core.victim import CostTable, RepositionCandidate
 from .events import Aborted, Granted, Repositioned
 from .lock_table import LockTable
+from .partition import partition_of
 from . import scheduler
 
 #: Environment variable consulted when ``shards=None``.
@@ -130,10 +130,10 @@ def resolve_shard_count(
 
 
 def shard_of(rid: str, shards: int) -> int:
-    """Stable router: crc32 of the resource id, modulo the shard count."""
-    if shards <= 1:
-        return 0
-    return zlib.crc32(rid.encode("utf-8")) % shards
+    """Stable router: crc32 of the resource id, modulo the shard count
+    (the shared :func:`~repro.lockmgr.partition.partition_of`, which the
+    cluster's worker router delegates to as well)."""
+    return partition_of(rid, shards)
 
 
 def _default_wait(
@@ -295,14 +295,20 @@ class ShardedLockCore:
         continuous: bool = False,
         listener: Optional[Callable[[object], None]] = None,
         sequence_source: Optional[Callable[[], int]] = None,
+        policy=None,
     ) -> None:
-        from ..core.continuous import ContinuousDetector
         from ..core.detection import PeriodicDetector
+        from ..policy import resolve_policy
 
-        count = resolve_shard_count(shards, continuous=continuous)
+        resolved = resolve_policy(policy, continuous=continuous, env=True)
+        count = resolve_shard_count(shards, continuous=resolved.continuous)
         self.shards: List[LockShard] = [LockShard(i) for i in range(count)]
         self.costs = costs if costs is not None else CostTable()
-        self.continuous = continuous
+        #: The detection policy: block-time decisions and pass hooks.
+        #: Like ``REPRO_SHARDS`` for the shard count, ``REPRO_POLICY``
+        #: supplies the default when ``policy=None``.
+        self.policy = resolved.bind(self)
+        self.continuous = self.policy.continuous
         self.log: List[object] = []
         self.listener = listener
         self.last_detection = None
@@ -323,11 +329,6 @@ class ShardedLockCore:
         self._periodic = (
             PeriodicDetector(self.shards[0].table, self.costs)
             if count == 1
-            else None
-        )
-        self._continuous = (
-            ContinuousDetector(self.shards[0].table, self.costs)
-            if continuous
             else None
         )
 
@@ -418,9 +419,12 @@ class ShardedLockCore:
             shard.epoch += 1
             self._publish(outcome.event)
             self.last_detection = None
-            if self._continuous is not None and not outcome.granted:
-                self.last_detection = self._continuous.on_block(tid)
-                self._absorb(self.last_detection)
+            if not outcome.granted:
+                self.last_detection = self.policy.on_block(
+                    self, tid, rid, mode
+                )
+                if self.last_detection is not None:
+                    self._absorb(self.last_detection)
             return outcome
 
     def finish(self, tid: int) -> List[Granted]:
@@ -451,7 +455,12 @@ class ShardedLockCore:
                 # avoid.
                 shard = self.shards[0]
                 with shard.mutex:
+                    self.policy.pre_pass(list(shard.table.resources()))
+                    started = perf_counter()
                     result = self._periodic.run()
+                    self.policy.observe_pass(
+                        result, perf_counter() - started
+                    )
                     if result.deadlock_found:
                         shard.epoch += 1
                     self._absorb(result)
@@ -486,7 +495,10 @@ class ShardedLockCore:
             tid: merged.blocked_at(tid) for tid in merged.blocked_tids()
         }
         # Phase 3 — detect: the unchanged Section-5 machinery.
+        self.policy.pre_pass(states)
+        started = perf_counter()
         staged = PeriodicDetector(merged, self.costs).run()
+        self.policy.observe_pass(staged, perf_counter() - started)
         for resolution in staged.resolutions:
             rids = {
                 blocked_at_snapshot.get(tid) for tid in resolution.cycle
@@ -506,8 +518,9 @@ class ShardedLockCore:
             sharding=info,
         )
         self._apply_staged(staged, blocked_at_snapshot, result, info)
+        reason = getattr(result, "abort_reason", "deadlock victim")
         for tid in result.aborted:
-            self._publish(Aborted(tid, "deadlock victim"))
+            self._publish(Aborted(tid, reason))
         self._publish(*result.repositions)
         self._publish(*result.grants)
         return result
@@ -682,10 +695,11 @@ class ShardedLockCore:
         return events
 
     def _absorb(self, result) -> None:
+        reason = getattr(result, "abort_reason", "deadlock victim")
         for tid in result.aborted:
             with self._txn_lock:
                 self._aborted.add(tid)
-            self._publish(Aborted(tid, "deadlock victim"))
+            self._publish(Aborted(tid, reason))
         self._publish(*result.repositions)
         self._publish(*result.grants)
 
@@ -779,19 +793,23 @@ class ShardedLockManager:
             Callable[[threading.Condition, Optional[float]], bool]
         ] = None,
         listener: Optional[Callable[[object], None]] = None,
+        policy=None,
     ) -> None:
         self._core = ShardedLockCore(
             shards=shards,
             costs=costs,
             continuous=continuous,
             listener=listener,
+            policy=policy,
         )
         self._wait_fn = wait_fn if wait_fn is not None else _default_wait
         #: tid -> the shard whose condition the transaction waits on.
         self._wait_shard: Dict[int, LockShard] = {}
         self._stop = threading.Event()
         self._detector_thread: Optional[threading.Thread] = None
-        if period is not None:
+        # A deadlock-free policy (the nowait lane) has nothing for a
+        # periodic daemon to find; don't spin one up.
+        if period is not None and self._core.policy.wants_periodic:
             self._detector_thread = threading.Thread(
                 target=self._detector_loop,
                 args=(period,),
@@ -873,7 +891,14 @@ class ShardedLockManager:
         return result
 
     def _detector_loop(self, period: float) -> None:
-        while not self._stop.wait(period):
+        # The policy may retune the interval between passes (the
+        # adaptive controller); consult it every iteration.
+        while True:
+            interval = self._core.policy.current_period(period)
+            if interval is None:
+                interval = period
+            if self._stop.wait(interval):
+                return
             self.detect()
 
     def _service(self, result) -> None:

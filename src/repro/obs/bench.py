@@ -115,6 +115,19 @@ def validate_record(record: Any) -> List[str]:
                 )
     if "params" in record and not isinstance(record["params"], dict):
         errors.append("params must be an object")
+    elif isinstance(record.get("params"), dict):
+        # Policy-labeled benches (the policy sweep, the serve lanes)
+        # stamp the detection policy on the record; when present it must
+        # be a usable label, not a placeholder.
+        policy = record["params"].get("policy")
+        if policy is not None and (
+            not isinstance(policy, str) or not policy
+        ):
+            errors.append(
+                "params.policy must be a non-empty string (got {!r})".format(
+                    policy
+                )
+            )
     if "metrics" in record:
         errors.extend(_validate_metrics(record["metrics"]))
     return errors

@@ -1,0 +1,109 @@
+"""The :class:`DetectionPolicy` protocol — one object owning every
+detection *decision* a lock manager makes.
+
+The paper's Section-5 machinery answers *how* to find and resolve a
+cycle; everything around it is policy: **when** to run a pass (the
+periodic interval), **what** to do when a request blocks (wait quietly,
+run a rooted check, refuse the wait), and **what else** to look at in
+the graph (the predictive pre-pass).  Before this layer those decisions
+were hard-wired in four places — ``LockManager.lock``/``detect``, the
+sharded core, the service's detector task and the cluster
+coordinator's pass loop.  Now each of those hosts consults one policy
+object through the hooks below, and the paper's periodic scheme is
+simply the default policy (:class:`~repro.policy.periodic.PeriodicPolicy`),
+reproduced bit-for-bit.
+
+Hook contract
+-------------
+
+``on_block(host, tid, rid, mode)``
+    Called by the host's ``lock`` path right after a request blocked,
+    with the owning table's mutex held (single-shard: the shard mutex;
+    monolithic: no lock).  Return a
+    :class:`~repro.core.detection.DetectionResult` for the host to
+    absorb — the continuous companion returns its rooted check, the
+    nowait lane returns the requester's own abort — or ``None`` to let
+    the request wait (the periodic default).
+
+``pre_pass(states, now)``
+    Called at the start of every periodic pass with the (merged)
+    resource states the detector is about to walk.  Predictive
+    policies scan them for near-cycles here; the return value is
+    policy-private (the host exposes it via :meth:`take_warnings`).
+
+``observe_pass(result, duration)``
+    Called after every periodic pass with its result and wall-clock
+    duration — the adaptive controller's telemetry diet.
+
+``current_period(default)``
+    Consulted by every detector loop (facade thread, asyncio server
+    task, cluster supervisor) before each sleep; adaptive policies
+    return their tuned interval, everyone else echoes ``default``.
+
+Policies are **per-host state**: construct a fresh instance per
+manager (``resolve_policy`` does).  Hosts with more than one shard may
+call ``on_block`` from concurrent threads; stateless decisions
+(nowait) are safe, stateful ones (continuous) declare
+``continuous = True`` which forces a single shard.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+
+class DetectionPolicy:
+    """Base policy: wait on block, run passes at the caller's cadence.
+
+    Subclasses override the hooks they use; the defaults reproduce the
+    paper's periodic scheme exactly (no block-time action, no pre-pass,
+    fixed period).
+    """
+
+    #: Registry / CLI / telemetry label.
+    name = "abstract"
+    #: True when the policy runs a rooted whole-graph check on every
+    #: block (the continuous companion) — forces ``shards=1``.
+    continuous = False
+    #: True when the policy guarantees an acyclic H/W-TWBG by
+    #: construction (the nowait lane) — detector passes are pure cost.
+    deadlock_free = False
+    #: False disables background detector loops entirely (the nowait
+    #: lane's "zero detector cost" claim); explicit ``detect()`` calls
+    #: still work and find nothing.
+    wants_periodic = True
+
+    def bind(self, host) -> "DetectionPolicy":
+        """Attach to the owning manager/core; returns self.  Called
+        once, before any other hook."""
+        return self
+
+    def on_block(self, host, tid: int, rid: str, mode):
+        """Act on a blocked request; see the module docstring."""
+        return None
+
+    def pre_pass(self, states, now: Optional[float] = None) -> None:
+        """Inspect the pass's input states (predictive policies)."""
+        return None
+
+    def observe_pass(self, result, duration: float) -> None:
+        """Consume one pass's outcome (adaptive policies)."""
+        return None
+
+    def current_period(self, default: Optional[float]) -> Optional[float]:
+        """The interval a detector loop should sleep before its next
+        pass; ``default`` is the host's configured period."""
+        return default
+
+    def take_warnings(self) -> List[Dict[str, Any]]:
+        """Drain warnings produced since the last call (predictive
+        policies return near-cycle payloads here; the service layer
+        turns them into incident records)."""
+        return []
+
+    def describe(self) -> Dict[str, Any]:
+        """Wire-visible policy state for stats payloads and ``top``."""
+        return {"name": self.name}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<{} {!r}>".format(type(self).__name__, self.name)

@@ -35,8 +35,13 @@ from ..core.errors import ReproError
 from ..core.modes import LockMode, parse_mode
 from ..core.victim import CostTable
 from ..lockmgr.sharded import ShardedLockCore, resolve_shard_count
-from ..obs.incidents import IncidentLog, build_incident
+from ..obs.incidents import (
+    IncidentLog,
+    build_incident,
+    build_near_cycle_incident,
+)
 from ..obs.instrument import Telemetry
+from ..policy import resolve_policy
 from .admin import ServiceStats
 from .protocol import MAX_BATCH_OPS, ServiceError, event_to_dict
 
@@ -129,11 +134,18 @@ class ServiceCore:
         wall: Callable[[], float] = time.time,
         token_source: Optional[Callable[[], str]] = None,
         incident_log: Optional[IncidentLog] = None,
+        policy=None,
     ) -> None:
-        self.continuous = continuous
+        #: The detection policy driving this service's manager.  Like
+        #: ``REPRO_SHARDS`` for the shard count, ``REPRO_POLICY``
+        #: supplies the default when ``policy=None``.
+        self.policy = resolve_policy(policy, continuous=continuous, env=True)
+        self.continuous = self.policy.continuous
         #: Resolved shard count (``None`` means the ``REPRO_SHARDS``
         #: environment default; continuous detection forces 1).
-        self.shards = resolve_shard_count(shards, continuous=continuous)
+        self.shards = resolve_shard_count(
+            shards, continuous=self.continuous
+        )
         self.lease = lease
         self.clock = clock
         #: Wall clock for journaled lease deadlines (the monotonic
@@ -172,9 +184,9 @@ class ServiceCore:
         self.manager = ShardedLockCore(
             shards=self.shards,
             costs=costs,
-            continuous=continuous,
             listener=self.telemetry.on_event,
             sequence_source=sequence_source,
+            policy=self.policy,
         )
         self.stats = ServiceStats(registry=self.telemetry.registry)
         self.sessions: Dict[str, Session] = {}
@@ -212,6 +224,27 @@ class ServiceCore:
             "repro_lock_shards",
             help="shards the lock table is partitioned into",
             fn=lambda: float(self.manager.shard_count),
+        )
+        registry.gauge(
+            "repro_detection_policy",
+            labels={"policy": self.policy.name},
+            help="active detection policy (constant 1, policy label)",
+            fn=lambda: 1.0,
+        )
+        #: Near-cycle warnings surfaced by the predictive pre-pass;
+        #: registered up front so the series exists (at 0) under every
+        #: policy and dashboards need no existence checks.
+        self._near_cycle_counter = registry.counter(
+            "repro_near_cycles_total",
+            labels={"policy": self.policy.name},
+            help="near-cycle patterns flagged by the predictive "
+            "pre-pass",
+        )
+        self._policy_abort_counter = registry.counter(
+            "repro_policy_aborts_total",
+            labels={"policy": self.policy.name},
+            help="transactions aborted by a block-time policy decision "
+            "(the nowait lane), not by a detector pass",
         )
         for shard in self.manager.shards:
             registry.gauge(
@@ -444,14 +477,20 @@ class ServiceCore:
                 seq=self.manager.sequence_of(rid),
             )
             event = event_to_dict(outcome.event)
-            if self.continuous and self.manager.last_detection:
+            detection = self.manager.last_detection
+            if self.continuous and detection:
                 # The continuous pass ran inside manager.lock; its
                 # duration is the whole call (the pass dominates it).
                 self.telemetry.detection(
-                    self.manager.last_detection,
-                    time.perf_counter() - started,
+                    detection, time.perf_counter() - started
                 )
-                self.stats.absorb_detection(self.manager.last_detection)
+                self.stats.absorb_detection(detection)
+            elif detection is not None and detection.aborted:
+                # A block-time policy decision (the nowait lane): no
+                # detector ran, so count the victims without charging
+                # a detector pass.
+                self.stats.victims_aborted += len(detection.aborted)
+                self._policy_abort_counter.inc(len(detection.aborted))
             if outcome.granted:
                 self.stats.grants += 1
                 return "granted", event, None
@@ -640,9 +679,30 @@ class ServiceCore:
                         span=span,
                         epoch=self.restart_epoch,
                         timestamp=self.wall(),
+                        policy=self.policy.name,
                     )
                 )
+        self._drain_policy_warnings()
         return result
+
+    def _drain_policy_warnings(self) -> None:
+        """Land the predictive pre-pass's near-cycle reports as
+        warning incidents plus the ``repro_near_cycles_total`` series."""
+        for report in self.policy.take_warnings():
+            count = int(report.get("count", 0))
+            if count <= 0:
+                continue
+            self._near_cycle_counter.inc(count)
+            if self.incidents is not None:
+                self.incidents.append(
+                    build_near_cycle_incident(
+                        report,
+                        source="service",
+                        policy=self.policy.name,
+                        epoch=self.restart_epoch,
+                        timestamp=self.wall(),
+                    )
+                )
 
     def snapshot_step(self) -> dict:
         """Serialize this worker's RST slice for a cluster coordinator
@@ -744,4 +804,6 @@ class ServiceCore:
         payload["resources"] = len(self.manager.table)
         payload["parked_waiters"] = len(self.waiters)
         payload["shards"] = self.manager.shard_count
+        payload["policy"] = self.policy.name
+        payload["policy_info"] = self.policy.describe()
         return payload

@@ -96,6 +96,7 @@ class LockServer:
         journal_fsync: str = "batch",
         journal=None,
         incident_log=None,
+        policy=None,
     ) -> None:
         self.core = ServiceCore(
             costs=costs,
@@ -105,8 +106,9 @@ class LockServer:
             shards=shards,
             sequence_source=sequence_source,
             incident_log=incident_log,
+            policy=policy,
         )
-        self.continuous = continuous
+        self.continuous = self.core.continuous
         self.period = period
         self.lease = lease
         # The journal is built here but only replayed and attached in
@@ -168,7 +170,9 @@ class LockServer:
             self.core.restart_epoch = self.restart_epoch
         self._tasks.append(asyncio.ensure_future(self._writer_loop()))
         self._tasks.append(asyncio.ensure_future(self._reaper_loop()))
-        if self.period is not None:
+        # A deadlock-free policy (the nowait lane) has nothing for a
+        # periodic detector task to find.
+        if self.period is not None and self.core.policy.wants_periodic:
             self._tasks.append(asyncio.ensure_future(self._detector_loop()))
         self._server = await asyncio.start_server(
             self._handle_connection, host, port
@@ -246,8 +250,13 @@ class LockServer:
     # -- background tasks ------------------------------------------------------
 
     async def _detector_loop(self) -> None:
+        # The policy may retune the interval between passes (the
+        # adaptive controller); consult it every iteration.
         while True:
-            await asyncio.sleep(self.period)
+            interval = self.core.policy.current_period(self.period)
+            await asyncio.sleep(
+                self.period if interval is None else interval
+            )
             await self._submit(self.core.detect_step)
 
     async def _reaper_loop(self) -> None:
@@ -321,6 +330,7 @@ class LockServer:
                         "period": self.period,
                         "continuous": self.continuous,
                         "shards": self.core.shards,
+                        "policy": self.core.policy.name,
                         "epoch": self.restart_epoch,
                     },
                 )

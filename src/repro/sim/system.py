@@ -99,7 +99,7 @@ class SimulatedSystem:
                 lambda t=terminal: self._start_transaction(t),
             )
         if self.strategy.periodic and self.period is not None:
-            self.engine.schedule(self.period, self._periodic)
+            self.engine.schedule(self._next_interval(), self._periodic)
         self.engine.schedule(self.tick_interval, self._tick)
         self.engine.run(until=duration)
         self._close_oracle_episode()
@@ -156,9 +156,11 @@ class SimulatedSystem:
         terminal.state = "blocked"
         terminal.blocked_since = self.engine.now
         self.metrics.block_events += 1
-        self._oracle_check()
 
-        # Prevention hook: may veto the wait.
+        # Prevention hook: may veto the wait.  The oracle observes the
+        # state *after* the veto decision — a wait refused within the
+        # same event never stood, so a cycle that exists only in the
+        # half-applied state is not a deadlock episode.
         rid = self.table.blocked_at(terminal.tid)
         if rid is not None:
             blockers = sorted(
@@ -170,7 +172,9 @@ class SimulatedSystem:
             if veto:
                 for victim in veto:
                     self._abort(victim, kind="prevention")
+                self._oracle_check()
                 return
+        self._oracle_check()
 
         outcome = self.strategy.on_block(
             self.table, terminal.tid, self.costs, self.engine.now
@@ -260,6 +264,13 @@ class SimulatedSystem:
         # resolves as an immediate (covered) grant.
         self._advance(terminal, tid)
 
+    def _next_interval(self) -> float:
+        """The wait before the next periodic pass — the strategy may
+        tune it (adaptive schemes); ``None`` falls back to the fixed
+        configured period."""
+        interval = self.strategy.next_period(self.period)
+        return self.period if interval is None else interval
+
     def _periodic(self) -> None:
         self.metrics.detection_passes += 1
         outcome = self.strategy.periodic_pass(
@@ -267,7 +278,7 @@ class SimulatedSystem:
         )
         self._apply(outcome)
         self._wake_granted_after_pass()
-        self.engine.schedule(self.period, self._periodic)
+        self.engine.schedule(self._next_interval(), self._periodic)
 
     def _tick(self) -> None:
         outcome = self.strategy.on_tick(

@@ -1,0 +1,182 @@
+"""The policy-layer comparison lanes: nowait and park-adaptive.
+
+Satellite coverage for the baselines under a small contention sweep:
+the sweep's summaries round-trip through validated ``repro.bench/1``
+records, and the nowait lane's abort accounting lands in the same
+*prevention* lane wound-wait and wait-die use, so the strategies are
+directly comparable in the X-series reports.
+"""
+
+import pytest
+
+from repro.baselines import (
+    AdaptivePeriodicStrategy,
+    NoWaitStrategy,
+    ParkPeriodicStrategy,
+    WaitDieStrategy,
+    WoundWaitStrategy,
+)
+from repro.core.victim import CostTable
+from repro.lockmgr import scheduler
+from repro.lockmgr.lock_table import LockTable
+from repro.obs.bench import build_record, validate_record
+from repro.policy.nowait import wait_is_ordered
+from repro.sim.runner import run_once
+from repro.sim.workload import WorkloadSpec
+
+#: Small write-heavy hot set: the regime where prevention lanes pay
+#: aborts constantly and detection lanes pay latency constantly.
+HOT = WorkloadSpec(
+    resources=16,
+    hotspot_resources=3,
+    hotspot_probability=0.8,
+    min_size=2,
+    max_size=4,
+    write_fraction=0.8,
+    upgrade_fraction=0.0,
+    mean_work=0.5,
+    think_time=1.0,
+    restart_delay=0.2,
+)
+
+
+def simulate(strategy, duration=120.0, seed=1, period=10.0):
+    return run_once(
+        HOT, strategy, duration=duration, terminals=6, seed=seed,
+        period=period,
+    )
+
+
+class TestNoWaitStrategy:
+    def test_shares_the_policy_rule(self):
+        """The strategy refuses exactly the waits the live policy's
+        ordered rule refuses."""
+        table = LockTable()
+        strategy = NoWaitStrategy()
+        costs = CostTable()
+        from repro.core.modes import LockMode
+
+        assert scheduler.request(table, 1, "R2", LockMode.X).granted
+        assert scheduler.request(table, 2, "R1", LockMode.X).granted
+        # T2 holds R1 < R2: in order, the wait may stand.
+        assert not scheduler.request(table, 2, "R2", LockMode.X).granted
+        assert strategy.wait_allowed(table, 2, [1], costs, 0.0) is None
+        assert wait_is_ordered(["R1"], "R2", conversion=False)
+        # T1 holds R2 > R1: out of order, the requester dies.
+        assert not scheduler.request(table, 1, "R1", LockMode.X).granted
+        assert strategy.wait_allowed(table, 1, [2], costs, 0.0) == [1]
+        assert not wait_is_ordered(["R2"], "R1", conversion=False)
+        assert strategy.refused == 1
+
+    def test_unblocked_requester_is_left_alone(self):
+        table = LockTable()
+        strategy = NoWaitStrategy()
+        assert strategy.wait_allowed(table, 7, [], CostTable(), 0.0) is None
+        assert strategy.refused == 0
+
+    def test_never_runs_a_detector(self):
+        result = simulate(NoWaitStrategy())
+        assert result.metrics.detection_passes == 0
+        assert result.metrics.deadlock_aborts == 0
+
+    def test_oracle_sees_no_deadlock_episodes(self):
+        """The deadlock-freedom property, observed end to end: the
+        ground-truth oracle never catches a standing cycle."""
+        for seed in (1, 2, 3):
+            metrics = simulate(NoWaitStrategy(), seed=seed).metrics
+            assert metrics.deadlock_episodes == 0
+            assert metrics.deadlock_latency_total == 0.0
+
+    def test_abort_accounting_matches_the_prevention_lane(self):
+        """Where nowait and the timestamp-prevention schemes overlap —
+        block-time aborts instead of waits — the driver books them
+        identically: all in ``prevention_aborts``, none in the deadlock
+        or timeout lanes, one restart per abort."""
+        for strategy_cls in (
+            NoWaitStrategy, WaitDieStrategy, WoundWaitStrategy
+        ):
+            strategy = strategy_cls()
+            metrics = simulate(strategy).metrics
+            assert metrics.deadlock_aborts == 0
+            assert metrics.timeout_aborts == 0
+            assert metrics.total_aborts == metrics.prevention_aborts
+            assert metrics.restarts == metrics.total_aborts
+            if isinstance(strategy, NoWaitStrategy):
+                assert metrics.prevention_aborts > 0
+                assert strategy.refused == metrics.prevention_aborts
+
+
+class TestAdaptiveStrategy:
+    def test_driver_consults_the_controller(self):
+        strategy = AdaptivePeriodicStrategy()
+        assert strategy.next_period(10.0) == 5.0  # clamped to max
+        assert strategy.controller.period == 5.0
+
+    def test_hot_workload_shrinks_the_period(self):
+        strategy = AdaptivePeriodicStrategy()
+        simulate(strategy)
+        info = strategy.controller.describe()
+        assert info["period"] < 5.0
+        assert info["adjustments"] > 0
+        assert info["passes"] > 0
+
+    def test_adaptive_beats_the_fixed_default(self):
+        fixed = simulate(ParkPeriodicStrategy()).metrics
+        adaptive = simulate(AdaptivePeriodicStrategy()).metrics
+        assert adaptive.throughput > fixed.throughput
+
+    def test_fixed_period_strategy_keeps_the_default(self):
+        strategy = ParkPeriodicStrategy()
+        assert strategy.next_period(10.0) == 10.0
+        assert strategy.next_period(None) is None
+
+
+class TestSweepRecords:
+    def test_contention_sweep_emits_valid_bench_records(self):
+        """A miniature of ``benchmarks/bench_policies.py``: one record
+        per (strategy, period) cell, each conforming to repro.bench/1
+        with the abort rate alongside the throughput."""
+        records = []
+        for name, factory, period in [
+            ("park-periodic", ParkPeriodicStrategy, 2.0),
+            ("park-periodic", ParkPeriodicStrategy, 10.0),
+            ("park-adaptive", AdaptivePeriodicStrategy, 10.0),
+            ("nowait", NoWaitStrategy, 10.0),
+        ]:
+            metrics = simulate(factory(), period=period).metrics
+            summary = metrics.summary()
+            summary["abort_rate"] = (
+                metrics.total_aborts / metrics.duration
+            )
+            records.append(
+                build_record(
+                    "policy_sweep",
+                    summary,
+                    params={
+                        "strategy": name,
+                        "period": period,
+                        "workload": "hot",
+                        "policy": name.replace("park-", ""),
+                    },
+                )
+            )
+        assert len(records) == 4
+        for record in records:
+            assert validate_record(record) == []
+            assert "abort_rate" in record["summary"]
+            assert "policy" in record["params"]
+        by_name = {
+            (r["params"]["strategy"], r["params"]["period"]): r
+            for r in records
+        }
+        nowait = by_name[("nowait", 10.0)]["summary"]
+        periodic = by_name[("park-periodic", 10.0)]["summary"]
+        assert nowait["detection_passes"] == 0
+        assert nowait["throughput"] > periodic["throughput"]
+
+    def test_records_reject_corruption(self):
+        record = build_record(
+            "policy_sweep", {"throughput": 1.0}, params={"policy": "nowait"}
+        )
+        record["summary"]["throughput"] = "fast"
+        assert validate_record(record)

@@ -1,0 +1,59 @@
+"""The shared partition function (``crc32(rid) % n``).
+
+Every router in the system — the sharded core, the cluster client and
+the coordinator's merge bookkeeping — must agree on this mapping; these
+tests pin it down as a pure, stable function and check that each layer
+actually delegates to it.
+"""
+
+import zlib
+
+from repro.cluster.coordinator import worker_of
+from repro.lockmgr.partition import partition_of
+from repro.lockmgr.sharded import shard_of
+
+
+class TestPartitionOf:
+    def test_matches_crc32_modulo(self):
+        for rid in ["a", "r1", "warehouse:7", "item-0042", ""]:
+            for n in [2, 3, 4, 7, 16]:
+                assert partition_of(rid, n) == (
+                    zlib.crc32(rid.encode("utf-8")) % n
+                )
+
+    def test_single_partition_short_circuits(self):
+        assert partition_of("anything", 1) == 0
+        assert partition_of("anything", 0) == 0
+        assert partition_of("anything", -3) == 0
+
+    def test_stable_across_calls(self):
+        assert partition_of("r9", 8) == partition_of("r9", 8)
+
+    def test_known_values(self):
+        # Frozen expectations: a silent change to the mapping would
+        # re-home resources under every live journal and cluster.
+        assert partition_of("r1", 4) == zlib.crc32(b"r1") % 4
+        assert partition_of("r1", 4) in range(4)
+
+    def test_range(self):
+        for i in range(64):
+            assert 0 <= partition_of("res{}".format(i), 5) < 5
+
+
+class TestDelegation:
+    def test_shard_router_delegates(self):
+        for rid in ["a", "b", "res42"]:
+            for n in [1, 2, 4, 8]:
+                assert shard_of(rid, n) == partition_of(rid, n)
+
+    def test_cluster_router_delegates(self):
+        for rid in ["a", "b", "res42"]:
+            for n in [1, 2, 4, 8]:
+                assert worker_of(rid, n) == partition_of(rid, n)
+
+    def test_sharded_core_uses_partition(self):
+        from repro.lockmgr.sharded import ShardedLockCore
+
+        core = ShardedLockCore(shards=4, policy="periodic")
+        for rid in ["a", "b", "res42", "x:y:z"]:
+            assert core.shard_index(rid) == partition_of(rid, 4)

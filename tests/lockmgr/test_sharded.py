@@ -205,6 +205,12 @@ class TestCrossShardDetection:
     a single pass and — when a repositioning is eligible — resolved
     abort-free by TDR-2, exactly like the monolithic detector."""
 
+    @pytest.fixture(autouse=True)
+    def _detector_lane(self, monkeypatch):
+        # These tests stage deadlocks for the detector to find; the
+        # REPRO_POLICY=nowait CI leg would abort the staging waits.
+        monkeypatch.setenv("REPRO_POLICY", "periodic")
+
     @pytest.mark.parametrize("shards", [2, 4, 8])
     def test_example_41_across_shards_is_abort_free(self, shards):
         core = ShardedLockCore(shards=shards)
@@ -346,7 +352,8 @@ class TestFacade:
             manager.commit(2)
 
     def test_cross_shard_deadlock_victim_raises(self):
-        with ShardedLockManager(shards=4) as manager:
+        # Staging this deadlock needs the detector lane, not nowait.
+        with ShardedLockManager(shards=4, policy="periodic") as manager:
             a, b = rids_on_distinct_shards(manager._core)
             assert manager.acquire(1, a, LockMode.X)
             assert manager.acquire(2, b, LockMode.X)

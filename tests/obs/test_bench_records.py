@@ -81,6 +81,24 @@ class TestValidateRecord:
         errors = validate_record(record)
         assert any("counts" in error for error in errors)
 
+    def test_policy_label_must_be_usable(self):
+        record = build_record(
+            "policy_sweep", {"n": 1},
+            params={"policy": "nowait"}, timestamp=0.0,
+        )
+        assert validate_record(record) == []
+        record["params"]["policy"] = ""
+        assert any(
+            "params.policy" in error for error in validate_record(record)
+        )
+        record["params"]["policy"] = 7
+        assert any(
+            "params.policy" in error for error in validate_record(record)
+        )
+        # Absent label stays legal: most benches are not policy-split.
+        del record["params"]["policy"]
+        assert validate_record(record) == []
+
 
 class TestFiles:
     def test_append_then_iter_and_validate(self, tmp_path):

@@ -1,0 +1,89 @@
+"""``resolve_policy``: the one place policy selection happens."""
+
+import pytest
+
+from repro.policy import (
+    POLICIES,
+    AdaptivePolicy,
+    ContinuousPolicy,
+    DetectionPolicy,
+    NoWaitPolicy,
+    PeriodicPolicy,
+    PredictivePolicy,
+    env_default_policy,
+    resolve_policy,
+)
+
+
+class TestResolution:
+    def test_default_is_periodic(self, monkeypatch):
+        # The assertion is about the env-free default; a CI leg may set
+        # REPRO_POLICY (e.g. to nowait), which is a different test below.
+        monkeypatch.delenv("REPRO_POLICY", raising=False)
+        policy = resolve_policy()
+        assert isinstance(policy, PeriodicPolicy)
+        assert policy.name == "periodic"
+        assert not policy.continuous
+        assert policy.wants_periodic
+
+    def test_each_name_resolves(self):
+        for name, factory in POLICIES.items():
+            policy = resolve_policy(name)
+            assert isinstance(policy, factory)
+            assert policy.name == name
+
+    def test_instance_passes_through(self):
+        instance = NoWaitPolicy()
+        assert resolve_policy(instance) is instance
+
+    def test_continuous_flag_wins(self):
+        policy = resolve_policy(None, continuous=True)
+        assert isinstance(policy, ContinuousPolicy)
+        assert policy.continuous
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            resolve_policy("bogus")
+
+    def test_bind_returns_self(self):
+        host = object()
+        policy = resolve_policy("periodic")
+        assert policy.bind(host) is policy
+
+
+class TestEnvironment:
+    def test_env_sets_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_POLICY", "nowait")
+        assert env_default_policy() == "nowait"
+        assert isinstance(resolve_policy(), NoWaitPolicy)
+
+    def test_explicit_name_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_POLICY", "nowait")
+        assert isinstance(resolve_policy("predict"), PredictivePolicy)
+
+    def test_continuous_flag_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_POLICY", "nowait")
+        assert isinstance(
+            resolve_policy(None, continuous=True), ContinuousPolicy
+        )
+
+    def test_env_ignored_when_disabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_POLICY", "nowait")
+        assert isinstance(resolve_policy(env=False), PeriodicPolicy)
+
+    def test_unset_env_is_none(self, monkeypatch):
+        monkeypatch.delenv("REPRO_POLICY", raising=False)
+        assert env_default_policy() is None
+
+
+class TestBaseHooks:
+    """The abstract base's defaults are all no-ops."""
+
+    def test_defaults(self):
+        policy = DetectionPolicy()
+        assert policy.on_block(None, 1, "R1", None) is None
+        assert policy.current_period(0.5) == 0.5
+        assert policy.take_warnings() == []
+        policy.pre_pass([])
+        policy.observe_pass(None, 0.0)
+        assert policy.describe() == {"name": "abstract"}

@@ -44,7 +44,12 @@ class TestCrashRestart:
         journal = str(tmp_path / "sessions.jsonl")
 
         async def go():
-            server = LockServer(period=None, journal_path=journal)
+            # Periodic lane pinned on both boots: t2's queued wait is
+            # out of order, which the REPRO_POLICY=nowait CI leg would
+            # abort instead of journaling.
+            server = LockServer(
+                period=None, journal_path=journal, policy="periodic"
+            )
             await server.start("127.0.0.1", 0)
             client = await AsyncLockClient.connect(
                 server.host, server.port, lease=60.0
@@ -62,7 +67,7 @@ class TestCrashRestart:
                 await client.close()
 
             async with running_server(
-                period=None, journal_path=journal
+                period=None, journal_path=journal, policy="periodic"
             ) as reborn:
                 assert table_dump(reborn) == before
                 assert reborn.recovery is not None

@@ -34,7 +34,9 @@ BLOCKED = ((1, "R1", LockMode.S), (2, "R1", LockMode.S),
 @pytest.fixture
 def server():
     # A long detection period: the test triggers passes explicitly.
-    with LoopbackServer(period=60.0) as loopback:
+    # Periodic lane pinned: Example 4.1 is staged for those passes,
+    # which the REPRO_POLICY=nowait CI leg would preempt.
+    with LoopbackServer(period=60.0, policy="periodic") as loopback:
         yield loopback
 
 

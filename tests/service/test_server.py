@@ -153,6 +153,12 @@ class TestTransactions:
 
 
 class TestDeadlockResolution:
+    @pytest.fixture(autouse=True)
+    def _detector_lane(self, monkeypatch):
+        # These tests stage deadlocks for the detector; the
+        # REPRO_POLICY=nowait CI leg would abort the staging waits.
+        monkeypatch.setenv("REPRO_POLICY", "periodic")
+
     def test_periodic_detector_resolves_two_client_deadlock(self):
         async def go():
             async with running_server(period=0.05) as server:

@@ -144,7 +144,9 @@ class TestServiceCommands:
     def running_service(self):
         from repro.service import LoopbackServer
 
-        with LoopbackServer(period=None) as server:
+        # Periodic lane pinned: the remote-detect test stages a live
+        # deadlock, which the REPRO_POLICY=nowait CI leg would preempt.
+        with LoopbackServer(period=None, policy="periodic") as server:
             yield server
 
     def test_remote_stats(self, running_service, capsys):

@@ -1,0 +1,113 @@
+"""``validate_serve_config``: the one place serve topologies are judged."""
+
+import pytest
+
+from repro.cli import ServeConfigError, main, validate_serve_config
+
+
+class TestContradictions:
+    def test_continuous_vs_other_policy(self):
+        with pytest.raises(ServeConfigError, match="contradicts"):
+            validate_serve_config(
+                policy="nowait", continuous=True, environ={}
+            )
+
+    def test_continuous_flag_with_continuous_policy_ok(self):
+        config = validate_serve_config(
+            policy="continuous", continuous=True, environ={}
+        )
+        assert config.policy == "continuous"
+        assert config.continuous
+
+    def test_continuous_rejects_workers(self):
+        with pytest.raises(ServeConfigError, match="workers"):
+            validate_serve_config(continuous=True, workers=4, environ={})
+
+    def test_continuous_policy_rejects_workers(self):
+        with pytest.raises(ServeConfigError, match="workers"):
+            validate_serve_config(
+                policy="continuous", workers=2, environ={}
+            )
+
+    def test_continuous_rejects_explicit_shards(self):
+        with pytest.raises(ServeConfigError, match="shards"):
+            validate_serve_config(continuous=True, shards=4, environ={})
+
+    def test_bad_worker_and_shard_counts(self):
+        with pytest.raises(ServeConfigError, match="workers"):
+            validate_serve_config(workers=0, environ={})
+        with pytest.raises(ServeConfigError, match="shards"):
+            validate_serve_config(shards=0, environ={})
+
+    def test_unknown_env_policy(self):
+        with pytest.raises(ServeConfigError, match="bogus"):
+            validate_serve_config(environ={"REPRO_POLICY": "bogus"})
+
+
+class TestEnvDemotions:
+    """Environment-derived defaults lose to explicit flags with a
+    warning — an exported variable never breaks a working command."""
+
+    def test_env_shards_demoted_under_continuous(self):
+        config = validate_serve_config(
+            continuous=True, environ={"REPRO_SHARDS": "4"}
+        )
+        assert config.shards == 1
+        assert any("REPRO_SHARDS" in w for w in config.warnings)
+
+    def test_env_policy_overridden_by_continuous_flag(self):
+        config = validate_serve_config(
+            continuous=True, environ={"REPRO_POLICY": "nowait"}
+        )
+        assert config.policy == "continuous"
+        assert any("REPRO_POLICY" in w for w in config.warnings)
+
+    def test_env_policy_used_when_no_flag(self):
+        config = validate_serve_config(
+            environ={"REPRO_POLICY": "nowait"}
+        )
+        assert config.policy == "nowait"
+        assert config.warnings == ()
+
+
+class TestNormalisation:
+    def test_defaults(self):
+        config = validate_serve_config(environ={})
+        assert config.policy is None
+        assert not config.continuous
+        assert config.shards is None
+        assert config.workers == 1
+        assert config.warnings == ()
+
+    def test_policy_with_workers_is_fine(self):
+        config = validate_serve_config(
+            policy="nowait", workers=3, environ={}
+        )
+        assert config.policy == "nowait"
+        assert config.workers == 3
+
+    def test_inert_policy_warns(self):
+        config = validate_serve_config(
+            policy="adaptive", period=0.0, environ={}
+        )
+        assert any("inert" in w for w in config.warnings)
+
+
+class TestServeExitCode:
+    def test_contradiction_exits_2(self, capsys):
+        code = main(
+            ["serve", "--continuous", "--policy", "nowait"]
+        )
+        assert code == 2
+        assert "contradicts" in capsys.readouterr().err
+
+    def test_workers_contradiction_exits_2(self, capsys):
+        code = main(["serve", "--continuous", "--workers", "3"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "workers" in err
+
+    def test_policy_choices_enforced_by_argparse(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--policy", "bogus"])
+        assert excinfo.value.code == 2

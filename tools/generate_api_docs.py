@@ -99,6 +99,7 @@ CLI entry points:
 
 ```
 python -m repro serve  --port 7411 --period 0.5 --lease 5 [--continuous]
+python -m repro serve  --port 7411 --policy periodic|continuous|nowait|adaptive|predict
 python -m repro serve  --port 7411 --journal sessions.jsonl [--journal-fsync batch]
 python -m repro serve  --port 7411 --workers 4 [--journal DIR]  # cluster supervisor
 python -m repro serve  --port 7411 [--metrics-port 9100] [--incident-log FILE]
@@ -113,6 +114,10 @@ python -m repro incidents {list,show,graph} FILE [--id ID]
 refreshing operator dashboard from `metrics`/`stats`/`inspect` (with
 `--cluster` it polls every worker and adds per-worker rows plus
 coordinator totals); `trace-export` dumps the span log as JSON-lines.
+`--policy` (default: the `REPRO_POLICY` environment variable, else
+`periodic`) selects the detection policy — when detection runs and
+what happens at block time; `stats` reports the active policy and its
+`policy_info` state (see `docs/POLICIES.md`).
 `serve --workers N` spawns N single-shard worker processes on
 consecutive ports with the cross-process detector in the supervisor —
 topology, routing and failure modes live in `docs/CLUSTER.md`; with
