@@ -116,11 +116,14 @@ class ServeConfigError(ValueError):
 class ServeConfig:
     """The validated, normalised ``serve`` topology knobs."""
 
-    def __init__(self, policy, continuous, shards, workers, warnings):
+    def __init__(self, policy, continuous, shards, workers, warnings,
+                 unix=None, uvloop=False):
         self.policy = policy
         self.continuous = continuous
         self.shards = shards
         self.workers = workers
+        self.unix = unix
+        self.uvloop = uvloop
         self.warnings = tuple(warnings)
 
 
@@ -130,6 +133,8 @@ def validate_serve_config(
     shards: Optional[int] = None,
     workers: int = 1,
     period: float = 0.5,
+    unix: Optional[str] = None,
+    uvloop: bool = False,
     environ=None,
 ) -> ServeConfig:
     """Validate one ``serve`` flag set; the single place topology
@@ -212,12 +217,29 @@ def validate_serve_config(
                 effective, period
             )
         )
+    if unix is not None and workers > 1:
+        raise ServeConfigError(
+            "--unix binds a single UNIX-domain socket; the cluster "
+            "supervisor partitions a TCP port range, so it cannot "
+            "run with --workers {}".format(workers)
+        )
+    if uvloop:
+        from .service.eventloop import uvloop_available
+
+        if not uvloop_available():
+            warnings.append(
+                "--uvloop requested but uvloop is not installed "
+                "(pip install repro[perf]); serving on stock asyncio"
+            )
+            uvloop = False
     return ServeConfig(
         policy=effective,
         continuous=wants_continuous,
         shards=shards,
         workers=workers,
         warnings=warnings,
+        unix=unix,
+        uvloop=uvloop,
     )
 
 
@@ -405,6 +427,8 @@ def cmd_serve(args) -> int:
             shards=args.shards,
             workers=args.workers,
             period=args.period,
+            unix=args.unix,
+            uvloop=args.uvloop,
         )
     except ServeConfigError as exc:
         print("serve: {}".format(exc), file=sys.stderr)
@@ -429,6 +453,12 @@ def cmd_serve(args) -> int:
         journal_fsync=args.journal_fsync,
         incident_log=incident_log,
     )
+    if args.max_frame:
+        server.max_frame = args.max_frame
+    if config.uvloop:
+        from .service.eventloop import install_uvloop
+
+        install_uvloop()
     exporter = None
     if args.metrics_port is not None:
         from .obs.cluster import MetricsExporter
@@ -440,7 +470,7 @@ def cmd_serve(args) -> int:
         )
 
     async def run() -> None:
-        await server.start(args.host, args.port)
+        await server.start(args.host, args.port, unix=config.unix)
         if exporter is not None:
             exporter.start()
             print(
@@ -449,15 +479,21 @@ def cmd_serve(args) -> int:
                 ),
                 flush=True,
             )
+        endpoint = (
+            "unix:{}".format(server.unix)
+            if server.unix is not None
+            else "{}:{}".format(server.host, server.port)
+        )
         print(
-            "lock service listening on {}:{} "
-            "(period={}, lease={}s, shards={}, policy={})".format(
-                server.host,
-                server.port,
+            "lock service listening on {} "
+            "(period={}, lease={}s, shards={}, policy={}, "
+            "loop={})".format(
+                endpoint,
                 server.period if server.period is not None else "off",
                 server.lease,
                 server.core.shards,
                 server.core.policy.name,
+                "uvloop" if config.uvloop else "asyncio",
             ),
             flush=True,
         )
@@ -901,6 +937,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_cmd.add_argument("--host", default="127.0.0.1")
     serve_cmd.add_argument("--port", type=int, default=7411)
+    serve_cmd.add_argument(
+        "--unix",
+        default=None,
+        metavar="PATH",
+        help="listen on a UNIX-domain socket at PATH instead of TCP "
+        "(lower per-frame syscall cost for same-host clients)",
+    )
+    serve_cmd.add_argument(
+        "--uvloop",
+        action="store_true",
+        help="serve on uvloop when the optional 'perf' extra is "
+        "installed (falls back to asyncio with a warning)",
+    )
+    serve_cmd.add_argument(
+        "--max-frame",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="per-frame size cap on both wire codecs (default 8 MiB); "
+        "oversized frames answer a frame-too-large error",
+    )
     serve_cmd.add_argument(
         "--period",
         type=float,

@@ -39,6 +39,7 @@ from ..core.modes import LockMode
 from ..core.victim import CostTable
 from ..service.client import AsyncLockClient, _NETWORK_SLACK
 from ..service.protocol import ServiceError
+from ..service.wire import WIRE_BINARY
 from .coordinator import ClusterDetection, run_cluster_pass, worker_of
 
 
@@ -58,11 +59,17 @@ class WireClusterTransport:
         lease: float = 30.0,
         connect_timeout: float = 5.0,
         call_timeout: float = 60.0,
+        wire: "int | str | None" = WIRE_BINARY,
     ) -> None:
         self._endpoints = list(endpoints)
         self._lease = lease
         self._connect_timeout = connect_timeout
         self._call_timeout = call_timeout
+        #: Requested framing for worker connections.  Snapshot and
+        #: resolve payloads are the bulkiest frames in the system, so
+        #: the coordinator asks for binary by default; a pre-v2 worker
+        #: simply declines and the round stays on JSON.
+        self._wire = wire
         self._clients: List[Optional[AsyncLockClient]] = [None] * len(
             self._endpoints
         )
@@ -85,7 +92,9 @@ class WireClusterTransport:
             return client
         host, port = self._endpoints[index]
         client = await asyncio.wait_for(
-            AsyncLockClient.connect(host, port, lease=self._lease),
+            AsyncLockClient.connect(
+                host, port, lease=self._lease, wire=self._wire
+            ),
             self._connect_timeout,
         )
         self._clients[index] = client
@@ -201,12 +210,14 @@ class ClusterLockManager:
         lease: float = 5.0,
         connect_timeout: float = 10.0,
         costs: Optional[Dict[int, float]] = None,
+        wire: "int | str | None" = None,
     ) -> None:
         if not endpoints:
             raise ValueError("a cluster client needs at least one endpoint")
         self._endpoints = [(host, int(port)) for host, port in endpoints]
         self._lease = lease
         self._connect_timeout = connect_timeout
+        self._wire = wire
         self._costs = CostTable(dict(costs or {}))
         self._loop = asyncio.new_event_loop()
         self._thread = threading.Thread(
@@ -228,7 +239,9 @@ class ClusterLockManager:
         try:
             self._clients = [
                 self._run(
-                    AsyncLockClient.connect(host, port, lease=lease),
+                    AsyncLockClient.connect(
+                        host, port, lease=lease, wire=wire
+                    ),
                     timeout=connect_timeout,
                 )
                 for host, port in self._endpoints
@@ -305,7 +318,11 @@ class ClusterLockManager:
                 try:
                     client = self._run(
                         AsyncLockClient.resume(
-                            host, port, old.session, old.token
+                            host,
+                            port,
+                            old.session,
+                            old.token,
+                            wire=self._wire,
                         ),
                         timeout=self._connect_timeout,
                     )
@@ -315,7 +332,10 @@ class ClusterLockManager:
                 try:
                     client = self._run(
                         AsyncLockClient.connect(
-                            host, port, lease=self._lease
+                            host,
+                            port,
+                            lease=self._lease,
+                            wire=self._wire,
                         ),
                         timeout=self._connect_timeout,
                     )

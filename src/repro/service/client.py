@@ -25,14 +25,18 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 from ..core.errors import TransactionAborted
 from ..core.modes import LockMode, parse_mode
 from .protocol import (
+    MAX_FRAME,
     ProtocolError,
     RemoteDetectionResult,
     ServiceError,
-    encode_frame,
     raise_for_error,
-    read_frame,
     request,
 )
+from .wire import JSON_CODEC, WIRE_BINARY, WIRE_JSON, codec_for, resolve_wire
+
+#: Mirror of the server's drain policy: ``write`` buffers, and the
+#: flow-control drain is only awaited once the transport buffer is deep.
+_DRAIN_THRESHOLD = 64 * 1024
 
 
 class AsyncLockClient:
@@ -40,13 +44,26 @@ class AsyncLockClient:
     session.  Build one with :meth:`connect`."""
 
     def __init__(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        wire: "int | str | None" = None,
+        max_frame: int = MAX_FRAME,
     ) -> None:
         self._reader = reader
         self._writer = writer
         self._pending: Dict[int, asyncio.Future] = {}
         self._next_id = 1
         self._write_lock = asyncio.Lock()
+        #: The codec for every frame after the handshake.  The
+        #: handshake itself is always JSON; the reply's ``wire`` field
+        #: switches this (inside the read loop, so no frame is ever
+        #: parsed with the wrong codec).
+        self._codec = JSON_CODEC
+        self._want_wire = resolve_wire(wire)
+        self._max_frame = max_frame
+        #: The negotiated wire version (1 until the handshake grants 2).
+        self.wire: int = WIRE_JSON
         self._reader_task: Optional[asyncio.Task] = None
         self._heartbeat_task: Optional[asyncio.Task] = None
         self._closed = False
@@ -85,17 +102,31 @@ class AsyncLockClient:
     @classmethod
     async def connect(
         cls,
-        host: str,
-        port: int,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
         lease: Optional[float] = None,
         heartbeat: bool = True,
+        wire: "int | str | None" = None,
+        unix: Optional[str] = None,
+        max_frame: int = MAX_FRAME,
     ) -> "AsyncLockClient":
         """Open a connection, perform the hello handshake and (by
-        default) start the background heartbeat task."""
-        reader, writer = await asyncio.open_connection(host, port)
-        client = cls(reader, writer)
+        default) start the background heartbeat task.
+
+        ``wire`` picks the framing to request (``"json"``/``"binary"``,
+        default from ``REPRO_WIRE``, JSON when unset); a server that
+        does not grant it leaves the connection on JSON v1.  ``unix``
+        connects to a UNIX-domain socket path instead of TCP."""
+        if unix is not None:
+            reader, writer = await asyncio.open_unix_connection(unix)
+        else:
+            reader, writer = await asyncio.open_connection(host, port)
+        client = cls(reader, writer, wire=wire, max_frame=max_frame)
+        client._unix = unix
         client._reader_task = asyncio.ensure_future(client._read_loop())
         fields = {} if lease is None else {"lease": lease}
+        if client._want_wire != WIRE_JSON:
+            fields["wire"] = client._want_wire
         try:
             response = await client._call("hello", **fields)
         except BaseException:
@@ -111,24 +142,32 @@ class AsyncLockClient:
     @classmethod
     async def resume(
         cls,
-        host: str,
-        port: int,
+        host: Optional[str],
+        port: Optional[int],
         session: str,
         token: str,
         heartbeat: bool = True,
+        wire: "int | str | None" = None,
+        unix: Optional[str] = None,
+        max_frame: int = MAX_FRAME,
     ) -> "AsyncLockClient":
         """Reclaim a session a restarted server recovered from its
         journal: ``resume`` instead of ``hello`` as the first frame,
         presenting the :attr:`token` from the original handshake.
         Raises :class:`ServiceError` (``unknown-session``/``bad-token``/
         ``session-busy``) when the server will not honor it."""
-        reader, writer = await asyncio.open_connection(host, port)
-        client = cls(reader, writer)
+        if unix is not None:
+            reader, writer = await asyncio.open_unix_connection(unix)
+        else:
+            reader, writer = await asyncio.open_connection(host, port)
+        client = cls(reader, writer, wire=wire, max_frame=max_frame)
+        client._unix = unix
         client._reader_task = asyncio.ensure_future(client._read_loop())
+        fields: Dict[str, Any] = {"session": session, "token": token}
+        if client._want_wire != WIRE_JSON:
+            fields["wire"] = client._want_wire
         try:
-            response = await client._call(
-                "resume", session=session, token=token
-            )
+            response = await client._call("resume", **fields)
         except BaseException:
             await client._teardown()
             raise
@@ -206,14 +245,31 @@ class AsyncLockClient:
     async def _read_loop(self) -> None:
         try:
             while True:
-                frame = await read_frame(self._reader)
+                frame = await self._codec.read(self._reader, self._max_frame)
                 if frame is None:
                     break
                 if "epoch" in frame:
                     self.last_epoch = int(frame["epoch"])
+                if "wire" in frame and frame.get("ok"):
+                    # The handshake reply granting a codec switch: take
+                    # it *here*, before parsing the next frame and
+                    # before the handshake waiter can send under it.
+                    granted = frame.get("wire")
+                    if granted == WIRE_BINARY:
+                        self._codec = codec_for(granted)
+                        self.wire = granted
                 future = self._pending.pop(frame.get("id"), None)
                 if future is not None and not future.done():
                     future.set_result(frame)
+                elif frame.get("ok") is False and frame.get("id") is None:
+                    # A connection-level refusal (frame-too-large,
+                    # protocol error): no request id to route it to, so
+                    # every in-flight call gets the answer — the server
+                    # closes the connection right after.
+                    for pending in self._pending.values():
+                        if not pending.done():
+                            pending.set_result(frame)
+                    self._pending.clear()
         except (ProtocolError, ConnectionError, OSError) as exc:
             self._fail_pending(exc)
         else:
@@ -240,9 +296,18 @@ class AsyncLockClient:
         future = asyncio.get_event_loop().create_future()
         self._pending[request_id] = future
         message = request(request_id, op, **fields)
-        async with self._write_lock:
-            self._writer.write(encode_frame(message))
-            await self._writer.drain()
+        # ``write`` appends the whole frame atomically; the lock only
+        # serializes drains, and a drain is only worth its loop hop
+        # once the transport buffer is actually deep.
+        self._writer.write(
+            self._codec.encode(message, None, self._max_frame)
+        )
+        if (
+            self._writer.transport.get_write_buffer_size()
+            > _DRAIN_THRESHOLD
+        ):
+            async with self._write_lock:
+                await self._writer.drain()
         try:
             response = await future
         finally:
@@ -519,10 +584,13 @@ class RemoteLockManager:
 
     def __init__(
         self,
-        host: str,
-        port: int,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
         lease: float = 5.0,
         connect_timeout: float = 10.0,
+        wire: "int | str | None" = None,
+        unix: Optional[str] = None,
+        max_frame: int = MAX_FRAME,
     ) -> None:
         self._loop = asyncio.new_event_loop()
         self._thread = threading.Thread(
@@ -534,12 +602,24 @@ class RemoteLockManager:
         self._closed = False
         try:
             self._client: AsyncLockClient = self._run(
-                AsyncLockClient.connect(host, port, lease=lease),
+                AsyncLockClient.connect(
+                    host,
+                    port,
+                    lease=lease,
+                    wire=wire,
+                    unix=unix,
+                    max_frame=max_frame,
+                ),
                 timeout=connect_timeout,
             )
         except BaseException:
             self._stop_loop()
             raise
+
+    @property
+    def wire(self) -> int:
+        """The negotiated wire version (1 = JSON, 2 = binary)."""
+        return self._client.wire
 
     def _run(self, coro, timeout: Optional[float] = None):
         return asyncio.run_coroutine_threadsafe(coro, self._loop).result(

@@ -1,0 +1,59 @@
+"""Optional uvloop activation with a clean stdlib fallback.
+
+uvloop is the ``perf`` optional extra (``pip install repro[perf]``) —
+the core stays dependency-free, so everything here is import-guarded:
+when uvloop is absent, :func:`install_uvloop` reports False and the
+caller keeps the default asyncio event loop, and
+:func:`loop_factory` hands back the stdlib factory.  ``serve --uvloop``
+asks for it explicitly (and still falls back with a warning rather
+than refusing to serve, unless ``require=True``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Optional
+
+try:  # pragma: no cover - exercised only where the extra is installed
+    import uvloop  # type: ignore[import-not-found]
+except ImportError:  # pragma: no cover - the dependency-free default
+    uvloop = None
+
+
+def uvloop_available() -> bool:
+    """Whether the optional uvloop extra is importable."""
+    return uvloop is not None
+
+
+def install_uvloop(require: bool = False) -> bool:
+    """Make uvloop the process-wide event loop policy.
+
+    Returns True when uvloop is now the policy, False when the extra is
+    not installed (the caller stays on stock asyncio).  ``require=True``
+    turns that fallback into a :class:`RuntimeError` for callers that
+    were explicitly promised uvloop.
+    """
+    if uvloop is None:
+        if require:
+            raise RuntimeError(
+                "uvloop is not installed; install the 'perf' extra "
+                "(pip install repro[perf]) or drop --uvloop"
+            )
+        return False
+    asyncio.set_event_loop_policy(uvloop.EventLoopPolicy())
+    return True
+
+
+def loop_factory(
+    use_uvloop: bool = True,
+) -> Optional[Callable[[], asyncio.AbstractEventLoop]]:
+    """A loop factory for :class:`asyncio.Runner`.
+
+    With ``use_uvloop`` and the extra installed, returns
+    ``uvloop.new_event_loop``; otherwise None (Runner's stdlib
+    default).  Factory-scoped activation beats the global policy for
+    embedded servers: only the server's own thread changes loops.
+    """
+    if use_uvloop and uvloop is not None:
+        return uvloop.new_event_loop
+    return None

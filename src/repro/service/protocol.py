@@ -114,7 +114,7 @@ from __future__ import annotations
 import asyncio
 import json
 import struct
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.errors import ReproError
 from ..core.modes import parse_mode
@@ -123,8 +123,9 @@ from ..lockmgr.events import Aborted, Blocked, Granted, Repositioned
 #: Protocol version, stamped into every frame's envelope.
 WIRE_VERSION = 1
 
-#: Hard cap on one frame's payload — a garbled length prefix must not
-#: make the reader try to allocate gigabytes.
+#: Default cap on one frame's payload — a garbled length prefix must
+#: not make the reader try to allocate gigabytes.  Both decode paths
+#: (JSON here, binary in :mod:`.wire`) take a per-connection override.
 MAX_FRAME = 8 * 1024 * 1024
 
 #: Hard cap on the sub-operations one ``batch`` frame may carry — a
@@ -137,6 +138,16 @@ _HEADER = struct.Struct(">I")
 
 class ProtocolError(ReproError):
     """A malformed, oversized or version-incompatible wire frame."""
+
+
+class FrameTooLarge(ProtocolError):
+    """A frame (announced or outgoing) exceeds the size limit.
+
+    Split out from the generic :class:`ProtocolError` so servers can
+    answer the distinct ``frame-too-large`` error code instead of a
+    bare ``protocol`` error — a client seeing it knows to shrink its
+    batch, not to suspect framing corruption.
+    """
 
 
 class ServiceError(ReproError):
@@ -155,13 +166,15 @@ class ServiceError(ReproError):
 # -- framing ---------------------------------------------------------------
 
 
-def encode_frame(message: Dict[str, Any]) -> bytes:
+def encode_frame(
+    message: Dict[str, Any], max_frame: int = MAX_FRAME
+) -> bytes:
     """Serialize one message to its length-prefixed wire form."""
     payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
-    if len(payload) > MAX_FRAME:
-        raise ProtocolError(
+    if len(payload) > max_frame:
+        raise FrameTooLarge(
             "frame of {} bytes exceeds the {} byte limit".format(
-                len(payload), MAX_FRAME
+                len(payload), max_frame
             )
         )
     return _HEADER.pack(len(payload)) + payload
@@ -185,25 +198,37 @@ def decode_payload(payload: bytes) -> Dict[str, Any]:
 
 async def read_frame(
     reader: asyncio.StreamReader,
+    max_frame: int = MAX_FRAME,
 ) -> Optional[Dict[str, Any]]:
     """Read one frame; None on clean EOF between frames.
 
-    Raises :class:`ProtocolError` on a truncated frame, an oversized
-    length prefix or an undecodable payload.
+    Raises :class:`FrameTooLarge` on an oversized length prefix and
+    :class:`ProtocolError` on a truncated frame or an undecodable
+    payload.
     """
+    message, _ = await read_frame_sized(reader, max_frame)
+    return message
+
+
+async def read_frame_sized(
+    reader: asyncio.StreamReader,
+    max_frame: int = MAX_FRAME,
+) -> "Tuple[Optional[Dict[str, Any]], int]":
+    """Like :func:`read_frame` but also reports the frame's on-wire
+    size (length prefix + payload) for the frame-bytes metrics."""
     header = await reader.read(_HEADER.size)
     if not header:
-        return None
+        return None, 0
     while len(header) < _HEADER.size:
         more = await reader.read(_HEADER.size - len(header))
         if not more:
             raise ProtocolError("connection closed inside a frame header")
         header += more
     (length,) = _HEADER.unpack(header)
-    if length > MAX_FRAME:
-        raise ProtocolError(
+    if length > max_frame:
+        raise FrameTooLarge(
             "peer announced a {} byte frame (limit {})".format(
-                length, MAX_FRAME
+                length, max_frame
             )
         )
     try:
@@ -212,7 +237,7 @@ async def read_frame(
         raise ProtocolError(
             "connection closed inside a frame body"
         ) from exc
-    return decode_payload(payload)
+    return decode_payload(payload), _HEADER.size + length
 
 
 def check_wire_version(message: Dict[str, Any]) -> None:

@@ -52,15 +52,16 @@ from . import admin
 from .core import MAX_LEASE, MIN_LEASE, ParkedWait, ServiceCore, Session
 from .journal import SessionJournal, recover_into
 from .protocol import (
+    FrameTooLarge,
+    MAX_FRAME,
     ProtocolError,
     ServiceError,
-    WIRE_VERSION,
     detection_to_dict,
-    encode_frame,
     error,
     ok,
     read_frame,
 )
+from .wire import JSON_CODEC, WIRE_BINARY, WIRE_JSON, codec_for, negotiate
 
 __all__ = [
     "LockServer",
@@ -70,6 +71,27 @@ __all__ = [
     "MIN_LEASE",
     "MAX_LEASE",
 ]
+
+#: Outgoing frames are buffered by the transport; a drain (one loop
+#: hop, possibly a flow-control wait) is only taken once the buffer is
+#: this deep.  Small request/response frames almost never hit it.
+_DRAIN_THRESHOLD = 64 * 1024
+
+#: Wire telemetry is sampled: one frame in every ``_WIRE_SAMPLE``
+#: feeds the size/latency histograms (and the frame counter is bumped
+#: by the sampling factor), so the hot path pays the instrument cost
+#: ~1.5% of the time.
+_WIRE_SAMPLE = 64
+_WIRE_SAMPLE_MASK = _WIRE_SAMPLE - 1
+
+_FRAME_BUCKETS = (
+    16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 4096.0,
+    16384.0, 65536.0, 262144.0, 1048576.0,
+)
+_CODEC_BUCKETS = (
+    0.000001, 0.000002, 0.000005, 0.00001, 0.00002, 0.00005,
+    0.0001, 0.0005, 0.002,
+)
 
 
 class LockServer:
@@ -97,6 +119,7 @@ class LockServer:
         journal=None,
         incident_log=None,
         policy=None,
+        max_frame: int = MAX_FRAME,
     ) -> None:
         self.core = ServiceCore(
             costs=costs,
@@ -122,8 +145,13 @@ class LockServer:
         #: The :class:`~repro.service.journal.RecoveryReport` of the
         #: start-time replay (None when running without a journal).
         self.recovery = None
+        #: Per-connection frame-size ceiling, both decode paths (JSON
+        #: and binary) and outgoing encodes alike.
+        self.max_frame = int(max_frame)
         self.host: Optional[str] = None
         self.port: Optional[int] = None
+        #: Path of the UNIX-domain listener when serving on one.
+        self.unix: Optional[str] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._ops: "asyncio.Queue" = asyncio.Queue()
@@ -154,10 +182,16 @@ class LockServer:
     # -- lifecycle ---------------------------------------------------------
 
     async def start(
-        self, host: str = "127.0.0.1", port: int = 0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        unix: Optional[str] = None,
     ) -> "LockServer":
         """Bind and start serving; ``port=0`` picks a free port (read it
-        back from :attr:`port`)."""
+        back from :attr:`port`).  With ``unix`` set, listen on a
+        UNIX-domain socket at that path instead of TCP — the loopback
+        fast path: same protocol, roughly a third of the per-round-trip
+        kernel cost."""
         self._loop = asyncio.get_running_loop()
         self.core.clock = self._loop.time
         if self._journal is not None:
@@ -174,11 +208,17 @@ class LockServer:
         # periodic detector task to find.
         if self.period is not None and self.core.policy.wants_periodic:
             self._tasks.append(asyncio.ensure_future(self._detector_loop()))
-        self._server = await asyncio.start_server(
-            self._handle_connection, host, port
-        )
-        address = self._server.sockets[0].getsockname()
-        self.host, self.port = address[0], address[1]
+        if unix is not None:
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=unix
+            )
+            self.unix = unix
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, host, port
+            )
+            address = self._server.sockets[0].getsockname()
+            self.host, self.port = address[0], address[1]
         return self
 
     async def serve_forever(self) -> None:
@@ -270,21 +310,94 @@ class LockServer:
             await asyncio.sleep(min(max(wake, 0.02), 0.1))
             await self._submit(self.core.expire_sessions)
 
+    # -- the reader-task fast lane -------------------------------------------
+
+    def _apply(self, fn: Callable[[], object]):
+        """Run one core step *now*, on the calling task.
+
+        The mirror of one :meth:`_writer_loop` pass — run, pump, group
+        flush — used by the v2 inline dispatch lane.  Safe because
+        core steps are synchronous and the writer task only ever
+        suspends between ops (at its queue get), never inside one, so
+        the lock table cannot be mid-mutation when the reader runs.
+        """
+        try:
+            return fn()
+        finally:
+            self.core.pump()
+            if self.core.journal is not None:
+                flush_started = perf_counter()
+                if self.core.journal.flush():
+                    self.core.stats.journal_flushes += 1
+                    if self.core.telemetry.enabled:
+                        self.core.telemetry.registry.histogram(
+                            "repro_journal_fsync_seconds",
+                            help="write+fsync latency of one journal "
+                            "group commit",
+                            buckets=_FSYNC_BUCKETS,
+                        ).observe(perf_counter() - flush_started)
+
     # -- connection handling -----------------------------------------------------
+
+    def _observe_frame(
+        self, codec_name: str, direction: str, nbytes: int, seconds: float
+    ) -> None:
+        """Sampled wire telemetry: one observed frame stands for the
+        :data:`_WIRE_SAMPLE` frames around it."""
+        registry = self.core.telemetry.registry
+        labels = {"codec": codec_name, "direction": direction}
+        registry.counter(
+            "repro_wire_frames_total",
+            help="frames on the wire (sampled, x{})".format(_WIRE_SAMPLE),
+            labels=labels,
+        ).inc(_WIRE_SAMPLE)
+        registry.histogram(
+            "repro_frame_bytes",
+            help="on-wire frame size per codec and direction (sampled)",
+            labels=labels,
+            buckets=_FRAME_BUCKETS,
+        ).observe(nbytes)
+        registry.histogram(
+            "repro_wire_codec_seconds",
+            help="pure encode/decode latency of one frame (sampled; "
+            "direction=in is decode, direction=out is encode)",
+            labels=labels,
+            buckets=_CODEC_BUCKETS,
+        ).observe(seconds)
 
     async def _handle_connection(self, reader, writer) -> None:
         session: Optional[Session] = None
-        write_lock = asyncio.Lock()
+        codec = JSON_CODEC
+        max_frame = self.max_frame
+        drain_lock = asyncio.Lock()
         tasks: Set[asyncio.Task] = set()
+        transport = writer.transport
+        telemetry = self.core.telemetry
+        nframes = 0
 
-        async def send(message: dict) -> None:
+        async def send(message: dict, reply_to: Optional[str] = None) -> None:
             message.setdefault("epoch", self.restart_epoch)
-            async with write_lock:
-                writer.write(encode_frame(message))
-                await writer.drain()
+            if telemetry.enabled and nframes & _WIRE_SAMPLE_MASK == 0:
+                started = perf_counter()
+                data = codec.encode(message, reply_to, max_frame)
+                self._observe_frame(
+                    codec.name, "out", len(data), perf_counter() - started
+                )
+            else:
+                data = codec.encode(message, reply_to, max_frame)
+            # ``write`` appends the whole frame atomically; the lock only
+            # serializes drains (the flow-control waiter is single-slot),
+            # and a drain is only worth its loop hop once the transport
+            # buffer is actually deep.
+            writer.write(data)
+            if transport.get_write_buffer_size() > _DRAIN_THRESHOLD:
+                async with drain_lock:
+                    await writer.drain()
 
         try:
-            first = await read_frame(reader)
+            # The handshake is always JSON; the reply tells both sides
+            # which codec every later frame uses.
+            first = await read_frame(reader, max_frame)
             if first is None:
                 return
             handshake = first.get("op")
@@ -317,38 +430,77 @@ class LockServer:
             except ServiceError as exc:
                 await send(error(first.get("id"), exc.code, exc.message))
                 return
-            await send(
-                ok(
-                    first.get("id"),
-                    session=session.sid,
-                    lease=session.lease,
-                    token=session.token,
-                    tids=sorted(session.tids),
-                    server={
-                        "version": __version__,
-                        "wire": WIRE_VERSION,
-                        "period": self.period,
-                        "continuous": self.continuous,
-                        "shards": self.core.shards,
-                        "policy": self.core.policy.name,
-                        "epoch": self.restart_epoch,
-                    },
-                )
+            granted = negotiate(first.get("wire"))
+            reply = ok(
+                first.get("id"),
+                session=session.sid,
+                lease=session.lease,
+                token=session.token,
+                tids=sorted(session.tids),
+                server={
+                    "version": __version__,
+                    # Capability advertisement: the newest wire dialect
+                    # this server speaks (the grant itself is the
+                    # top-level ``wire`` field, present only when
+                    # granted).
+                    "wire": WIRE_BINARY,
+                    "period": self.period,
+                    "continuous": self.continuous,
+                    "shards": self.core.shards,
+                    "policy": self.core.policy.name,
+                    "epoch": self.restart_epoch,
+                },
             )
+            if granted != WIRE_JSON:
+                # The switch signal: a v1 client never asked, so its
+                # reply — like every v1 frame — stays bit-for-bit.
+                reply["wire"] = granted
+            await send(reply)
+            if granted != WIRE_JSON:
+                codec = codec_for(granted)
+                self.stats.binary_connections += 1
+            read_metered = codec.read_metered
+            fast_handlers = self._FAST_HANDLERS if codec.inline else None
             while True:
-                frame = await read_frame(reader)
+                frame, nbytes, decode_seconds = await read_metered(
+                    reader, max_frame
+                )
                 if frame is None:
                     break
+                nframes += 1
+                if telemetry.enabled and nframes & _WIRE_SAMPLE_MASK == 0:
+                    self._observe_frame(
+                        codec.name, "in", nbytes, decode_seconds
+                    )
                 self.core.touch_session(session)
-                if frame.get("op") == "goodbye":
+                op = frame.get("op")
+                if op == "goodbye":
                     session.detached = True
                     await send(ok(frame.get("id")))
                     break
+                if fast_handlers is not None and not tasks:
+                    # The v2 inline lane: hot, never-parking ops run on
+                    # this task — no per-frame task spawn, no writer
+                    # queue hop.  Only when no spawned task is in
+                    # flight, so pipelined frames keep arrival order.
+                    handler = fast_handlers.get(op)
+                    if handler is not None:
+                        self.stats.inline_requests += 1
+                        await self._dispatch(
+                            session, frame, send, handler
+                        )
+                        continue
                 task = asyncio.ensure_future(
                     self._dispatch(session, frame, send)
                 )
                 tasks.add(task)
                 task.add_done_callback(tasks.discard)
+        except FrameTooLarge as exc:
+            self.stats.protocol_errors += 1
+            try:
+                await send(error(None, "frame-too-large", str(exc)))
+            except (ConnectionError, RuntimeError, ProtocolError):
+                pass
         except ProtocolError as exc:
             self.stats.protocol_errors += 1
             try:
@@ -374,7 +526,9 @@ class LockServer:
             except (ConnectionError, asyncio.CancelledError):
                 pass
 
-    async def _dispatch(self, session: Session, frame: dict, send) -> None:
+    async def _dispatch(
+        self, session: Session, frame: dict, send, handler=None
+    ) -> None:
         request_id = frame.get("id")
         self.stats.requests += 1
         try:
@@ -385,7 +539,8 @@ class LockServer:
                         session.sid
                     ),
                 )
-            handler = self._HANDLERS.get(frame.get("op"))
+            if handler is None:
+                handler = self._HANDLERS.get(frame.get("op"))
             if handler is None:
                 raise ServiceError(
                     "bad-op", "unknown operation {!r}".format(frame.get("op"))
@@ -427,14 +582,15 @@ class LockServer:
                 frame.get("id"),
                 lease=session.lease,
                 remaining=max(session.deadline - self._loop.time(), 0.0),
-            )
+            ),
+            "heartbeat",
         )
 
     async def _op_begin(self, session, frame, send) -> None:
         tid = await self._submit(
             lambda: self.core.begin_step(session, frame.get("tid"))
         )
-        await send(ok(frame.get("id"), tid=tid))
+        await send(ok(frame.get("id"), tid=tid), "begin")
 
     async def _op_lock(self, session, frame, send) -> None:
         tid = int(frame["tid"])
@@ -475,7 +631,9 @@ class LockServer:
                 status = await self._submit(
                     lambda: self.core.cancel_wait(tid, parked)
                 )
-        await send(ok(frame.get("id"), status=status, event=event))
+        await send(
+            ok(frame.get("id"), status=status, event=event), "lock"
+        )
 
     async def _op_commit(self, session, frame, send) -> None:
         await self._finish(session, frame, send, aborting=False)
@@ -488,13 +646,16 @@ class LockServer:
         grants = await self._submit(
             lambda: self.core.finish_step(session, tid, aborting)
         )
-        await send(ok(frame.get("id"), tid=tid, grants=grants))
+        await send(
+            ok(frame.get("id"), tid=tid, grants=grants),
+            "abort" if aborting else "commit",
+        )
 
     async def _op_batch(self, session, frame, send) -> None:
         results = await self._submit(
             lambda: self.core.batch_step(session, frame.get("ops"))
         )
-        await send(ok(frame.get("id"), results=results))
+        await send(ok(frame.get("id"), results=results), "batch")
 
     async def _op_detect(self, session, frame, send) -> None:
         result = await self._submit(self.core.detect_step)
@@ -502,13 +663,13 @@ class LockServer:
 
     async def _op_snapshot(self, session, frame, send) -> None:
         payload = await self._submit(self.core.snapshot_step)
-        await send(ok(frame.get("id"), snapshot=payload))
+        await send(ok(frame.get("id"), snapshot=payload), "snapshot")
 
     async def _op_resolve(self, session, frame, send) -> None:
         reply = await self._submit(
             lambda: self.core.resolve_step(frame.get("plan"))
         )
-        await send(ok(frame.get("id"), reply=reply))
+        await send(ok(frame.get("id"), reply=reply), "resolve")
 
     async def _op_inspect(self, session, frame, send) -> None:
         payload = await self._submit(
@@ -570,6 +731,52 @@ class LockServer:
         value = await self._submit(self.manager.deadlocked)
         await send(ok(frame.get("id"), deadlocked=value))
 
+    # -- the v2 inline lane -------------------------------------------------
+    #
+    # Fast variants of the hot, never-parking ops: the same semantics
+    # as their _op_* twins, but the core step runs directly on the
+    # reader task (:meth:`_apply`) instead of hopping through the
+    # writer queue.  ``lock`` stays on the task path — a parked wait
+    # must not stall the connection's reader.
+
+    async def _fast_begin(self, session, frame, send) -> None:
+        tid = self._apply(
+            lambda: self.core.begin_step(session, frame.get("tid"))
+        )
+        await send(ok(frame.get("id"), tid=tid), "begin")
+
+    async def _fast_commit(self, session, frame, send) -> None:
+        await self._fast_finish(session, frame, send, aborting=False)
+
+    async def _fast_abort(self, session, frame, send) -> None:
+        await self._fast_finish(session, frame, send, aborting=True)
+
+    async def _fast_finish(self, session, frame, send, aborting) -> None:
+        tid = int(frame["tid"])
+        grants = self._apply(
+            lambda: self.core.finish_step(session, tid, aborting)
+        )
+        await send(
+            ok(frame.get("id"), tid=tid, grants=grants),
+            "abort" if aborting else "commit",
+        )
+
+    async def _fast_batch(self, session, frame, send) -> None:
+        results = self._apply(
+            lambda: self.core.batch_step(session, frame.get("ops"))
+        )
+        await send(ok(frame.get("id"), results=results), "batch")
+
+    async def _fast_snapshot(self, session, frame, send) -> None:
+        payload = self._apply(self.core.snapshot_step)
+        await send(ok(frame.get("id"), snapshot=payload), "snapshot")
+
+    async def _fast_resolve(self, session, frame, send) -> None:
+        reply = self._apply(
+            lambda: self.core.resolve_step(frame.get("plan"))
+        )
+        await send(ok(frame.get("id"), reply=reply), "resolve")
+
     _HANDLERS: Dict[
         str, Callable[["LockServer", Session, dict, object], Awaitable[None]]
     ] = {
@@ -591,6 +798,18 @@ class LockServer:
         "spans": _op_spans,
         "holding": _op_holding,
         "deadlocked": _op_deadlocked,
+    }
+
+    _FAST_HANDLERS: Dict[
+        str, Callable[["LockServer", Session, dict, object], Awaitable[None]]
+    ] = {
+        "heartbeat": _op_heartbeat,  # touches no core state: already fast
+        "begin": _fast_begin,
+        "commit": _fast_commit,
+        "abort": _fast_abort,
+        "batch": _fast_batch,
+        "snapshot": _fast_snapshot,
+        "resolve": _fast_resolve,
     }
 
 

@@ -88,6 +88,61 @@ class TestFraming:
             encode_frame(message)
 
 
+class TestFrameSizeGuard:
+    def test_oversized_raises_frame_too_large_subclass(self):
+        from repro.service.protocol import FrameTooLarge
+
+        message = {"v": WIRE_VERSION, "blob": "x" * 2000}
+        with pytest.raises(FrameTooLarge):
+            encode_frame(message, max_frame=1024)
+        # FrameTooLarge is a ProtocolError: existing handlers keep
+        # working.
+        assert issubclass(FrameTooLarge, ProtocolError)
+
+    def test_configurable_read_limit(self):
+        from repro.service.protocol import FrameTooLarge
+
+        frame = encode_frame({"v": WIRE_VERSION, "blob": "x" * 2000})
+
+        async def go():
+            reader = asyncio.StreamReader()
+            reader.feed_data(frame)
+            reader.feed_eof()
+            with pytest.raises(FrameTooLarge):
+                await read_frame(reader, max_frame=1024)
+
+        asyncio.run(go())
+
+    def test_read_limit_refuses_before_buffering(self):
+        """Only the 4-byte announcement is read before the refusal —
+        a hostile length prefix cannot make the server buffer it."""
+        from repro.service.protocol import FrameTooLarge
+
+        async def go():
+            reader = asyncio.StreamReader()
+            reader.feed_data(struct.pack(">I", 1 << 30))
+            # No payload follows; the guard must not wait for one.
+            with pytest.raises(FrameTooLarge):
+                await read_frame(reader, max_frame=1024)
+
+        asyncio.run(go())
+
+    def test_read_frame_sized_reports_wire_size(self):
+        from repro.service.protocol import read_frame_sized
+
+        frame = encode_frame(request(1, "heartbeat", tid=4))
+
+        async def go():
+            reader = asyncio.StreamReader()
+            reader.feed_data(frame)
+            reader.feed_eof()
+            message, size = await read_frame_sized(reader)
+            assert message["op"] == "heartbeat"
+            assert size == len(frame)
+
+        asyncio.run(go())
+
+
 class TestVersioning:
     def test_current_version_accepted(self):
         check_wire_version({"v": WIRE_VERSION})

@@ -65,7 +65,10 @@ class TestHandshake:
                 async with connected(server) as client:
                     assert client.session == "S1"
                     assert client.lease == server.lease
-                    assert client.server_info["wire"] == 1
+                    # Capability advertisement: the newest wire dialect
+                    # the server speaks (the connection stays on v1
+                    # JSON unless the client asked).
+                    assert client.server_info["wire"] == 2
                     assert client.server_info["period"] is None
 
         asyncio.run(go())
